@@ -1,0 +1,27 @@
+"""Ablation: stochastic greedy rounds vs CELF-lazy vs full sweeps.
+
+Quantifies the modern accelerant (``repro.core.stochastic``) against the
+paper-era strategies on the same prebuilt walk index:
+
+* quality (exact EHN of the selection) must stay within a few percent of
+  the lazy/full greedy — the 1 - 1/e - eps guarantee at work;
+* gain evaluations must drop well below the full sweep's ``O(n k)``.
+"""
+
+from repro.experiments.extensions import ext_stochastic
+
+
+def test_stochastic_ablation(benchmark, config, report):
+    table = benchmark.pedantic(
+        lambda: ext_stochastic(config), rounds=1, iterations=1
+    )
+    report(table, "ablation_stochastic.txt")
+    strategy = table.columns.index("strategy")
+    evals = table.columns.index("gain evals")
+    ehn = table.columns.index("EHN")
+    rows = {row[strategy]: row for row in table.rows}
+    # Lazy is exact: same quality as full.
+    assert rows["lazy"][ehn] == rows["full"][ehn]
+    # Stochastic trades a bounded quality loss for far fewer evaluations.
+    assert rows["stochastic"][ehn] >= 0.9 * rows["full"][ehn]
+    assert rows["stochastic"][evals] < rows["full"][evals]

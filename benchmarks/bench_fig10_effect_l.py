@@ -1,0 +1,29 @@
+"""Fig. 10: effect of the walk-length parameter L (k = 60).
+
+Paper shape: both AHT and EHN increase with L for every algorithm, and the
+greedy algorithms' margin over the baselines widens as L grows.
+"""
+
+from repro.experiments.figures import fig10
+
+
+def test_fig10(benchmark, config, report):
+    table = benchmark.pedantic(lambda: fig10(config), rounds=1, iterations=1)
+    report(table, "fig10.txt")
+    aht = table.columns.index("AHT")
+    ehn = table.columns.index("EHN")
+    lengths = sorted({row[2] for row in table.rows})
+    lo, hi = lengths[0], lengths[-1]
+    for dataset in {row[0] for row in table.rows}:
+        for algorithm in ("Degree", "Dominate", "ApproxF1", "ApproxF2"):
+            row_lo = table.filtered(dataset=dataset, algorithm=algorithm, L=lo)[0]
+            row_hi = table.filtered(dataset=dataset, algorithm=algorithm, L=hi)[0]
+            assert row_hi[aht] >= row_lo[aht] - 1e-9
+            assert row_hi[ehn] >= row_lo[ehn] - 1e-9
+        # Greedy beats the baselines on EHN at the largest L.
+        at_hi = {
+            row[1]: row[ehn] for row in table.filtered(dataset=dataset, L=hi)
+        }
+        assert max(at_hi["ApproxF1"], at_hi["ApproxF2"]) >= max(
+            at_hi["Degree"], at_hi["Dominate"]
+        ) - 1e-9

@@ -1,0 +1,22 @@
+"""Fig. 2: effectiveness of DPF1 vs ApproxF1 as a function of R.
+
+Paper shape: ApproxF1's AHT and EHN sit within a hair of DPF1's for
+R >= 50 and match it around R ~ 100.
+"""
+
+from repro.experiments.figures import fig2
+
+
+def test_fig2(benchmark, config, report):
+    table = benchmark.pedantic(lambda: fig2(config), rounds=1, iterations=1)
+    report(table, "fig2.txt")
+    for length in (5, 10):
+        dp_rows = table.filtered(L=length, algorithm="DPF1")
+        assert len(dp_rows) == 1
+        dp_aht = dp_rows[0][table.columns.index("AHT")]
+        approx_rows = table.filtered(L=length, algorithm="ApproxF1")
+        assert len(approx_rows) == 5  # R grid
+        for row in approx_rows:
+            approx_aht = row[table.columns.index("AHT")]
+            # Within 5% of the DP reference at every R (paper: ~0.2%).
+            assert abs(approx_aht - dp_aht) <= 0.05 * dp_aht

@@ -1,0 +1,17 @@
+"""Fig. 3: effectiveness of DPF2 vs ApproxF2 as a function of R.
+
+Paper shape: ApproxF2's EHN tracks DPF2's closely for every R in the grid.
+"""
+
+from repro.experiments.figures import fig3
+
+
+def test_fig3(benchmark, config, report):
+    table = benchmark.pedantic(lambda: fig3(config), rounds=1, iterations=1)
+    report(table, "fig3.txt")
+    for length in (5, 10):
+        dp_rows = table.filtered(L=length, algorithm="DPF2")
+        dp_ehn = dp_rows[0][table.columns.index("EHN")]
+        for row in table.filtered(L=length, algorithm="ApproxF2"):
+            approx_ehn = row[table.columns.index("EHN")]
+            assert abs(approx_ehn - dp_ehn) <= 0.05 * dp_ehn

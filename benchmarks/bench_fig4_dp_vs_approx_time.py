@@ -1,0 +1,21 @@
+"""Fig. 4: running time, DP-based vs approximate greedy (R = 250).
+
+Paper shape: the DP algorithms are orders of magnitude slower than the
+approximate ones (~200x in the paper's C++), and runtimes roughly double
+from L=5 to L=10.
+"""
+
+from repro.experiments.figures import fig4
+
+
+def test_fig4(benchmark, config, report):
+    table = benchmark.pedantic(lambda: fig4(config), rounds=1, iterations=1)
+    report(table, "fig4.txt")
+    seconds = table.columns.index("seconds")
+    for length in (5, 10):
+        times = {
+            row[1]: row[seconds] for row in table.filtered(L=length)
+        }
+        # The approximate greedy must beat the full-sweep DP clearly.
+        assert times["ApproxF1"] < times["DPF1"] / 5
+        assert times["ApproxF2"] < times["DPF2"] / 5

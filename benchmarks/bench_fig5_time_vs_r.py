@@ -1,0 +1,22 @@
+"""Fig. 5: approximate-greedy running time as a function of R.
+
+Paper shape: runtime grows linearly in R.
+"""
+
+from repro.experiments.figures import fig5
+
+
+def test_fig5(benchmark, config, report):
+    table = benchmark.pedantic(lambda: fig5(config), rounds=1, iterations=1)
+    report(table, "fig5.txt")
+    seconds = table.columns.index("seconds")
+    r_col = table.columns.index("R")
+    for length in (5, 10):
+        for algorithm in ("ApproxF1", "ApproxF2"):
+            rows = sorted(
+                table.filtered(L=length, algorithm=algorithm),
+                key=lambda row: row[r_col],
+            )
+            times = [row[seconds] for row in rows]
+            # Growing trend: the largest R must cost more than the smallest.
+            assert times[-1] > times[0]

@@ -1,0 +1,35 @@
+"""Fig. 6: average hitting time vs k on the four datasets.
+
+Paper shape: the approximate greedy algorithms clearly beat Degree and
+Dominate everywhere; ApproxF1 (which optimizes AHT directly) is the best;
+AHT decreases as k grows.
+"""
+
+from benchmarks.conftest import shared_fig6_fig7
+
+
+def test_fig6(benchmark, config, report):
+    aht_table, _ = benchmark.pedantic(
+        lambda: shared_fig6_fig7(config), rounds=1, iterations=1
+    )
+    report(aht_table, "fig6.txt")
+    aht = aht_table.columns.index("AHT")
+    kmax = max(config.budgets)
+    for dataset in {row[0] for row in aht_table.rows}:
+        at_kmax = {
+            row[1]: row[aht] for row in aht_table.filtered(dataset=dataset, k=kmax)
+        }
+        # Greedy (either variant) beats both baselines at the full budget.
+        best_greedy = min(at_kmax["ApproxF1"], at_kmax["ApproxF2"])
+        assert best_greedy <= at_kmax["Degree"] + 1e-9
+        assert best_greedy <= at_kmax["Dominate"] + 1e-9
+        # AHT decreases with k for the greedy algorithms.
+        for algorithm in ("ApproxF1", "ApproxF2"):
+            series = [
+                row[aht]
+                for row in sorted(
+                    aht_table.filtered(dataset=dataset, algorithm=algorithm),
+                    key=lambda r: r[2],
+                )
+            ]
+            assert all(a >= b - 1e-9 for a, b in zip(series, series[1:]))

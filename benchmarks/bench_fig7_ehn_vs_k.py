@@ -1,0 +1,32 @@
+"""Fig. 7: expected number of hitting nodes vs k on the four datasets.
+
+Paper shape: the approximate greedy algorithms dominate the baselines;
+ApproxF2 (which optimizes EHN directly) is the best; EHN grows with k.
+"""
+
+from benchmarks.conftest import shared_fig6_fig7
+
+
+def test_fig7(benchmark, config, report):
+    _, ehn_table = benchmark.pedantic(
+        lambda: shared_fig6_fig7(config), rounds=1, iterations=1
+    )
+    report(ehn_table, "fig7.txt")
+    ehn = ehn_table.columns.index("EHN")
+    kmax = max(config.budgets)
+    for dataset in {row[0] for row in ehn_table.rows}:
+        at_kmax = {
+            row[1]: row[ehn] for row in ehn_table.filtered(dataset=dataset, k=kmax)
+        }
+        best_greedy = max(at_kmax["ApproxF1"], at_kmax["ApproxF2"])
+        assert best_greedy >= at_kmax["Degree"] - 1e-9
+        assert best_greedy >= at_kmax["Dominate"] - 1e-9
+        for algorithm in ("ApproxF1", "ApproxF2"):
+            series = [
+                row[ehn]
+                for row in sorted(
+                    ehn_table.filtered(dataset=dataset, algorithm=algorithm),
+                    key=lambda r: r[2],
+                )
+            ]
+            assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))

@@ -1,0 +1,23 @@
+"""Fig. 8: running time vs k (L=6) and vs L (k=100) on Epinions.
+
+Paper shape: approximate-greedy time is a small constant multiple of the
+baselines' and grows roughly linearly in k and L.
+"""
+
+from repro.experiments.figures import fig8
+
+
+def test_fig8(benchmark, config, report):
+    table = benchmark.pedantic(lambda: fig8(config), rounds=1, iterations=1)
+    report(table, "fig8.txt")
+    seconds = table.columns.index("seconds")
+    lengths = sorted({row[2] for row in table.filtered(sweep="vs-L")})
+    for algorithm in ("ApproxF1", "ApproxF2"):
+        by_length = {
+            row[2]: row[seconds]
+            for row in table.filtered(sweep="vs-L", algorithm=algorithm)
+        }
+        # Longer walks cost more (index size is O(n R L)).
+        assert by_length[max(lengths)] > by_length[min(lengths)]
+    # All runs completed with sane timings.
+    assert all(row[seconds] >= 0 for row in table.rows)

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the hot kernels (proper repeated-round timings).
+
+These are the building blocks whose costs the paper's complexity analysis
+predicts: walk generation O(n R L), index construction O(n R L), a full
+gain sweep O(n R L), the D-update O(R deg), and one DP level O(m).
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import power_law_graph
+from repro.hitting.exact import hitting_time_vector
+from repro.walks.engine import batch_walks
+from repro.walks.index import FlatWalkIndex, walker_major_starts
+from repro.core.approx_fast import FastApproxEngine
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(5_000, 40_000, seed=77)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return FlatWalkIndex.build(graph, 6, 20, seed=78)
+
+
+def test_batch_walk_generation(benchmark, graph):
+    starts = walker_major_starts(graph.num_nodes, 10)
+    benchmark(lambda: batch_walks(graph, starts, 6, seed=1))
+
+
+def test_index_build(benchmark, graph):
+    benchmark(lambda: FlatWalkIndex.build(graph, 6, 10, seed=2))
+
+
+def test_full_gain_sweep(benchmark, index):
+    engine = FastApproxEngine(index, "f1")
+    benchmark(engine.gains_all)
+
+
+def test_single_gain_query(benchmark, index):
+    engine = FastApproxEngine(index, "f1")
+    benchmark(lambda: engine.gain_of(17))
+
+
+def test_select_update(benchmark, index):
+    # Fresh engine per round so repeated selection stays legal.
+    nodes = iter(range(index.num_nodes))
+
+    def run():
+        engine = FastApproxEngine(index, "f1")
+        engine.select(next(nodes))
+
+    benchmark(run)
+
+
+def test_dp_level_cost(benchmark, graph):
+    benchmark(lambda: hitting_time_vector(graph, {0, 1, 2}, 6))

@@ -1,0 +1,14 @@
+"""Table 2: dataset summary (spec values + built replicas)."""
+
+from repro.experiments.figures import table2
+
+
+def test_table2(benchmark, config, report):
+    table = benchmark.pedantic(lambda: table2(config), rounds=1, iterations=1)
+    report(table, "table2.txt")
+    # The spec columns must echo the paper exactly.
+    assert table.column("spec nodes") == [5_242, 12_008, 58_228, 75_872]
+    assert table.column("spec edges") == [28_968, 236_978, 428_156, 396_026]
+    # Replicas honor the configured scale.
+    for spec_n, built_n in zip(table.column("spec nodes"), table.column("built nodes")):
+        assert built_n == max(16, round(spec_n * config.scale))

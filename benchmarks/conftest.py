@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures.
+
+Every bench runs one paper exhibit through ``benchmark.pedantic`` (a single
+timed round — these are experiments, not micro-benchmarks; the micro suite
+in ``bench_micro_kernels.py`` uses proper repeated rounds), prints the
+resulting table to the real terminal (bypassing capture so it lands in
+``bench_output.txt``), and archives it under ``benchmarks/results/``.
+
+Scale knobs: set ``REPRO_SCALE`` (default 0.25), ``REPRO_R`` (default 100)
+and ``REPRO_SEED`` before invoking pytest to trade fidelity for wall-clock.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import default_config
+from repro.experiments.figures import fig6_fig7
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_CACHE: dict[str, object] = {}
+
+
+@pytest.fixture(scope="session")
+def config():
+    return default_config()
+
+
+@pytest.fixture
+def report(capsys):
+    """Print an ExperimentTable to the live terminal and archive it."""
+
+    def _report(table, filename: str):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = str(table)
+        (RESULTS_DIR / filename).write_text(text + "\n")
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _report
+
+
+def shared_fig6_fig7(config):
+    """Figs. 6 and 7 come from the same runs; compute them once per session."""
+    if "fig67" not in _CACHE:
+        _CACHE["fig67"] = fig6_fig7(config)
+    return _CACHE["fig67"]

@@ -1,0 +1,53 @@
+"""Ads placement in an advertisement network (paper Section 1.1).
+
+Scenario: an advertiser pays k users to host an ad; other users find it by
+browsing.  The advertiser cares about *both* objectives at once — reach as
+many users as possible *and* be found quickly — so this example uses the
+paper's future-work combined objective ``w1 F1 + w2 F2`` and sweeps the
+trade-off, showing the frontier between discovery speed and audience.
+
+Run:  python examples/ads_placement.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    # An Epinions-like trust network at 10% scale.
+    graph = repro.load_dataset("Epinions", scale=0.10)
+    print(f"ad network: {graph.num_nodes} users, {graph.num_edges} edges")
+
+    budget = 40
+    horizon = 6
+
+    # One shared walk index across the whole trade-off sweep.
+    index = repro.FlatWalkIndex.build(graph, horizon, 100, seed=11)
+
+    print(f"\ntrade-off sweep (k={budget}, L={horizon}):")
+    print(f"{'lambda':>7} {'avg hops to ad':>15} {'expected audience':>18}")
+    for trade_off in (0.0, 0.25, 0.5, 0.75, 1.0):
+        w1, w2 = repro.balanced_weights(trade_off, horizon)
+        result = repro.approx_combined(
+            graph, budget, horizon, w1, w2, index=index
+        )
+        aht = repro.average_hitting_time(graph, result.selected, horizon)
+        ehn = repro.expected_hit_nodes(graph, result.selected, horizon)
+        print(f"{trade_off:>7.2f} {aht:>15.3f} {ehn:>18.1f}")
+
+    degree = repro.degree_baseline(graph, budget)
+    aht = repro.average_hitting_time(graph, degree.selected, horizon)
+    ehn = repro.expected_hit_nodes(graph, degree.selected, horizon)
+    print(f"{'Degree':>7} {aht:>15.3f} {ehn:>18.1f}")
+
+    print("\nlambda=1 weighs discovery speed (F1); lambda=0 weighs audience "
+          "(F2).")
+    print("on heavy-tailed networks the two objectives largely agree (the "
+          "paper's Figs. 6-7\nshow the same small ApproxF1/ApproxF2 gap); "
+          "the sweep costs almost nothing because\none walk index serves "
+          "every weighting — that is the practical takeaway.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Side-by-side comparison of every solver in the library.
+
+Runs all seven algorithms on one graph — the exact DP greedy, the
+sampling-based greedy, both Algorithm 6 engines, and the three baselines —
+and prints quality, runtime, and work done.  A compact, runnable version of
+the paper's whole evaluation story.
+
+Run:  python examples/compare_algorithms.py
+"""
+
+from __future__ import annotations
+
+import repro
+
+
+def main() -> None:
+    graph = repro.power_law_graph(1_000, 9_956, seed=4546)  # paper's synthetic
+    k, length = 30, 6
+    print(f"graph: {graph} (the paper's synthetic setup), k={k}, L={length}\n")
+
+    problem = repro.Problem2(graph, k, length)
+    runs = []
+    for method, options in (
+        ("dp", {}),
+        ("sampling", {"num_replicates": 100, "seed": 1}),
+        ("approx", {"num_replicates": 100, "seed": 1}),
+        ("approx-fast", {"num_replicates": 100, "seed": 1}),
+        ("degree", {}),
+        ("dominate", {}),
+        ("random", {"seed": 1}),
+    ):
+        runs.append(repro.solve(problem, method=method, **options))
+
+    header = (
+        f"{'algorithm':<12} {'EHN':>9} {'AHT':>8} {'seconds':>9} {'gain evals':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    for result in runs:
+        ehn = repro.expected_hit_nodes(graph, result.selected, length)
+        aht = repro.average_hitting_time(graph, result.selected, length)
+        print(
+            f"{result.algorithm:<12} {ehn:>9.1f} {aht:>8.4f} "
+            f"{result.elapsed_seconds:>9.3f} {result.num_gain_evaluations:>11}"
+        )
+
+    print("\nreading: the greedy family lands within a whisker of the DP "
+          "reference; the\nvectorized Algorithm 6 gets there orders of "
+          "magnitude faster; the heuristics trail.")
+
+
+if __name__ == "__main__":
+    main()

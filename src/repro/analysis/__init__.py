@@ -1,0 +1,31 @@
+"""Analysis tools around the paper's theory.
+
+* :mod:`repro.analysis.submodularity` — empirical audits of the structural
+  properties Theorems 3.1/3.2 prove (nondecreasing, submodular, zero at
+  the empty set) for *any* set function, plus approximation-ratio helpers.
+* :mod:`repro.analysis.stationary` — the classic (untruncated) random-walk
+  quantities the L-length model generalizes: stationary distribution,
+  absorbing-chain hitting times, and the truncation gap ``h_uS - h^L_uS``.
+"""
+
+from repro.analysis.stationary import (
+    absorbing_hitting_time,
+    recommend_length,
+    stationary_distribution,
+    truncation_gap,
+)
+from repro.analysis.submodularity import (
+    SetFunctionAudit,
+    approximation_ratio,
+    audit_set_function,
+)
+
+__all__ = [
+    "absorbing_hitting_time",
+    "recommend_length",
+    "stationary_distribution",
+    "truncation_gap",
+    "SetFunctionAudit",
+    "approximation_ratio",
+    "audit_set_function",
+]

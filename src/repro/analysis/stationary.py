@@ -1,0 +1,157 @@
+"""Classic random-walk theory the L-length model truncates.
+
+The paper's ``h^L_uS`` is the truncated version of the classic hitting
+time ``h_uS = E[min{t : Z_t ∈ S}]`` of an *unbounded* walk.  This module
+computes the classic quantities so the truncation can be quantified:
+
+* :func:`stationary_distribution` — ``pi_u = d_u / 2m`` on the non-dangling
+  part of the graph (the unique stationary law of the uniform walk on a
+  connected non-bipartite graph);
+* :func:`absorbing_hitting_time` — exact ``h_uS`` by solving the absorbing
+  linear system ``(I - Q) h = 1`` over ``V \\ S``, where ``Q`` is the
+  transition matrix restricted to the transient states;
+* :func:`truncation_gap` — ``h_uS - h^L_uS >= 0`` per node, which decays to
+  zero as ``L`` grows (``h^L`` increases monotonically to ``h``); the rate
+  of decay tells how large an ``L`` the application model needs before the
+  horizon stops binding.
+
+Nodes that cannot reach ``S`` (other components, or dangling) have
+``h_uS = inf``, while ``h^L_uS = L`` — the truncated model's way of
+charging a miss.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.graphs.properties import connected_components
+from repro.hitting.exact import hitting_time_vector
+from repro.hitting.transition import target_mask, transition_matrix
+
+__all__ = [
+    "stationary_distribution",
+    "absorbing_hitting_time",
+    "truncation_gap",
+    "recommend_length",
+]
+
+
+def stationary_distribution(graph: Graph) -> np.ndarray:
+    """``pi_u = d_u / 2m`` — the degree-proportional stationary law.
+
+    Requires at least one edge; dangling nodes get mass 0 (they are not
+    part of any recurrent class of the uniform walk with stay-in-place
+    dangling policy — each dangling node is its own absorbing state, so a
+    global stationary law only makes sense on the non-dangling part).
+    """
+    degrees = graph.degrees.astype(np.float64)
+    total = degrees.sum()
+    if total == 0:
+        raise ParameterError("stationary distribution needs at least one edge")
+    return degrees / total
+
+
+def absorbing_hitting_time(
+    graph: Graph, targets: Collection[int]
+) -> np.ndarray:
+    """Exact untruncated hitting times ``h_uS`` for every source.
+
+    Solves ``(I - Q) h = 1`` on the transient states that can reach ``S``;
+    states that cannot reach ``S`` get ``inf``; states in ``S`` get 0.
+    """
+    mask = target_mask(graph.num_nodes, targets)
+    if not mask.any():
+        raise ParameterError("targets must be non-empty for absorbing times")
+    n = graph.num_nodes
+    reachable = _reaches_targets(graph, mask)
+    out = np.full(n, np.inf, dtype=np.float64)
+    out[mask] = 0.0
+    transient = reachable & ~mask
+    if not transient.any():
+        return out
+    matrix = transition_matrix(graph)
+    idx = np.flatnonzero(transient)
+    q = matrix[idx][:, idx].tocsc()
+    system = (sp.identity(idx.size, format="csc") - q).tocsc()
+    ones = np.ones(idx.size, dtype=np.float64)
+    out[idx] = spla.spsolve(system, ones)
+    return out
+
+
+def _reaches_targets(graph: Graph, mask: np.ndarray) -> np.ndarray:
+    """Which nodes can reach the target set (same undirected component)."""
+    labels = connected_components(graph)
+    target_components = np.unique(labels[mask])
+    return np.isin(labels, target_components)
+
+
+def truncation_gap(
+    graph: Graph, targets: Collection[int], length: int
+) -> np.ndarray:
+    """Per-node gap ``h_uS - h^L_uS`` (``inf`` where ``h_uS`` is infinite).
+
+    Nonnegative everywhere: truncation can only shorten the expected wait.
+    The gap vanishing (below any tolerance) certifies that the application's
+    hop budget ``L`` no longer binds for that source.
+    """
+    if length < 0:
+        raise ParameterError("walk length L must be >= 0")
+    truncated = hitting_time_vector(graph, targets, length)
+    unbounded = absorbing_hitting_time(graph, targets)
+    return unbounded - truncated
+
+
+def recommend_length(
+    graph: Graph,
+    targets: Collection[int],
+    tolerance: float = 0.05,
+    max_length: int = 1_024,
+) -> int:
+    """Smallest ``L`` whose *relative* mean truncation gap is ≤ tolerance.
+
+    Answers the modeling question Fig. 10 sweeps by hand: how large must
+    the hop budget be before the horizon stops distorting hitting times?
+    The criterion is ``mean(h_uS - h^L_uS) <= tolerance * mean(h_uS)``
+    over the sources with finite ``h_uS`` outside ``S``.
+
+    Doubling search on ``L`` followed by a binary refinement, so the cost
+    is ``O(m * L* * log L*)`` for the answer ``L*``.  Raises when even
+    ``max_length`` cannot reach the tolerance (disconnected sources are
+    excluded by construction, so this means the tolerance is too tight
+    for the graph's mixing behavior).
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ParameterError("tolerance must lie in (0, 1)")
+    if max_length < 1:
+        raise ParameterError("max_length must be >= 1")
+    mask = target_mask(graph.num_nodes, targets)
+    unbounded = absorbing_hitting_time(graph, targets)
+    relevant = np.isfinite(unbounded) & ~mask
+    if not relevant.any():
+        return 0  # nothing can (or needs to) reach S: any horizon is exact
+    budget = float(unbounded[relevant].mean()) * tolerance
+
+    def gap_at(length: int) -> float:
+        truncated = hitting_time_vector(graph, targets, length)
+        return float((unbounded[relevant] - truncated[relevant]).mean())
+
+    low, high = 0, 1
+    while gap_at(high) > budget:
+        low, high = high, high * 2
+        if high > max_length:
+            raise ParameterError(
+                f"no L <= {max_length} meets tolerance {tolerance}"
+            )
+    while low + 1 < high:
+        mid = (low + high) // 2
+        if gap_at(mid) > budget:
+            low = mid
+        else:
+            high = mid
+    return high

@@ -1,0 +1,441 @@
+"""Command-line interface.
+
+Seven subcommands cover the library's everyday workflows::
+
+    repro select    # run a solver on a graph and print/serialize targets
+    repro metrics   # evaluate AHT/EHN for a given target set
+    repro generate  # write a synthetic graph as a SNAP edge list
+    repro exhibit   # regenerate one of the paper's tables/figures
+    repro simulate  # run an application simulation against a placement
+    repro index     # materialize Algorithm 3's walk index to a .npz file
+    repro analyze   # horizon (L) recommendation for a target set
+
+The graph for ``select``/``metrics``/``simulate``/``index``/``analyze``
+comes from exactly one of ``--edge-list FILE``, ``--dataset NAME`` (Table 2
+replica), or ``--synthetic N,M`` (power-law).  Exit status is 0 on success,
+2 on usage errors (argparse convention), and 1 when the library rejects a
+parameter.
+
+A typical index-reuse workflow — pay the walk materialization once, sweep
+budgets afterwards::
+
+    repro index --dataset Epinions --dataset-scale 0.25 -L 6 -R 100 \
+        --out epinions.idx.npz
+    repro select --dataset Epinions --dataset-scale 0.25 -k 20 \
+        --index epinions.idx.npz
+    repro select --dataset Epinions --dataset-scale 0.25 -k 100 \
+        --index epinions.idx.npz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import asdict
+from typing import Sequence
+
+from repro.errors import RwdomError
+from repro.graphs.adjacency import Graph
+from repro.graphs.datasets import dataset_names, load_dataset
+from repro.graphs.generators import (
+    erdos_renyi_graph,
+    power_law_graph,
+)
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.core.problems import SOLVER_NAMES, Problem1, Problem2, solve
+from repro.metrics.evaluation import evaluate_selection
+from repro.experiments import extensions, figures
+from repro.experiments.config import default_config
+from repro.experiments.plotting import plot_table
+from repro.simulate import (
+    simulate_ad_campaign,
+    simulate_p2p_search,
+    simulate_social_browsing,
+)
+
+__all__ = ["main", "build_parser"]
+
+_EXHIBITS = {
+    "table2": figures.table2,
+    "fig2": figures.fig2,
+    "fig3": figures.fig3,
+    "fig4": figures.fig4,
+    "fig5": figures.fig5,
+    "fig6": figures.fig6,
+    "fig7": figures.fig7,
+    "fig8": figures.fig8,
+    "fig9": figures.fig9,
+    "fig10": figures.fig10,
+    "ext-edge-domination": extensions.ext_edge_domination,
+    "ext-stochastic": extensions.ext_stochastic,
+    "ext-applications": extensions.ext_applications,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argparse tree (exposed for testing and docs generation)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Random-walk domination in large graphs (ICDE 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    select = sub.add_parser("select", help="select target nodes")
+    _add_graph_source(select)
+    select.add_argument("-k", type=int, required=True, help="budget |S|")
+    select.add_argument("-L", "--length", type=int, default=6, help="walk length")
+    select.add_argument(
+        "--problem", choices=("1", "2"), default="2",
+        help="1: min hitting time, 2: max dominated nodes",
+    )
+    select.add_argument(
+        "--method", choices=SOLVER_NAMES, default="approx-fast",
+        help="solver to run",
+    )
+    select.add_argument(
+        "-R", "--replicates", type=int, default=100,
+        help="walks per node for sampling-based solvers",
+    )
+    select.add_argument("--seed", type=int, default=None)
+    select.add_argument(
+        "--evaluate", action="store_true",
+        help="also print exact AHT/EHN of the selection",
+    )
+    select.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the SelectionResult as JSON ('-' for stdout)",
+    )
+    select.add_argument(
+        "--index", metavar="FILE", default=None,
+        help="reuse a walk index built by 'repro index' (approx-fast only; "
+        "overrides -L and -R with the index's own parameters)",
+    )
+
+    metrics = sub.add_parser("metrics", help="evaluate a target set")
+    _add_graph_source(metrics)
+    metrics.add_argument(
+        "--targets", required=True,
+        help="comma-separated node ids, e.g. 3,17,42",
+    )
+    metrics.add_argument("-L", "--length", type=int, default=6)
+    metrics.add_argument(
+        "--sampled", action="store_true",
+        help="use the paper's R=500 sampler instead of the exact DP",
+    )
+    metrics.add_argument("--seed", type=int, default=None)
+
+    generate = sub.add_parser("generate", help="write a synthetic graph")
+    generate.add_argument(
+        "--model", choices=("power-law", "erdos-renyi"), default="power-law"
+    )
+    generate.add_argument("-n", "--nodes", type=int, required=True)
+    generate.add_argument(
+        "-m", "--edges", type=int, default=None,
+        help="edge count (power-law) — defaults to 10n",
+    )
+    generate.add_argument(
+        "-p", "--probability", type=float, default=None,
+        help="edge probability (erdos-renyi)",
+    )
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--out", required=True, help="output edge-list path")
+
+    exhibit = sub.add_parser(
+        "exhibit", help="regenerate a table/figure of the paper"
+    )
+    exhibit.add_argument("name", choices=sorted(_EXHIBITS))
+    exhibit.add_argument(
+        "--scale", type=float, default=None,
+        help="dataset scale override (default: REPRO_SCALE or 0.25)",
+    )
+    exhibit.add_argument(
+        "--csv", metavar="FILE", default=None,
+        help="also write the rows as CSV ('-' for stdout)",
+    )
+    exhibit.add_argument(
+        "--plot", metavar="X:Y[:GROUP]", default=None,
+        help="also render an ASCII plot of column Y against column X, one "
+        "curve per GROUP value (default group column: 'algorithm')",
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="run an application simulation against a placement"
+    )
+    _add_graph_source(simulate)
+    simulate.add_argument(
+        "--app", choices=("social", "p2p", "ads"), required=True,
+        help="which Section 1.1 scenario to simulate",
+    )
+    simulate.add_argument(
+        "--targets", default=None,
+        help="explicit placement as comma-separated node ids; when omitted "
+        "the placement is computed with --method/-k",
+    )
+    simulate.add_argument("-k", type=int, default=10, help="placement size")
+    simulate.add_argument(
+        "--method", choices=SOLVER_NAMES, default="approx-fast",
+        help="solver for the placement when --targets is omitted",
+    )
+    simulate.add_argument("-L", "--length", type=int, default=6,
+                          help="hop budget per session/query")
+    simulate.add_argument(
+        "--sessions", type=int, default=10_000,
+        help="browsing sessions (social) / queries (p2p)",
+    )
+    simulate.add_argument(
+        "--walkers", type=int, default=1, help="walkers per query (p2p)"
+    )
+    simulate.add_argument(
+        "--sessions-per-user", type=int, default=5,
+        help="sessions per user (ads)",
+    )
+    simulate.add_argument("--seed", type=int, default=None)
+
+    index = sub.add_parser(
+        "index", help="materialize the walk index (Algorithm 3) to a file"
+    )
+    _add_graph_source(index)
+    index.add_argument("-L", "--length", type=int, default=6)
+    index.add_argument("-R", "--replicates", type=int, default=100)
+    index.add_argument("--seed", type=int, default=None)
+    index.add_argument("--out", required=True, help="output .npz path")
+
+    analyze = sub.add_parser(
+        "analyze", help="recommend a walk horizon L for a target set"
+    )
+    _add_graph_source(analyze)
+    analyze.add_argument(
+        "--targets", required=True,
+        help="comma-separated node ids the horizon should serve",
+    )
+    analyze.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="relative mean truncation gap to tolerate (default 0.05)",
+    )
+    return parser
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--edge-list", metavar="FILE", help="SNAP edge list")
+    source.add_argument(
+        "--dataset", choices=dataset_names(), help="Table 2 replica"
+    )
+    source.add_argument(
+        "--synthetic", metavar="N,M", help="power-law graph with N nodes, M edges"
+    )
+    parser.add_argument(
+        "--dataset-scale", type=float, default=1.0,
+        help="scale for --dataset replicas (default 1.0)",
+    )
+
+
+def _load_graph(args: argparse.Namespace) -> Graph:
+    if args.edge_list:
+        return read_edge_list(args.edge_list)
+    if args.dataset:
+        return load_dataset(args.dataset, scale=args.dataset_scale)
+    n_text, _, m_text = args.synthetic.partition(",")
+    try:
+        n, m = int(n_text), int(m_text)
+    except ValueError:
+        raise SystemExit(f"--synthetic expects N,M integers, got {args.synthetic!r}")
+    return power_law_graph(n, m, seed=0)
+
+
+def _parse_targets(text: str) -> list[int]:
+    try:
+        return [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"--targets expects comma-separated ints, got {text!r}")
+
+
+# ----------------------------------------------------------------------
+# Subcommand bodies
+# ----------------------------------------------------------------------
+def _cmd_select(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.index is not None:
+        if args.method != "approx-fast":
+            raise SystemExit("--index requires --method approx-fast")
+        from repro.core.approx_fast import approx_greedy_fast
+        from repro.walks.persistence import load_index
+
+        index = load_index(args.index)
+        objective = "f1" if args.problem == "1" else "f2"
+        result = approx_greedy_fast(
+            graph, args.k, index.length, index=index, objective=objective
+        )
+        args = argparse.Namespace(**{**vars(args), "length": index.length})
+    else:
+        problem_cls = Problem1 if args.problem == "1" else Problem2
+        problem = problem_cls(graph, args.k, args.length)
+        options: dict = {}
+        if args.method in ("sampling", "approx", "approx-fast"):
+            options["num_replicates"] = args.replicates
+            options["seed"] = args.seed
+        elif args.method == "random":
+            options["seed"] = args.seed
+        result = solve(problem, method=args.method, **options)
+    print(result.summary())
+    print("selected:", ",".join(str(v) for v in result.selected))
+    if args.evaluate:
+        metrics = evaluate_selection(graph, result.selected, args.length)
+        print(f"AHT: {metrics['aht']:.4f}")
+        print(f"EHN: {metrics['ehn']:.1f}")
+    if args.json:
+        payload = result.to_json()
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w") as handle:
+                handle.write(payload + "\n")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    targets = _parse_targets(args.targets)
+    method = "sampled" if args.sampled else "exact"
+    metrics = evaluate_selection(
+        graph, targets, args.length, method=method, seed=args.seed
+    )
+    print(f"AHT: {metrics['aht']:.4f}")
+    print(f"EHN: {metrics['ehn']:.1f}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model == "power-law":
+        edges = args.edges if args.edges is not None else 10 * args.nodes
+        graph = power_law_graph(args.nodes, edges, seed=args.seed)
+        header = f"power-law n={args.nodes} m={edges} seed={args.seed}"
+    else:
+        if args.probability is None:
+            raise SystemExit("erdos-renyi requires --probability")
+        graph = erdos_renyi_graph(args.nodes, args.probability, seed=args.seed)
+        header = (
+            f"erdos-renyi n={args.nodes} p={args.probability} seed={args.seed}"
+        )
+    write_edge_list(graph, args.out, header=header)
+    print(f"wrote {graph.num_nodes} nodes / {graph.num_edges} edges to {args.out}")
+    return 0
+
+
+def _cmd_exhibit(args: argparse.Namespace) -> int:
+    config = default_config()
+    if args.scale is not None:
+        config = config.with_overrides(scale=args.scale)
+    table = _EXHIBITS[args.name](config)
+    print(table)
+    if args.csv:
+        csv_text = table.to_csv()
+        if args.csv == "-":
+            print(csv_text, end="")
+        else:
+            with open(args.csv, "w") as handle:
+                handle.write(csv_text)
+    if args.plot:
+        parts = args.plot.split(":")
+        if len(parts) not in (2, 3):
+            raise SystemExit("--plot expects X:Y or X:Y:GROUP")
+        group = parts[2] if len(parts) == 3 else "algorithm"
+        print()
+        print(plot_table(table, x=parts[0], y=parts[1], group_by=group))
+    return 0
+
+
+def _placement(args: argparse.Namespace, graph: Graph) -> tuple[int, ...]:
+    if args.targets is not None:
+        return tuple(_parse_targets(args.targets))
+    problem = Problem2(graph, args.k, args.length)
+    options: dict = {}
+    if args.method in ("sampling", "approx", "approx-fast"):
+        options["seed"] = args.seed
+    elif args.method == "random":
+        options["seed"] = args.seed
+    result = solve(problem, method=args.method, **options)
+    print(f"placement ({result.algorithm}):",
+          ",".join(str(v) for v in result.selected))
+    return result.selected
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    hosts = _placement(args, graph)
+    if args.app == "social":
+        report = simulate_social_browsing(
+            graph, hosts, num_sessions=args.sessions, length=args.length,
+            seed=args.seed,
+        )
+    elif args.app == "p2p":
+        report = simulate_p2p_search(
+            graph, hosts, num_queries=args.sessions, ttl=args.length,
+            walkers_per_query=args.walkers, seed=args.seed,
+        )
+    else:
+        report = simulate_ad_campaign(
+            graph, hosts, sessions_per_user=args.sessions_per_user,
+            length=args.length, seed=args.seed,
+        )
+    for key, value in asdict(report).items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.walks.index import FlatWalkIndex
+    from repro.walks.persistence import save_index
+
+    graph = _load_graph(args)
+    index = FlatWalkIndex.build(
+        graph, args.length, args.replicates, seed=args.seed
+    )
+    save_index(index, args.out)
+    print(
+        f"indexed {graph.num_nodes} nodes x {args.replicates} walks "
+        f"(L={args.length}, {index.total_entries} entries) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import recommend_length, truncation_gap
+
+    graph = _load_graph(args)
+    targets = _parse_targets(args.targets)
+    length = recommend_length(graph, targets, tolerance=args.tolerance)
+    gap = truncation_gap(graph, targets, length)
+    finite = gap[~(gap == float("inf"))]
+    print(f"recommended L: {length}")
+    print(f"mean truncation gap at that L: {float(finite.mean()):.4f} hops")
+    unreachable = int((gap == float("inf")).sum())
+    if unreachable:
+        print(f"note: {unreachable} nodes can never reach the targets")
+    return 0
+
+
+_COMMANDS = {
+    "select": _cmd_select,
+    "metrics": _cmd_metrics,
+    "generate": _cmd_generate,
+    "exhibit": _cmd_exhibit,
+    "simulate": _cmd_simulate,
+    "index": _cmd_index,
+    "analyze": _cmd_analyze,
+}
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """Entry point (also installed as the ``repro`` console script)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except RwdomError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""Coverage-target selection — the paper's third future-work problem.
+
+Section 5 of the paper proposes the complementary problem: *given
+``alpha in [0, 1]``, find the minimum number of targeted nodes that
+dominates at least ``alpha * n`` nodes in expectation.*  This is a
+submodular cover instance, so the greedy that adds the best Problem-2 node
+until the coverage threshold is met carries the classic ``1 + ln(n /
+epsilon)``-style guarantee.
+
+Two backends:
+
+* :func:`min_targets_for_coverage` — index-based (Algorithm 6 machinery):
+  scalable, coverage measured by the Monte-Carlo estimator.
+* :func:`min_targets_for_coverage_exact` — DP-based: exact ``F2`` after
+  every addition, for small graphs and for validating the fast path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.core.approx_fast import FastApproxEngine
+from repro.core.objectives import F2Objective
+from repro.core.result import SelectionResult
+from repro.walks.index import FlatWalkIndex
+
+__all__ = ["min_targets_for_coverage", "min_targets_for_coverage_exact"]
+
+
+def _check_alpha(alpha: float) -> None:
+    if not 0.0 <= alpha <= 1.0:
+        raise ParameterError("alpha must lie in [0, 1]")
+
+
+def min_targets_for_coverage(
+    graph: Graph,
+    alpha: float,
+    length: int,
+    num_replicates: int = 100,
+    seed: "int | np.random.Generator | None" = None,
+    index: FlatWalkIndex | None = None,
+    max_size: int | None = None,
+) -> SelectionResult:
+    """Smallest greedy set whose estimated ``F2`` reaches ``alpha * n``.
+
+    Stops as soon as the index-estimated expected number of dominated nodes
+    reaches the threshold (or after ``max_size`` additions, default ``n``).
+    The estimated coverage after each addition is ``(sum of raw gains) / R``
+    because ``F2(emptyset) = 0`` and gains telescope.
+    """
+    _check_alpha(alpha)
+    started = time.perf_counter()
+    if index is None:
+        index = FlatWalkIndex.build(graph, length, num_replicates, seed=seed)
+    engine = FastApproxEngine(index, objective="f2")
+    threshold = alpha * graph.num_nodes
+    limit = graph.num_nodes if max_size is None else min(max_size, graph.num_nodes)
+    covered_raw = 0  # running F2 estimate, times R
+    while len(engine.selected) < limit:
+        if covered_raw >= threshold * index.num_replicates:
+            break
+        gains = engine.gains_all()
+        gains[engine._chosen] = np.iinfo(np.int64).min
+        best = int(gains.argmax())
+        covered_raw += int(gains[best])
+        engine.select(best, gain=float(gains[best]))
+    elapsed = time.perf_counter() - started
+    achieved = covered_raw / index.num_replicates
+    return SelectionResult(
+        algorithm="CoverageGreedy",
+        selected=tuple(engine.selected),
+        gains=tuple(engine.gains),
+        elapsed_seconds=elapsed,
+        num_gain_evaluations=engine.num_gain_evaluations,
+        params={
+            "alpha": alpha,
+            "L": index.length,
+            "R": index.num_replicates,
+            "threshold": threshold,
+            "achieved_estimate": achieved,
+            "objective": "f2",
+        },
+    )
+
+
+def min_targets_for_coverage_exact(
+    graph: Graph,
+    alpha: float,
+    length: int,
+    max_size: int | None = None,
+) -> SelectionResult:
+    """DP-backed variant: exact ``F2`` checked after every greedy addition."""
+    _check_alpha(alpha)
+    started = time.perf_counter()
+    objective = F2Objective(graph, length)
+    threshold = alpha * graph.num_nodes
+    limit = graph.num_nodes if max_size is None else min(max_size, graph.num_nodes)
+    selected: list[int] = []
+    gains: list[float] = []
+    chosen: set[int] = set()
+    value = 0.0
+    evaluations = 0
+    while len(selected) < limit and value < threshold:
+        best_node = -1
+        best_gain = -float("inf")
+        for u in range(graph.num_nodes):
+            if u in chosen:
+                continue
+            gain = objective.marginal_gain(chosen, u)
+            evaluations += 1
+            if gain > best_gain:
+                best_gain = gain
+                best_node = u
+        selected.append(best_node)
+        gains.append(best_gain)
+        chosen.add(best_node)
+        value += best_gain
+    elapsed = time.perf_counter() - started
+    return SelectionResult(
+        algorithm="CoverageGreedyExact",
+        selected=tuple(selected),
+        gains=tuple(gains),
+        elapsed_seconds=elapsed,
+        num_gain_evaluations=evaluations,
+        params={
+            "alpha": alpha,
+            "L": length,
+            "threshold": threshold,
+            "achieved_estimate": value,
+            "objective": "f2",
+        },
+    )

@@ -1,0 +1,107 @@
+"""Problem statements (Section 2.1) and a high-level solver dispatcher.
+
+:class:`Problem1` and :class:`Problem2` pin down an instance — graph, budget
+``k``, walk length ``L`` — and :func:`solve` routes it to any of the
+implemented algorithms by name, so applications and the experiment harness
+share one entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.core.result import SelectionResult
+
+__all__ = ["Problem1", "Problem2", "SOLVER_NAMES", "solve"]
+
+
+@dataclass(frozen=True)
+class _ProblemBase:
+    """Shared instance data: the graph, the budget, the walk horizon."""
+
+    graph: Graph
+    k: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.k <= self.graph.num_nodes:
+            raise ParameterError(
+                f"k={self.k} must lie in [0, n={self.graph.num_nodes}]"
+            )
+        if self.length < 0:
+            raise ParameterError("walk length L must be >= 0")
+
+
+@dataclass(frozen=True)
+class Problem1(_ProblemBase):
+    """Minimize total generalized hitting time (maximize ``F1``), Eq. 6."""
+
+    objective = "f1"
+
+
+@dataclass(frozen=True)
+class Problem2(_ProblemBase):
+    """Maximize the expected number of dominated nodes (``F2``), Eq. 7."""
+
+    objective = "f2"
+
+
+#: Algorithms accepted by :func:`solve`.
+SOLVER_NAMES = (
+    "dp",          # DP-based greedy (DPF1 / DPF2)
+    "sampling",    # greedy with Algorithm 2 marginal gains
+    "approx",      # Algorithm 6, paper-faithful implementation
+    "approx-fast", # Algorithm 6, vectorized engine (default)
+    "degree",      # top-k degree baseline
+    "dominate",    # classic dominating-set greedy baseline
+    "random",      # uniform random baseline
+)
+
+
+def solve(
+    problem: "Problem1 | Problem2",
+    method: str = "approx-fast",
+    **options: Any,
+) -> SelectionResult:
+    """Solve a random-walk domination instance with the chosen algorithm.
+
+    ``options`` are forwarded to the underlying solver (``num_replicates``,
+    ``seed``, ``lazy``, ...).  Baselines ignore the objective — they answer
+    both problems the same way, as in the paper's comparison.
+    """
+    # Imported here to keep module import acyclic (solvers import problems'
+    # siblings).
+    from repro.core.approx_fast import approx_greedy_fast
+    from repro.core.approx_greedy import approx_greedy
+    from repro.core.baselines import (
+        degree_baseline,
+        dominate_baseline,
+        random_baseline,
+    )
+    from repro.core.dp_greedy import dpf1, dpf2
+    from repro.core.sampling_greedy import sampling_greedy_f1, sampling_greedy_f2
+
+    objective = problem.objective
+    graph, k, length = problem.graph, problem.k, problem.length
+    if method == "dp":
+        runner = dpf1 if objective == "f1" else dpf2
+        return runner(graph, k, length, **options)
+    if method == "sampling":
+        runner = sampling_greedy_f1 if objective == "f1" else sampling_greedy_f2
+        return runner(graph, k, length, **options)
+    if method == "approx":
+        return approx_greedy(graph, k, length, objective=objective, **options)
+    if method == "approx-fast":
+        return approx_greedy_fast(
+            graph, k, length, objective=objective, **options
+        )
+    if method == "degree":
+        return degree_baseline(graph, k, **options)
+    if method == "dominate":
+        return dominate_baseline(graph, k, **options)
+    if method == "random":
+        return random_baseline(graph, k, **options)
+    raise ParameterError(f"unknown method {method!r}; choose from {SOLVER_NAMES}")

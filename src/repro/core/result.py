@@ -1,0 +1,121 @@
+"""Selection results returned by every solver in :mod:`repro.core`.
+
+A :class:`SelectionResult` records not just the chosen set but the greedy
+*order* and per-round gains, because the evaluation protocol of the paper
+(Figs. 6-7) reads quality at several budgets ``k`` out of a single greedy
+run — greedy selections are prefixes of each other.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["SelectionResult"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of a target-set selection.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable solver name (``"DPF1"``, ``"ApproxF2"``, ...).
+    selected:
+        Nodes in selection order; ``selected[:k']`` is the solver's answer
+        for any smaller budget ``k'``.
+    gains:
+        Marginal gain credited to each selection, in the solver's own
+        objective scale (empty for non-greedy baselines that have no
+        meaningful gain, e.g. random selection).
+    elapsed_seconds:
+        Wall-clock time of the selection phase (excludes graph loading).
+    num_gain_evaluations:
+        How many marginal-gain evaluations the solver performed; the
+        lazy-vs-full ablation reads this.
+    params:
+        Echo of solver parameters (k, L, R, seed, ...), for provenance.
+    """
+
+    algorithm: str
+    selected: tuple[int, ...]
+    gains: tuple[float, ...] = ()
+    elapsed_seconds: float = 0.0
+    num_gain_evaluations: int = 0
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "selected", tuple(int(v) for v in self.selected))
+        object.__setattr__(self, "gains", tuple(float(g) for g in self.gains))
+        if len(set(self.selected)) != len(self.selected):
+            raise ValueError("selected nodes must be distinct")
+
+    @property
+    def selected_set(self) -> frozenset[int]:
+        """The selection as a set (order erased)."""
+        return frozenset(self.selected)
+
+    def prefix(self, k: int) -> tuple[int, ...]:
+        """First ``k`` selections (the answer for budget ``k``)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self.selected[:k]
+
+    def summary(self) -> str:
+        """One-line description for logs."""
+        return (
+            f"{self.algorithm}: |S|={len(self.selected)} "
+            f"in {self.elapsed_seconds:.3f}s "
+            f"({self.num_gain_evaluations} gain evals)"
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (CLI output, experiment archiving)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form with only JSON-representable values."""
+        return {
+            "algorithm": self.algorithm,
+            "selected": list(self.selected),
+            "gains": list(self.gains),
+            "elapsed_seconds": self.elapsed_seconds,
+            "num_gain_evaluations": self.num_gain_evaluations,
+            "params": {k: _jsonable(v) for k, v in self.params.items()},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SelectionResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            algorithm=data["algorithm"],
+            selected=tuple(data["selected"]),
+            gains=tuple(data.get("gains", ())),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            num_gain_evaluations=int(data.get("num_gain_evaluations", 0)),
+            params=dict(data.get("params", {})),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SelectionResult":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numpy scalars and other oddities to JSON-friendly values."""
+    if hasattr(value, "item"):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def as_node_tuple(nodes: Sequence[int]) -> tuple[int, ...]:
+    """Normalize a node sequence to a tuple of ints (shared helper)."""
+    return tuple(int(v) for v in nodes)

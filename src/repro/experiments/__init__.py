@@ -1,0 +1,45 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from repro.experiments.config import HarnessConfig, default_config
+from repro.experiments.figures import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig6_fig7,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    table2,
+)
+from repro.experiments.reporting import ExperimentTable, format_table
+from repro.experiments.runner import (
+    ALGORITHMS,
+    QualityPoint,
+    quality_series,
+    run_algorithm,
+)
+
+__all__ = [
+    "HarnessConfig",
+    "default_config",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig6_fig7",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "table2",
+    "ExperimentTable",
+    "format_table",
+    "ALGORITHMS",
+    "QualityPoint",
+    "quality_series",
+    "run_algorithm",
+]

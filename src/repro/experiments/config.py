@@ -1,0 +1,63 @@
+"""Experiment harness configuration.
+
+Every figure/table entry point takes a :class:`HarnessConfig`; the default
+is read from the environment so CI and local runs can trade fidelity for
+wall-clock without touching code:
+
+``REPRO_SCALE``
+    Fraction in ``(0, 1]`` applied to dataset sizes (node *and* edge counts)
+    for the four Table 2 replicas and the Fig. 9 scalability family.
+    Default 0.25 — big enough that every paper trend is visible, small
+    enough that the whole benchmark suite finishes on one core.  Set to 1
+    for paper-scale graphs.
+``REPRO_R``
+    Walk replicate count used by the approximate algorithms in the
+    dataset-quality experiments (paper: 100).
+``REPRO_SEED``
+    Master seed for every stochastic component.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.errors import ParameterError
+
+__all__ = ["HarnessConfig", "default_config"]
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Knobs shared by all experiments."""
+
+    scale: float = 0.25
+    num_replicates: int = 100
+    seed: int = 1302
+    #: budgets probed by the quality-vs-k experiments (paper Figs. 6-7).
+    budgets: tuple[int, ...] = (20, 40, 60, 80, 100)
+    #: walk length for the dataset experiments (paper Figs. 6-8).
+    length: int = 6
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ParameterError("scale must lie in (0, 1]")
+        if self.num_replicates < 1:
+            raise ParameterError("num_replicates must be >= 1")
+        if self.length < 0:
+            raise ParameterError("length must be >= 0")
+        if any(k < 0 for k in self.budgets):
+            raise ParameterError("budgets must be non-negative")
+
+    def with_overrides(self, **changes: object) -> "HarnessConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+def default_config() -> HarnessConfig:
+    """Config from environment variables (see module docstring)."""
+    base = HarnessConfig()
+    scale = float(os.environ.get("REPRO_SCALE", base.scale))
+    num_replicates = int(os.environ.get("REPRO_R", base.num_replicates))
+    seed = int(os.environ.get("REPRO_SEED", base.seed))
+    return HarnessConfig(scale=scale, num_replicates=num_replicates, seed=seed)

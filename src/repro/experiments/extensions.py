@@ -1,0 +1,154 @@
+"""Exhibit entry points for the extension experiments (no paper analogue).
+
+Same contract as :mod:`repro.experiments.figures`: each function runs an
+experiment at the configured scale and returns an
+:class:`~repro.experiments.reporting.ExperimentTable`.  The corresponding
+benches live in ``benchmarks/bench_edge_domination.py``,
+``bench_ablation_stochastic.py`` and ``bench_applications.py``; the CLI
+exposes these under ``repro exhibit ext-*``.
+"""
+
+from __future__ import annotations
+
+from repro.core.approx_fast import approx_greedy_fast
+from repro.core.baselines import degree_baseline, random_baseline
+from repro.core.edge_domination import (
+    edge_domination_greedy,
+    expected_edges_traversed,
+)
+from repro.core.stochastic import stochastic_approx_greedy
+from repro.experiments.config import HarnessConfig, default_config
+from repro.experiments.reporting import ExperimentTable
+from repro.graphs.datasets import load_dataset
+from repro.metrics.evaluation import expected_hit_nodes
+from repro.simulate import (
+    simulate_ad_campaign,
+    simulate_p2p_search,
+    simulate_social_browsing,
+)
+from repro.walks.index import FlatWalkIndex
+
+__all__ = ["ext_edge_domination", "ext_stochastic", "ext_applications"]
+
+
+def _config(config: "HarnessConfig | None") -> HarnessConfig:
+    return default_config() if config is None else config
+
+
+def ext_edge_domination(
+    config: "HarnessConfig | None" = None,
+    k: int = 50,
+    length: int = 6,
+) -> ExperimentTable:
+    """Edge-domination extension: traffic until domination, by solver."""
+    cfg = _config(config)
+    table = ExperimentTable(
+        title=f"Extension: edge domination (k={k}, L={length})",
+        columns=("dataset", "algorithm", "edge traffic", "seconds"),
+        notes=["traffic = sum_u E[distinct edges walked before hitting S]"],
+    )
+    for dataset in ("CAGrQc", "CAHepPh"):
+        graph = load_dataset(dataset, scale=cfg.scale)
+        budget = min(k, graph.num_nodes)
+        runs = {
+            "ApproxF3": edge_domination_greedy(
+                graph, budget, length, num_replicates=cfg.num_replicates,
+                seed=cfg.seed,
+            ),
+            "ApproxF1": approx_greedy_fast(
+                graph, budget, length, num_replicates=cfg.num_replicates,
+                objective="f1", seed=cfg.seed,
+            ),
+            "Degree": degree_baseline(graph, budget),
+        }
+        for name, result in runs.items():
+            traffic = expected_edges_traversed(
+                graph, result.selected, length, num_replicates=200,
+                seed=cfg.seed + 1,
+            )
+            table.add_row(dataset, name, traffic, result.elapsed_seconds)
+    return table
+
+
+def ext_stochastic(
+    config: "HarnessConfig | None" = None,
+    k: int = 100,
+    epsilon: float = 0.1,
+) -> ExperimentTable:
+    """Stochastic greedy vs lazy vs full sweeps on one shared index."""
+    cfg = _config(config)
+    graph = load_dataset("Epinions", scale=cfg.scale)
+    budget = min(k, graph.num_nodes)
+    index = FlatWalkIndex.build(
+        graph, cfg.length, cfg.num_replicates, seed=cfg.seed
+    )
+    table = ExperimentTable(
+        title=f"Extension: stochastic greedy ablation (k={budget})",
+        columns=("strategy", "seconds", "gain evals", "EHN"),
+        notes=[f"epsilon={epsilon}; EHN evaluated exactly"],
+    )
+    runs = {
+        "full": approx_greedy_fast(
+            graph, budget, cfg.length, index=index, objective="f2",
+            lazy=False,
+        ),
+        "lazy": approx_greedy_fast(
+            graph, budget, cfg.length, index=index, objective="f2",
+            lazy=True,
+        ),
+        "stochastic": stochastic_approx_greedy(
+            graph, budget, cfg.length, index=index, objective="f2",
+            epsilon=epsilon, seed=cfg.seed,
+        ),
+    }
+    for name, result in runs.items():
+        table.add_row(
+            name,
+            result.elapsed_seconds,
+            result.num_gain_evaluations,
+            expected_hit_nodes(graph, result.selected, cfg.length),
+        )
+    return table
+
+
+def ext_applications(
+    config: "HarnessConfig | None" = None,
+    k: int = 50,
+) -> ExperimentTable:
+    """Application KPIs (Section 1.1 scenarios) by placement strategy."""
+    cfg = _config(config)
+    graph = load_dataset("Brightkite", scale=cfg.scale)
+    budget = min(k, graph.num_nodes)
+    placements = {
+        "ApproxF2": approx_greedy_fast(
+            graph, budget, cfg.length, num_replicates=cfg.num_replicates,
+            objective="f2", seed=cfg.seed,
+        ).selected,
+        "Degree": degree_baseline(graph, budget).selected,
+        "Random": random_baseline(graph, budget, seed=cfg.seed).selected,
+    }
+    table = ExperimentTable(
+        title=f"Extension: application KPIs (k={budget}, L={cfg.length})",
+        columns=(
+            "placement", "social discovery", "p2p success",
+            "p2p msgs/query", "ad reach",
+        ),
+    )
+    for name, hosts in placements.items():
+        social = simulate_social_browsing(
+            graph, hosts, num_sessions=20_000, length=cfg.length,
+            seed=cfg.seed + 1,
+        )
+        p2p = simulate_p2p_search(
+            graph, hosts, num_queries=20_000, ttl=cfg.length,
+            walkers_per_query=2, seed=cfg.seed + 2,
+        )
+        ads = simulate_ad_campaign(
+            graph, hosts, sessions_per_user=3, length=cfg.length,
+            seed=cfg.seed + 3,
+        )
+        table.add_row(
+            name, social.discovery_rate, p2p.success_rate,
+            p2p.mean_messages_per_query, ads.reach,
+        )
+    return table

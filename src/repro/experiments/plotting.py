@@ -1,0 +1,159 @@
+"""ASCII plots for experiment series — the figures half of the exhibits.
+
+The paper's evaluation is mostly line charts (AHT/EHN vs k, runtime vs R,
+scalability vs n).  This environment has no matplotlib, so this module
+renders series as monospace scatter/line plots that read fine in a
+terminal, in ``bench_output.txt``, and in EXPERIMENTS.md code blocks.
+
+* :func:`ascii_plot` — multi-series y-vs-x character plot with axis labels
+  and a legend (one marker character per series).
+* :func:`ascii_bars` — labeled horizontal bar chart (the Fig. 4 runtime
+  comparison shape).
+* :func:`plot_table` — convenience wrapper that pulls ``(x, y)`` series
+  out of an :class:`~repro.experiments.reporting.ExperimentTable` grouped
+  by a key column (typically ``algorithm``), mirroring how the paper plots
+  one curve per algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.errors import ParameterError
+from repro.experiments.reporting import ExperimentTable, format_value
+
+__all__ = ["ascii_plot", "ascii_bars", "plot_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_number(value: float) -> str:
+    return format_value(float(value))
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render ``{name: [(x, y), ...]}`` as a monospace plot.
+
+    Each series gets a marker character; points landing on the same cell
+    show the marker of the later series.  Axes are linearly scaled to the
+    joint data range (degenerate ranges are padded so single points and
+    horizontal lines still render).
+    """
+    if width < 16 or height < 4:
+        raise ParameterError("plot needs width >= 16 and height >= 4")
+    if not series:
+        raise ParameterError("no series to plot")
+    if len(series) > len(_MARKERS):
+        raise ParameterError(f"at most {len(_MARKERS)} series supported")
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ParameterError("all series are empty")
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, pts) in zip(_MARKERS, series.items()):
+        for x, y in pts:
+            col = round((float(x) - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((float(y) - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+    left_pad = max(len(_nice_number(y_hi)), len(_nice_number(y_lo)))
+    lines: list[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = _nice_number(y_hi)
+        elif i == height - 1:
+            label = _nice_number(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label.rjust(left_pad)} |{''.join(row)}|")
+    lines.append(f"{' ' * left_pad} +{'-' * width}+")
+    x_left = _nice_number(x_lo)
+    x_right = _nice_number(x_hi)
+    gap = width - len(x_left) - len(x_right)
+    lines.append(f"{' ' * left_pad}  {x_left}{' ' * max(gap, 1)}{x_right}")
+    lines.append(f"{' ' * left_pad}  {x_label} -> ; {y_label} ^")
+    legend = "   ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(f"{' ' * left_pad}  legend: {legend}")
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    values: Mapping[str, float],
+    width: int = 48,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render ``{label: value}`` as horizontal bars scaled to the maximum."""
+    if not values:
+        raise ParameterError("no bars to draw")
+    if width < 8:
+        raise ParameterError("bars need width >= 8")
+    numeric = {name: float(v) for name, v in values.items()}
+    if any(v < 0 for v in numeric.values()):
+        raise ParameterError("bar values must be non-negative")
+    peak = max(numeric.values())
+    label_pad = max(len(name) for name in numeric)
+    lines = [f"== {title} =="] if title else []
+    for name, value in numeric.items():
+        filled = round(value / peak * width) if peak > 0 else 0
+        bar = "#" * filled
+        suffix = f" {_nice_number(value)}{(' ' + unit) if unit else ''}"
+        lines.append(f"{name.rjust(label_pad)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def plot_table(
+    table: ExperimentTable,
+    x: str,
+    y: str,
+    group_by: str = "algorithm",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Plot an :class:`ExperimentTable` as one curve per group value.
+
+    ``x``, ``y`` and ``group_by`` name table columns; rows with non-numeric
+    ``x``/``y`` raise.  Groups appear in first-occurrence order, capped at
+    the available marker set.
+    """
+    for name in (x, y, group_by):
+        if name not in table.columns:
+            raise ParameterError(f"column {name!r} not in table")
+    xi = table.columns.index(x)
+    yi = table.columns.index(y)
+    gi = table.columns.index(group_by)
+    series: dict[str, list[tuple[float, float]]] = {}
+    for row in table.rows:
+        key = str(row[gi])
+        try:
+            point = (float(row[xi]), float(row[yi]))
+        except (TypeError, ValueError) as exc:
+            raise ParameterError(
+                f"non-numeric point ({row[xi]!r}, {row[yi]!r}) in table"
+            ) from exc
+        series.setdefault(key, []).append(point)
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title=table.title,
+        x_label=x,
+        y_label=y,
+    )

@@ -1,0 +1,103 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module owns the formatting so every bench looks the
+same and the outputs diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentTable", "format_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats to 4 significant-ish decimals, rest via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.4f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """One paper exhibit as a titled column/row table."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, by name."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> "list[tuple[Any, ...]]":
+        """Rows whose named columns equal the given values."""
+        idxs = {self.columns.index(name): value for name, value in criteria.items()}
+        return [
+            row
+            for row in self.rows
+            if all(row[i] == v for i, v in idxs.items())
+        ]
+
+    def to_csv(self) -> str:
+        """Comma-separated form (header row + data rows, RFC-4180 quoting)."""
+        import csv
+        import io
+
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON archiving."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def __str__(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.notes)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    notes: Sequence[str] = (),
+) -> str:
+    """ASCII table with a title rule, aligned columns, and footnotes."""
+    rendered = [[format_value(v) for v in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [f"== {title} ==", header, rule]
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    for note in notes:
+        lines.append(f"  * {note}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Experiment runner: one place that maps algorithm names to solvers and
+evaluates selections the way the paper's figures do.
+
+The quality figures (6, 7, 10) read metrics at several budgets ``k`` from a
+*single* run per algorithm: greedy selections are prefixes of each other,
+and the baselines' rankings are too, so ``run_algorithm`` is invoked once
+with the largest budget and :func:`quality_series` evaluates the prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.core.approx_fast import approx_greedy_fast
+from repro.core.baselines import degree_baseline, dominate_baseline, random_baseline
+from repro.core.dp_greedy import dpf1, dpf2
+from repro.core.result import SelectionResult
+from repro.core.sampling_greedy import sampling_greedy_f1, sampling_greedy_f2
+from repro.metrics.evaluation import average_hitting_time, expected_hit_nodes
+from repro.walks.index import FlatWalkIndex
+
+__all__ = ["ALGORITHMS", "run_algorithm", "quality_series", "QualityPoint"]
+
+#: Algorithm names understood by :func:`run_algorithm`, paper spelling.
+ALGORITHMS = (
+    "DPF1",
+    "DPF2",
+    "SamplingF1",
+    "SamplingF2",
+    "ApproxF1",
+    "ApproxF2",
+    "Degree",
+    "Dominate",
+    "Random",
+)
+
+
+def run_algorithm(
+    name: str,
+    graph: Graph,
+    k: int,
+    length: int,
+    num_replicates: int = 100,
+    seed: "int | np.random.Generator | None" = None,
+    index: FlatWalkIndex | None = None,
+) -> SelectionResult:
+    """Run one named algorithm.
+
+    ``index`` lets ApproxF1/ApproxF2 share a prebuilt walk index (e.g. to
+    reuse walks across the two problems, as one would in practice).
+    """
+    if name == "DPF1":
+        return dpf1(graph, k, length)
+    if name == "DPF2":
+        return dpf2(graph, k, length)
+    if name == "SamplingF1":
+        return sampling_greedy_f1(
+            graph, k, length, num_replicates=num_replicates, seed=seed
+        )
+    if name == "SamplingF2":
+        return sampling_greedy_f2(
+            graph, k, length, num_replicates=num_replicates, seed=seed
+        )
+    if name == "ApproxF1":
+        return approx_greedy_fast(
+            graph, k, length, num_replicates=num_replicates, seed=seed,
+            objective="f1", index=index,
+        )
+    if name == "ApproxF2":
+        return approx_greedy_fast(
+            graph, k, length, num_replicates=num_replicates, seed=seed,
+            objective="f2", index=index,
+        )
+    if name == "Degree":
+        return degree_baseline(graph, k)
+    if name == "Dominate":
+        return dominate_baseline(graph, k)
+    if name == "Random":
+        return random_baseline(graph, k, seed=seed)
+    raise ParameterError(f"unknown algorithm {name!r}; choose from {ALGORITHMS}")
+
+
+@dataclass(frozen=True)
+class QualityPoint:
+    """Both paper metrics for one algorithm at one budget."""
+
+    algorithm: str
+    k: int
+    aht: float
+    ehn: float
+
+
+def quality_series(
+    graph: Graph,
+    result: SelectionResult,
+    budgets: Sequence[int],
+    length: int,
+) -> list[QualityPoint]:
+    """Evaluate AHT and EHN on prefixes of one selection (exact DP)."""
+    points = []
+    for k in budgets:
+        if k > len(result.selected):
+            raise ParameterError(
+                f"budget {k} exceeds the {len(result.selected)} selected nodes"
+            )
+        prefix = result.prefix(k)
+        points.append(
+            QualityPoint(
+                algorithm=result.algorithm,
+                k=k,
+                aht=average_hitting_time(graph, prefix, length),
+                ehn=expected_hit_nodes(graph, prefix, length),
+            )
+        )
+    return points

@@ -1,0 +1,98 @@
+"""Graph substrate: storage, generators, IO, analysis, dataset registry."""
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.datasets import (
+    TABLE2_DATASETS,
+    DatasetSpec,
+    dataset_names,
+    dataset_spec,
+    load_dataset,
+    paper_synthetic_graph,
+    scalability_graph,
+)
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    power_law_graph,
+    ring_graph,
+    star_graph,
+    two_cluster_graph,
+)
+from repro.graphs.formats import (
+    read_json_graph,
+    read_metis,
+    read_weighted_arcs,
+    write_json_graph,
+    write_metis,
+    write_weighted_arcs,
+)
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.graphs.random_models import (
+    configuration_model_graph,
+    forest_fire_graph,
+    random_regular_graph,
+    watts_strogatz_graph,
+)
+from repro.graphs.weighted import WeightedDiGraph
+from repro.graphs.properties import (
+    DegreeSummary,
+    bfs_distances,
+    connected_components,
+    degeneracy_order,
+    degree_summary,
+    density,
+    eccentricity,
+    is_connected,
+    largest_component,
+)
+
+__all__ = [
+    "Graph",
+    "WeightedDiGraph",
+    "GraphBuilder",
+    "DatasetSpec",
+    "TABLE2_DATASETS",
+    "dataset_names",
+    "dataset_spec",
+    "load_dataset",
+    "paper_synthetic_graph",
+    "scalability_graph",
+    "barabasi_albert_graph",
+    "chung_lu_graph",
+    "complete_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "paper_example_graph",
+    "path_graph",
+    "power_law_graph",
+    "ring_graph",
+    "star_graph",
+    "two_cluster_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "read_json_graph",
+    "read_metis",
+    "read_weighted_arcs",
+    "write_json_graph",
+    "write_metis",
+    "write_weighted_arcs",
+    "configuration_model_graph",
+    "forest_fire_graph",
+    "random_regular_graph",
+    "watts_strogatz_graph",
+    "DegreeSummary",
+    "bfs_distances",
+    "connected_components",
+    "degeneracy_order",
+    "degree_summary",
+    "density",
+    "eccentricity",
+    "is_connected",
+    "largest_component",
+]

@@ -1,0 +1,189 @@
+"""Immutable CSR-backed undirected graph.
+
+The :class:`Graph` is the substrate every algorithm in this package runs on.
+It stores an undirected, unweighted, simple graph (no self-loops, no parallel
+edges) in compressed-sparse-row form:
+
+* ``indptr`` — ``int64`` array of length ``n + 1``; the neighbors of node
+  ``u`` live in ``indices[indptr[u]:indptr[u + 1]]``.
+* ``indices`` — ``int32`` array of length ``2 m`` (each undirected edge is
+  stored in both directions), sorted within each row.
+
+CSR keeps neighbor lookup O(1) + O(deg) and makes the vectorized random-walk
+engine (:mod:`repro.walks.engine`) a couple of numpy gathers per step.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """Undirected, unweighted, simple graph over nodes ``0..n-1``.
+
+    Instances are immutable: the underlying arrays are created once (by
+    :class:`repro.graphs.builder.GraphBuilder` or :meth:`from_edges`) and
+    flagged read-only.  Build a new graph to change topology.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_num_edges")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray):
+        """Wrap pre-validated CSR arrays.
+
+        Most callers should use :meth:`from_edges` or
+        :class:`~repro.graphs.builder.GraphBuilder` instead; this constructor
+        trusts its input apart from cheap shape checks.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise ParameterError("indptr and indices must be 1-D arrays")
+        if indptr.size == 0 or indptr[0] != 0:
+            raise ParameterError("indptr must start with 0 and be non-empty")
+        if indptr[-1] != indices.size:
+            raise ParameterError(
+                f"indptr[-1] ({indptr[-1]}) must equal len(indices) ({indices.size})"
+            )
+        if np.any(np.diff(indptr) < 0):
+            raise ParameterError("indptr must be non-decreasing")
+        indptr.setflags(write=False)
+        indices.setflags(write=False)
+        self._indptr = indptr
+        self._indices = indices
+        self._num_edges = indices.size // 2
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int]] | np.ndarray,
+        num_nodes: int | None = None,
+    ) -> "Graph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate edges and both orientations of the same edge collapse to a
+        single undirected edge; self-loops are rejected.  ``num_nodes`` may
+        exceed the largest endpoint to create isolated trailing nodes.
+        """
+        from repro.graphs.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_edges(edges)
+        return builder.build(num_nodes=num_nodes)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return self._indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``m``."""
+        return self._num_edges
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """Read-only CSR row pointer (length ``n + 1``)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """Read-only CSR column indices (length ``2 m``)."""
+        return self._indices
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Degree of every node as an ``int64`` array of length ``n``."""
+        return np.diff(self._indptr)
+
+    def degree(self, u: int) -> int:
+        """Degree of node ``u``."""
+        self._check_node(u)
+        return int(self._indptr[u + 1] - self._indptr[u])
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbor array of node ``u`` (a read-only view)."""
+        self._check_node(u)
+        return self._indices[self._indptr[u] : self._indptr[u + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the undirected edge ``{u, v}`` is present."""
+        self._check_node(u)
+        self._check_node(v)
+        row = self._indices[self._indptr[u] : self._indptr[u + 1]]
+        pos = np.searchsorted(row, v)
+        return bool(pos < row.size and row[pos] == v)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate undirected edges once each, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.num_nodes):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All undirected edges as an ``(m, 2)`` array with ``u < v`` rows."""
+        n = self.num_nodes
+        src = np.repeat(np.arange(n, dtype=np.int32), self.degrees)
+        mask = src < self._indices
+        return np.column_stack((src[mask], self._indices[mask]))
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Sequence[int] | np.ndarray) -> "Graph":
+        """Induced subgraph on ``nodes``, relabeled to ``0..len(nodes)-1``.
+
+        The order of ``nodes`` defines the new labels.  Duplicate or
+        out-of-range nodes raise :class:`ParameterError`.
+        """
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size != np.unique(nodes).size:
+            raise ParameterError("subgraph nodes must be distinct")
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= self.num_nodes):
+            raise ParameterError("subgraph nodes out of range")
+        relabel = np.full(self.num_nodes, -1, dtype=np.int64)
+        relabel[nodes] = np.arange(nodes.size)
+        kept = []
+        for new_u, old_u in enumerate(nodes):
+            for old_v in self.neighbors(int(old_u)):
+                new_v = relabel[old_v]
+                if new_v >= 0 and new_u < new_v:
+                    kept.append((new_u, int(new_v)))
+        return Graph.from_edges(kept, num_nodes=nodes.size)
+
+    # ------------------------------------------------------------------
+    # Dunder conveniences
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return np.array_equal(self._indptr, other._indptr) and np.array_equal(
+            self._indices, other._indices
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.num_edges, self._indices.tobytes()))
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.num_nodes}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise ParameterError(f"node {u} out of range [0, {self.num_nodes})")

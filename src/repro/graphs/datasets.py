@@ -1,0 +1,160 @@
+"""Dataset registry: the graphs used in the paper's evaluation (Section 4).
+
+The paper evaluates on four SNAP datasets (Table 2), one small synthetic
+power-law graph, and a family of ten growing synthetic graphs for the
+scalability test (Fig. 9).  The SNAP files cannot be downloaded in this
+offline environment, so :func:`load_dataset` builds **synthetic replicas**:
+seeded power-law graphs with exactly the node and edge counts of Table 2
+(see DESIGN.md §4 for why this substitution preserves the evaluation's
+conclusions).  If genuine SNAP edge lists are available on disk, point
+:func:`load_dataset` at them with ``data_dir`` and they are used instead.
+
+All replicas are deterministic: the registry fixes one seed per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import DatasetError, ParameterError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import power_law_graph
+from repro.graphs.io import read_edge_list
+
+__all__ = [
+    "DatasetSpec",
+    "TABLE2_DATASETS",
+    "dataset_names",
+    "dataset_spec",
+    "load_dataset",
+    "paper_synthetic_graph",
+    "scalability_graph",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Identity card of one evaluation dataset.
+
+    ``num_nodes``/``num_edges`` are the Table 2 values; ``seed`` pins the
+    synthetic replica; ``snap_filename`` is the file probed under
+    ``data_dir`` when genuine data is present.
+    """
+
+    name: str
+    num_nodes: int
+    num_edges: int
+    description: str
+    seed: int
+    snap_filename: str
+
+
+#: The four datasets of Table 2, in paper order.
+TABLE2_DATASETS: tuple[DatasetSpec, ...] = (
+    DatasetSpec(
+        name="CAGrQc",
+        num_nodes=5_242,
+        num_edges=28_968,
+        description="co-authorship, General Relativity & Quantum Cosmology",
+        seed=422,
+        snap_filename="ca-GrQc.txt",
+    ),
+    DatasetSpec(
+        name="CAHepPh",
+        num_nodes=12_008,
+        num_edges=236_978,
+        description="co-authorship, High Energy Physics - Phenomenology",
+        seed=423,
+        snap_filename="ca-HepPh.txt",
+    ),
+    DatasetSpec(
+        name="Brightkite",
+        num_nodes=58_228,
+        num_edges=428_156,
+        description="location-based social network (check-ins)",
+        seed=424,
+        snap_filename="brightkite_edges.txt",
+    ),
+    DatasetSpec(
+        name="Epinions",
+        num_nodes=75_872,
+        num_edges=396_026,
+        description="trust network of the Epinions review site",
+        seed=425,
+        snap_filename="soc-Epinions1.txt",
+    ),
+)
+
+_BY_NAME = {spec.name.lower(): spec for spec in TABLE2_DATASETS}
+
+
+def dataset_names() -> list[str]:
+    """Names of the Table 2 datasets, in paper order."""
+    return [spec.name for spec in TABLE2_DATASETS]
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up a dataset by (case-insensitive) name."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {dataset_names()}"
+        ) from None
+
+
+def load_dataset(
+    name: str,
+    scale: float = 1.0,
+    data_dir: "str | Path | None" = None,
+) -> Graph:
+    """Load one Table 2 dataset (genuine file if present, else replica).
+
+    Parameters
+    ----------
+    name:
+        One of :func:`dataset_names` (case-insensitive).
+    scale:
+        Multiplier in ``(0, 1]`` applied to both node and edge counts of the
+        synthetic replica; lets benchmarks bound wall-clock while keeping the
+        degree shape.  Ignored when a genuine SNAP file is found.
+    data_dir:
+        Directory searched for the genuine SNAP edge list.
+    """
+    spec = dataset_spec(name)
+    if data_dir is not None:
+        candidate = Path(data_dir) / spec.snap_filename
+        if candidate.exists():
+            return read_edge_list(candidate)
+        gz = candidate.with_suffix(candidate.suffix + ".gz")
+        if gz.exists():
+            return read_edge_list(gz)
+    if not 0.0 < scale <= 1.0:
+        raise ParameterError("scale must lie in (0, 1]")
+    n = max(16, int(round(spec.num_nodes * scale)))
+    m = max(n, int(round(spec.num_edges * scale)))
+    return power_law_graph(n, m, seed=spec.seed)
+
+
+def paper_synthetic_graph(seed: int = 4546) -> Graph:
+    """The small synthetic graph of Section 4.2 (n=1000, m=9956).
+
+    Used by the DP-vs-Approx accuracy and runtime comparisons (Figs 2-5).
+    """
+    return power_law_graph(1_000, 9_956, seed=seed)
+
+
+def scalability_graph(index: int, scale: float = 1.0, seed: int = 900) -> Graph:
+    """Graph ``G_index`` of the Fig. 9 scalability family.
+
+    The paper uses ``G_i`` with ``i * 0.1M`` nodes and ``i * 1M`` edges for
+    ``i = 1..10``; ``scale`` shrinks the family uniformly (DESIGN.md §4.4).
+    """
+    if not 1 <= index <= 10:
+        raise ParameterError("index must lie in 1..10")
+    if not 0.0 < scale <= 1.0:
+        raise ParameterError("scale must lie in (0, 1]")
+    n = max(64, int(round(index * 100_000 * scale)))
+    m = max(n, int(round(index * 1_000_000 * scale)))
+    return power_law_graph(n, m, seed=seed + index)

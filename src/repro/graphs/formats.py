@@ -1,0 +1,198 @@
+"""Additional graph interchange formats: METIS, JSON, weighted edge lists.
+
+Complements the SNAP edge-list support of :mod:`repro.graphs.io` with the
+two formats graph tooling most often asks for, plus a weighted-arc format
+for the directed/weighted extension:
+
+* **METIS** — the 1-based adjacency format of the METIS partitioner family:
+  a header ``n m`` line followed by one line per node listing its
+  neighbors.  Common in the graph-algorithms world and handy for feeding
+  our graphs into external partitioning/ordering tools.
+* **JSON** — a small self-describing document (``{"num_nodes": ...,
+  "edges": [[u, v], ...]}``); convenient for fixtures and web tooling.
+* **weighted arc list** — ``u v w`` lines for
+  :class:`~repro.graphs.weighted.WeightedDiGraph`, with ``#`` comments,
+  mirroring the SNAP convention.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.adjacency import Graph
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.weighted import WeightedDiGraph
+
+__all__ = [
+    "read_metis",
+    "write_metis",
+    "read_json_graph",
+    "write_json_graph",
+    "read_weighted_arcs",
+    "write_weighted_arcs",
+]
+
+
+def _open_text(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode)
+
+
+# ----------------------------------------------------------------------
+# METIS
+# ----------------------------------------------------------------------
+def write_metis(graph: Graph, path: "str | Path") -> None:
+    """Write ``graph`` in METIS adjacency format (1-based, ``n m`` header)."""
+    path = Path(path)
+    with _open_text(path, "w") as handle:
+        handle.write(f"{graph.num_nodes} {graph.num_edges}\n")
+        for u in range(graph.num_nodes):
+            row = " ".join(str(int(v) + 1) for v in graph.neighbors(u))
+            handle.write(row + "\n")
+
+
+def read_metis(path: "str | Path") -> Graph:
+    """Read a METIS adjacency file into a :class:`Graph`.
+
+    Validates the header against the body: node count must match the number
+    of adjacency lines and edge count the number of (deduplicated)
+    undirected edges.  Comment lines start with ``%``.
+    """
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        # Keep blank lines: an isolated node's adjacency line is empty.
+        # Only comment lines ('%') are dropped.
+        lines = [
+            line.rstrip("\n").strip()
+            for line in handle
+            if not line.lstrip().startswith("%")
+        ]
+    while lines and not lines[0]:
+        lines.pop(0)  # leading blank lines are not adjacency rows
+    if not lines:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"{path}: METIS header needs 'n m'")
+    try:
+        num_nodes, num_edges = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer METIS header") from exc
+    body = lines[1:]
+    if len(body) != num_nodes:
+        raise GraphFormatError(
+            f"{path}: header says {num_nodes} nodes, file has {len(body)} "
+            "adjacency lines"
+        )
+    builder = GraphBuilder()
+    if num_nodes:
+        builder.touch_node(num_nodes - 1)
+    for u, line in enumerate(body):
+        if not line:
+            continue
+        for token in line.split():
+            try:
+                v = int(token) - 1
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}: non-integer neighbor {token!r} on node {u + 1}"
+                ) from exc
+            if not 0 <= v < num_nodes:
+                raise GraphFormatError(
+                    f"{path}: neighbor {v + 1} of node {u + 1} out of range"
+                )
+            if u == v:
+                raise GraphFormatError(f"{path}: self-loop on node {u + 1}")
+            if u < v:  # each undirected edge appears in both rows
+                builder.add_edge(u, v)
+    graph = builder.build(num_nodes=num_nodes)
+    if graph.num_edges != num_edges:
+        raise GraphFormatError(
+            f"{path}: header says {num_edges} edges, file has "
+            f"{graph.num_edges}"
+        )
+    return graph
+
+
+# ----------------------------------------------------------------------
+# JSON
+# ----------------------------------------------------------------------
+def write_json_graph(graph: Graph, path: "str | Path") -> None:
+    """Write ``{"num_nodes": n, "edges": [[u, v], ...]}`` (sorted edges)."""
+    path = Path(path)
+    document = {
+        "num_nodes": graph.num_nodes,
+        "edges": [[int(u), int(v)] for u, v in graph.edges()],
+    }
+    with _open_text(path, "w") as handle:
+        json.dump(document, handle)
+
+
+def read_json_graph(path: "str | Path") -> Graph:
+    """Read a graph written by :func:`write_json_graph`."""
+    path = Path(path)
+    with _open_text(path, "r") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise GraphFormatError(f"{path}: invalid JSON") from exc
+    if not isinstance(document, dict) or "num_nodes" not in document:
+        raise GraphFormatError(f"{path}: missing 'num_nodes'")
+    try:
+        num_nodes = int(document["num_nodes"])
+        edges = [(int(u), int(v)) for u, v in document.get("edges", [])]
+    except (TypeError, ValueError) as exc:
+        raise GraphFormatError(f"{path}: malformed JSON graph") from exc
+    builder = GraphBuilder()
+    if edges:
+        builder.add_edges(np.asarray(edges, dtype=np.int64))
+    return builder.build(num_nodes=num_nodes)
+
+
+# ----------------------------------------------------------------------
+# Weighted arcs
+# ----------------------------------------------------------------------
+def write_weighted_arcs(
+    graph: WeightedDiGraph, path: "str | Path", header: str | None = None
+) -> None:
+    """Write a weighted digraph as ``u v w`` lines with ``#`` comments."""
+    path = Path(path)
+    with _open_text(path, "w") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# Nodes: {graph.num_nodes} Arcs: {graph.num_arcs}\n")
+        for u, v, w in graph.arcs():
+            handle.write(f"{u}\t{v}\t{w!r}\n")
+
+
+def read_weighted_arcs(
+    path: "str | Path", num_nodes: int | None = None
+) -> WeightedDiGraph:
+    """Read ``u v w`` arc lines into a :class:`WeightedDiGraph`."""
+    path = Path(path)
+    triples: list[tuple[int, int, float]] = []
+    with _open_text(path, "r") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v w', got {line!r}"
+                )
+            try:
+                triples.append((int(parts[0]), int(parts[1]), float(parts[2])))
+            except ValueError as exc:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: malformed arc {parts[:3]}"
+                ) from exc
+    return WeightedDiGraph.from_edges(triples, num_nodes=num_nodes)

@@ -1,0 +1,157 @@
+"""Structural graph statistics.
+
+These are the quantities reported in dataset summaries (Table 2 style) and
+used by tests to sanity-check generators: degree profile, connectivity, and
+distance bounds.  Everything here is exact and deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "connected_components",
+    "largest_component",
+    "is_connected",
+    "bfs_distances",
+    "eccentricity",
+    "density",
+    "degeneracy_order",
+]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Five-number degree profile plus mean, as floats."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    std: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"deg[min={self.minimum}, med={self.median:.0f}, "
+            f"mean={self.mean:.2f}, max={self.maximum}]"
+        )
+
+
+def degree_summary(graph: Graph) -> DegreeSummary:
+    """Summarize the degree distribution of ``graph``."""
+    if graph.num_nodes == 0:
+        raise ParameterError("degree_summary of an empty graph is undefined")
+    deg = graph.degrees
+    return DegreeSummary(
+        minimum=int(deg.min()),
+        maximum=int(deg.max()),
+        mean=float(deg.mean()),
+        median=float(np.median(deg)),
+        std=float(deg.std()),
+    )
+
+
+def connected_components(graph: Graph) -> np.ndarray:
+    """Component label per node (labels are ``0..c-1`` by discovery order)."""
+    n = graph.num_nodes
+    labels = np.full(n, -1, dtype=np.int64)
+    current = 0
+    for start in range(n):
+        if labels[start] >= 0:
+            continue
+        labels[start] = current
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in graph.neighbors(u):
+                if labels[v] < 0:
+                    labels[v] = current
+                    queue.append(int(v))
+        current += 1
+    return labels
+
+
+def largest_component(graph: Graph) -> np.ndarray:
+    """Node ids of the largest connected component (sorted)."""
+    labels = connected_components(graph)
+    if labels.size == 0:
+        return np.empty(0, dtype=np.int64)
+    counts = np.bincount(labels)
+    return np.flatnonzero(labels == counts.argmax())
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has exactly one connected component."""
+    if graph.num_nodes == 0:
+        return True
+    return bool(connected_components(graph).max() == 0)
+
+
+def bfs_distances(graph: Graph, source: int) -> np.ndarray:
+    """Hop distance from ``source`` to every node (-1 if unreachable)."""
+    if not 0 <= source < graph.num_nodes:
+        raise ParameterError(f"source {source} out of range")
+    dist = np.full(graph.num_nodes, -1, dtype=np.int64)
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if dist[v] < 0:
+                dist[v] = dist[u] + 1
+                queue.append(int(v))
+    return dist
+
+
+def eccentricity(graph: Graph, source: int) -> int:
+    """Largest finite BFS distance from ``source``."""
+    dist = bfs_distances(graph, source)
+    reachable = dist[dist >= 0]
+    return int(reachable.max())
+
+
+def density(graph: Graph) -> float:
+    """``2m / (n (n - 1))`` — fraction of possible edges present."""
+    n = graph.num_nodes
+    if n < 2:
+        return 0.0
+    return 2.0 * graph.num_edges / (n * (n - 1))
+
+
+def degeneracy_order(graph: Graph) -> np.ndarray:
+    """Nodes in degeneracy (smallest-last) order.
+
+    Repeatedly removes a minimum-degree node.  Used by tests as an
+    independent, deterministic node ranking to compare selections against.
+    """
+    n = graph.num_nodes
+    deg = graph.degrees.copy()
+    removed = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    # Bucket queue over degrees keeps this O(n + m).
+    buckets: list[set[int]] = [set() for _ in range(int(deg.max(initial=0)) + 1)]
+    for u in range(n):
+        buckets[deg[u]].add(u)
+    cursor = 0
+    for i in range(n):
+        while not buckets[cursor]:
+            cursor += 1
+        u = buckets[cursor].pop()
+        order[i] = u
+        removed[u] = True
+        for v in graph.neighbors(u):
+            if not removed[v]:
+                buckets[deg[v]].discard(int(v))
+                deg[v] -= 1
+                buckets[deg[v]].add(int(v))
+        # A neighbor may have dropped one bucket below the cursor.
+        cursor = max(0, cursor - 1)
+    return order

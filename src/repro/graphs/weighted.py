@@ -1,0 +1,176 @@
+"""Directed, weighted graphs — the paper's Section 2 extension.
+
+The paper develops everything on undirected, unweighted graphs but notes
+that "the proposed techniques can also be easily extended to directed and
+weighted graphs".  This module provides that extension's substrate: a CSR
+container for a directed graph with positive edge weights, where a random
+walk at ``u`` follows out-edge ``(u, v)`` with probability
+``w(u, v) / sum_x w(u, x)``.
+
+Dangling nodes (no out-edges) keep the package-wide stay-in-place policy.
+The weighted solvers live in :mod:`repro.core.weighted` and the weighted
+walk machinery in :mod:`repro.walks.alias`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphFormatError, ParameterError
+
+__all__ = ["WeightedDiGraph"]
+
+
+class WeightedDiGraph:
+    """Directed graph with positive edge weights in CSR form.
+
+    ``indptr`` / ``indices`` describe out-adjacency; ``weights`` aligns with
+    ``indices``.  Parallel edges are merged by summing their weights.
+    """
+
+    __slots__ = ("_indptr", "_indices", "_weights")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, weights: np.ndarray):
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if indptr.size == 0 or indptr[0] != 0:
+            raise ParameterError("indptr must start with 0 and be non-empty")
+        if indptr[-1] != indices.size or weights.size != indices.size:
+            raise ParameterError("indptr/indices/weights sizes are inconsistent")
+        if np.any(np.diff(indptr) < 0):
+            raise ParameterError("indptr must be non-decreasing")
+        if weights.size and weights.min() <= 0:
+            raise ParameterError("edge weights must be positive")
+        for arr in (indptr, indices, weights):
+            arr.setflags(write=False)
+        self._indptr = indptr
+        self._indices = indices
+        self._weights = weights
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[int, int, float]],
+        num_nodes: int | None = None,
+    ) -> "WeightedDiGraph":
+        """Build from ``(source, target, weight)`` triples.
+
+        Directed: ``(u, v, w)`` adds only the out-edge ``u -> v``.  Repeats
+        of the same ordered pair accumulate their weights.  Self-loops are
+        rejected (they would make the L-hop walk semantics ambiguous).
+        """
+        rows: list[tuple[int, int, float]] = []
+        max_node = -1
+        for u, v, w in edges:
+            u, v, w = int(u), int(v), float(w)
+            if u < 0 or v < 0:
+                raise GraphFormatError("node ids must be non-negative")
+            if u == v:
+                raise GraphFormatError(f"self-loop on node {u}")
+            if not w > 0:
+                raise GraphFormatError(f"non-positive weight on edge ({u}, {v})")
+            rows.append((u, v, w))
+            max_node = max(max_node, u, v)
+        inferred = max_node + 1
+        if num_nodes is None:
+            num_nodes = inferred
+        elif num_nodes < inferred:
+            raise ParameterError(
+                f"num_nodes={num_nodes} is smaller than required {inferred}"
+            )
+        merged: dict[tuple[int, int], float] = {}
+        for u, v, w in rows:
+            merged[(u, v)] = merged.get((u, v), 0.0) + w
+        ordered = sorted(merged.items())
+        src = np.array([u for (u, _), _ in ordered], dtype=np.int64)
+        dst = np.array([v for (_, v), _ in ordered], dtype=np.int32)
+        wgt = np.array([w for _, w in ordered], dtype=np.float64)
+        counts = np.bincount(src, minlength=num_nodes) if src.size else np.zeros(
+            num_nodes, dtype=np.int64
+        )
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, wgt)
+
+    @classmethod
+    def from_undirected(cls, graph, weight: float = 1.0) -> "WeightedDiGraph":
+        """Lift an unweighted :class:`~repro.graphs.adjacency.Graph` into the
+        weighted model (each undirected edge becomes two unit arcs) —
+        useful for cross-checking the weighted code path against the
+        unweighted one."""
+        if weight <= 0:
+            raise ParameterError("weight must be positive")
+        weights = np.full(graph.indices.size, float(weight))
+        return cls(graph.indptr.copy(), graph.indices.copy(), weights)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self._indptr.size - 1
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of directed edges (arcs)."""
+        return self._indices.size
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        return self._indices
+
+    @property
+    def weights(self) -> np.ndarray:
+        return self._weights
+
+    @property
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree (arc count) per node."""
+        return np.diff(self._indptr)
+
+    def out_neighbors(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(targets, weights)`` of the out-edges of ``u``."""
+        self._check_node(u)
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        return self._indices[lo:hi], self._weights[lo:hi]
+
+    def out_strength(self, u: int) -> float:
+        """Total out-weight of ``u`` (0 for dangling nodes)."""
+        _, weights = self.out_neighbors(u)
+        return float(weights.sum())
+
+    def arcs(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate ``(source, target, weight)`` triples."""
+        for u in range(self.num_nodes):
+            targets, weights = self.out_neighbors(u)
+            for v, w in zip(targets, weights):
+                yield u, int(v), float(w)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return f"WeightedDiGraph(n={self.num_nodes}, arcs={self.num_arcs})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WeightedDiGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._indices, other._indices)
+            and np.allclose(self._weights, other._weights)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.num_nodes, self.num_arcs, self._indices.tobytes()))
+
+    # ------------------------------------------------------------------
+    def _check_node(self, u: int) -> None:
+        if not 0 <= u < self.num_nodes:
+            raise ParameterError(f"node {u} out of range [0, {self.num_nodes})")

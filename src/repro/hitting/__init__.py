@@ -1,0 +1,47 @@
+"""Exact hitting-time machinery: DP recursions, transition ops, bounds."""
+
+from repro.hitting.bounds import (
+    delta_for_sample_size,
+    epsilon_for_sample_size,
+    hoeffding_tail,
+    sample_size_f1,
+    sample_size_f2,
+)
+from repro.hitting.exact import (
+    hit_probability_horizons,
+    hit_probability_vector,
+    hitting_time_horizons,
+    hitting_time_matrix,
+    hitting_time_vector,
+    pairwise_hitting_time,
+)
+from repro.hitting.weighted import (
+    weighted_hit_probability_vector,
+    weighted_hitting_time_vector,
+    weighted_transition_matrix,
+)
+from repro.hitting.transition import (
+    absorbing_restriction,
+    target_mask,
+    transition_matrix,
+)
+
+__all__ = [
+    "delta_for_sample_size",
+    "epsilon_for_sample_size",
+    "hoeffding_tail",
+    "sample_size_f1",
+    "sample_size_f2",
+    "hit_probability_horizons",
+    "hit_probability_vector",
+    "hitting_time_horizons",
+    "hitting_time_matrix",
+    "hitting_time_vector",
+    "pairwise_hitting_time",
+    "absorbing_restriction",
+    "target_mask",
+    "transition_matrix",
+    "weighted_hit_probability_vector",
+    "weighted_hitting_time_vector",
+    "weighted_transition_matrix",
+]

@@ -1,0 +1,87 @@
+"""Hoeffding sample-size bounds — Lemmas 3.3 and 3.4.
+
+The paper bounds the number of walks ``R`` needed for the Algorithm 2
+estimators to be within a relative additive error with high probability:
+
+* Lemma 3.3 (``F1``):  ``R >= 1/(2 eps^2) ln((n - |S|) / delta)`` gives
+  ``Pr[|F1hat - F1| >= eps (n - |S|) L] <= delta``.
+* Lemma 3.4 (``F2``):  ``R >= 1/(2 eps^2) ln(n / delta)`` gives
+  ``Pr[|F2hat - F2| >= eps n] <= delta``.
+
+Besides the forward bounds this module exposes the inversions used when a
+caller fixes ``R`` and wants to know the accuracy they bought.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "sample_size_f1",
+    "sample_size_f2",
+    "epsilon_for_sample_size",
+    "delta_for_sample_size",
+    "hoeffding_tail",
+]
+
+
+def _check_eps_delta(epsilon: float, delta: float) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError("epsilon must lie in (0, 1)")
+    if not 0.0 < delta < 1.0:
+        raise ParameterError("delta must lie in (0, 1)")
+
+
+def sample_size_f1(
+    num_nodes: int, set_size: int, epsilon: float, delta: float
+) -> int:
+    """Smallest integer ``R`` satisfying Lemma 3.3."""
+    _check_eps_delta(epsilon, delta)
+    if set_size < 0 or set_size >= num_nodes:
+        raise ParameterError("need 0 <= |S| < n for the F1 bound")
+    return math.ceil(math.log((num_nodes - set_size) / delta) / (2 * epsilon**2))
+
+
+def sample_size_f2(num_nodes: int, epsilon: float, delta: float) -> int:
+    """Smallest integer ``R`` satisfying Lemma 3.4."""
+    _check_eps_delta(epsilon, delta)
+    if num_nodes < 1:
+        raise ParameterError("num_nodes must be >= 1")
+    return math.ceil(math.log(num_nodes / delta) / (2 * epsilon**2))
+
+
+def epsilon_for_sample_size(num_nodes: int, sample_size: int, delta: float) -> float:
+    """Additive-error level ``eps`` bought by ``R`` walks (Lemma 3.4 form).
+
+    Inverts ``R = ln(n / delta) / (2 eps^2)``.
+    """
+    if sample_size < 1:
+        raise ParameterError("sample_size must be >= 1")
+    if not 0.0 < delta < 1.0:
+        raise ParameterError("delta must lie in (0, 1)")
+    if num_nodes < 1:
+        raise ParameterError("num_nodes must be >= 1")
+    return math.sqrt(math.log(num_nodes / delta) / (2 * sample_size))
+
+
+def delta_for_sample_size(num_nodes: int, sample_size: int, epsilon: float) -> float:
+    """Failure probability bought by ``R`` walks at accuracy ``eps``.
+
+    ``delta = n exp(-2 eps^2 R)``, capped at 1.
+    """
+    if sample_size < 1:
+        raise ParameterError("sample_size must be >= 1")
+    if not 0.0 < epsilon < 1.0:
+        raise ParameterError("epsilon must lie in (0, 1)")
+    return min(1.0, num_nodes * math.exp(-2 * epsilon**2 * sample_size))
+
+
+def hoeffding_tail(sample_size: int, epsilon: float) -> float:
+    """Single-estimator tail ``Pr[|hhat - h| >= eps L] <= exp(-2 eps^2 R)``."""
+    if sample_size < 1:
+        raise ParameterError("sample_size must be >= 1")
+    if epsilon <= 0:
+        raise ParameterError("epsilon must be positive")
+    return math.exp(-2 * epsilon**2 * sample_size)

@@ -1,0 +1,173 @@
+"""Exact (dynamic-programming) hitting quantities — Theorems 2.1, 2.2, 2.3.
+
+The recursions, for a target set ``S`` and horizon ``L``:
+
+* generalized hitting time (Thm 2.2)::
+
+      h^0_uS = 0
+      h^L_uS = 0                       if u in S
+      h^L_uS = 1 + sum_w p_uw h^{L-1}_wS   otherwise
+
+* hit probability (Thm 2.3)::
+
+      p^0_uS = [u in S]
+      p^L_uS = 1                       if u in S
+      p^L_uS = sum_w p_uw p^{L-1}_wS   otherwise
+
+Each level is one sparse matrix-vector product, so a full vector over all
+sources costs ``O(m L)`` — the complexity the paper quotes for one DP.
+Because the iteration passes through every horizon ``0..L`` on its way to
+``L``, the ``*_horizons`` variants return all intermediate horizons from a
+single pass (used by the Fig. 10 experiment, which sweeps ``L``).
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.hitting.transition import target_mask, transition_matrix
+
+__all__ = [
+    "hitting_time_vector",
+    "hitting_time_horizons",
+    "hit_probability_vector",
+    "hit_probability_horizons",
+    "pairwise_hitting_time",
+    "hitting_time_matrix",
+]
+
+
+def _check_length(length: int) -> None:
+    if length < 0:
+        raise ParameterError("walk length L must be >= 0")
+
+
+def hitting_time_vector(
+    graph: Graph, targets: Collection[int], length: int
+) -> np.ndarray:
+    """``h^L_uS`` for every source ``u`` as a float array of length ``n``.
+
+    An empty ``S`` gives the paper's convention ``h^L_uS = L`` (a walk can
+    never hit the empty set, and ``T^L_uS`` is truncated at ``L``).
+    """
+    _check_length(length)
+    mask = target_mask(graph.num_nodes, targets)
+    return _hitting_iter(graph, mask, [length])[0]
+
+
+def hitting_time_horizons(
+    graph: Graph, targets: Collection[int], lengths: Sequence[int]
+) -> list[np.ndarray]:
+    """``h^l_uS`` vectors for several horizons from one DP sweep."""
+    for length in lengths:
+        _check_length(length)
+    mask = target_mask(graph.num_nodes, targets)
+    return _hitting_iter(graph, mask, list(lengths))
+
+
+def hitting_iteration(matrix, mask: np.ndarray, lengths: list[int]) -> list[np.ndarray]:
+    """Theorem 2.2 DP over an arbitrary row-stochastic operator.
+
+    Shared by the unweighted path and the directed/weighted extension
+    (:mod:`repro.hitting.weighted`): ``matrix`` is any row-stochastic
+    scipy matrix, ``mask`` flags the target set.
+    """
+    horizon = max(lengths) if lengths else 0
+    wanted = set(lengths)
+    recorded: dict[int, np.ndarray] = {}
+    h = np.zeros(matrix.shape[0], dtype=np.float64)
+    if 0 in wanted:
+        recorded[0] = h.copy()
+    for level in range(1, horizon + 1):
+        h = 1.0 + matrix @ h
+        h[mask] = 0.0
+        if level in wanted:
+            recorded[level] = h.copy()
+    return [recorded[length] for length in lengths]
+
+
+def _hitting_iter(
+    graph: Graph, mask: np.ndarray, lengths: list[int]
+) -> list[np.ndarray]:
+    return hitting_iteration(transition_matrix(graph), mask, lengths)
+
+
+def hit_probability_vector(
+    graph: Graph, targets: Collection[int], length: int
+) -> np.ndarray:
+    """``p^L_uS = E[X^L_uS]`` for every source ``u``."""
+    _check_length(length)
+    mask = target_mask(graph.num_nodes, targets)
+    return _probability_iter(graph, mask, [length])[0]
+
+
+def hit_probability_horizons(
+    graph: Graph, targets: Collection[int], lengths: Sequence[int]
+) -> list[np.ndarray]:
+    """``p^l_uS`` vectors for several horizons from one DP sweep."""
+    for length in lengths:
+        _check_length(length)
+    mask = target_mask(graph.num_nodes, targets)
+    return _probability_iter(graph, mask, list(lengths))
+
+
+def probability_iteration(
+    matrix, mask: np.ndarray, lengths: list[int]
+) -> list[np.ndarray]:
+    """Theorem 2.3 DP over an arbitrary row-stochastic operator."""
+    horizon = max(lengths) if lengths else 0
+    wanted = set(lengths)
+    recorded: dict[int, np.ndarray] = {}
+    p = mask.astype(np.float64)
+    if 0 in wanted:
+        recorded[0] = p.copy()
+    for level in range(1, horizon + 1):
+        p = matrix @ p
+        p[mask] = 1.0
+        if level in wanted:
+            recorded[level] = p.copy()
+    return [recorded[length] for length in lengths]
+
+
+def _probability_iter(
+    graph: Graph, mask: np.ndarray, lengths: list[int]
+) -> list[np.ndarray]:
+    return probability_iteration(transition_matrix(graph), mask, lengths)
+
+
+def pairwise_hitting_time(graph: Graph, source: int, target: int, length: int) -> float:
+    """Node-to-node truncated hitting time ``h^L_uv`` (Theorem 2.1)."""
+    if not 0 <= source < graph.num_nodes:
+        raise ParameterError("source out of range")
+    return float(hitting_time_vector(graph, [target], length)[source])
+
+
+def hitting_time_matrix(
+    graph: Graph, length: int, max_nodes: int = 4_096
+) -> np.ndarray:
+    """Dense ``(n, n)`` matrix with ``H[u, v] = h^L_uv``.
+
+    Runs one DP per target column — ``O(n m L)`` — so it refuses graphs
+    larger than ``max_nodes`` to protect the caller from accidental
+    quadratic blowups.
+    """
+    _check_length(length)
+    n = graph.num_nodes
+    if n > max_nodes:
+        raise ParameterError(
+            f"hitting_time_matrix is O(n m L); {n} nodes exceeds max_nodes="
+            f"{max_nodes} (raise it explicitly if you mean it)"
+        )
+    matrix = transition_matrix(graph)
+    out = np.empty((n, n), dtype=np.float64)
+    for v in range(n):
+        h = np.zeros(n, dtype=np.float64)
+        for _ in range(length):
+            h = 1.0 + matrix @ h
+            h[v] = 0.0
+        out[:, v] = h
+    return out

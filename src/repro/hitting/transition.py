@@ -1,0 +1,76 @@
+"""Random-walk transition operators.
+
+The DP recursions of Theorems 2.1-2.3 are, in vector form, repeated
+applications of the row-stochastic transition matrix ``P`` with
+``P[u, w] = 1 / d_u`` for each neighbor ``w``.  This module builds ``P`` as
+a scipy CSR matrix and provides the restriction used when a target set
+absorbs the walk.
+
+Dangling nodes (degree 0) get a self-loop row, which realizes the
+package-wide convention that their walks stay put (DESIGN.md §5): iterating
+the hitting-time DP then yields ``h^L_uS = L`` and ``p^L_uS = 0`` for a
+dangling ``u ∉ S``, exactly like the sampling engine.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+
+__all__ = ["transition_matrix", "absorbing_restriction", "target_mask"]
+
+
+def transition_matrix(graph: Graph) -> sp.csr_matrix:
+    """Row-stochastic transition matrix of the uniform random walk.
+
+    ``P[u, w] = 1 / d_u`` for every edge ``(u, w)``; dangling rows become
+    ``P[u, u] = 1`` self-loops.
+    """
+    n = graph.num_nodes
+    degrees = graph.degrees
+    dangling = np.flatnonzero(degrees == 0)
+    inv_deg = np.ones(n, dtype=np.float64)
+    nonzero = degrees > 0
+    inv_deg[nonzero] = 1.0 / degrees[nonzero]
+    data = np.repeat(inv_deg, degrees)
+    matrix = sp.csr_matrix(
+        (data, graph.indices.astype(np.int64), graph.indptr), shape=(n, n)
+    )
+    if dangling.size:
+        loops = sp.csr_matrix(
+            (np.ones(dangling.size), (dangling, dangling)), shape=(n, n)
+        )
+        matrix = (matrix + loops).tocsr()
+    return matrix
+
+
+def target_mask(num_nodes: int, targets: Collection[int]) -> np.ndarray:
+    """Boolean mask over nodes with ``True`` on the target set."""
+    mask = np.zeros(num_nodes, dtype=bool)
+    idx = np.fromiter((int(v) for v in targets), dtype=np.int64)
+    if idx.size:
+        if idx.min() < 0 or idx.max() >= num_nodes:
+            raise ParameterError("target nodes out of range")
+        mask[idx] = True
+    return mask
+
+
+def absorbing_restriction(
+    matrix: sp.csr_matrix, mask: np.ndarray
+) -> sp.csr_matrix:
+    """The taboo (sub-stochastic) operator ``Q = D P D``, ``D = diag(!mask)``.
+
+    Rows *and* columns of absorbed states are zeroed, so ``(Q^t 1)[u]`` is
+    the probability that a walk from ``u`` avoids the target set for ``t``
+    consecutive steps — the survival mass whose partial sums give truncated
+    hitting times.
+    """
+    if mask.size != matrix.shape[0]:
+        raise ParameterError("mask size must match matrix dimension")
+    scaler = sp.diags((~mask).astype(np.float64))
+    return (scaler @ matrix @ scaler).tocsr()

@@ -1,0 +1,71 @@
+"""Exact hitting quantities on directed, weighted graphs.
+
+The recursions of Theorems 2.2/2.3 only use the one-step transition
+operator, so the directed/weighted extension is the same DP over
+``P[u, v] = w(u, v) / strength(u)``.  This module builds that operator and
+reuses the shared iteration kernels from :mod:`repro.hitting.exact`.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.weighted import WeightedDiGraph
+from repro.hitting.exact import hitting_iteration, probability_iteration
+from repro.hitting.transition import target_mask
+
+__all__ = [
+    "weighted_transition_matrix",
+    "weighted_hitting_time_vector",
+    "weighted_hit_probability_vector",
+]
+
+
+def weighted_transition_matrix(graph: WeightedDiGraph) -> sp.csr_matrix:
+    """Row-stochastic operator of the weighted walk (dangling = self-loop)."""
+    n = graph.num_nodes
+    strengths = np.zeros(n, dtype=np.float64)
+    np.add.at(
+        strengths,
+        np.repeat(np.arange(n), graph.out_degrees),
+        graph.weights,
+    )
+    dangling = np.flatnonzero(graph.out_degrees == 0)
+    inv = np.ones(n)
+    has_out = strengths > 0
+    inv[has_out] = 1.0 / strengths[has_out]
+    data = graph.weights * np.repeat(inv, graph.out_degrees)
+    matrix = sp.csr_matrix(
+        (data, graph.indices.astype(np.int64), graph.indptr), shape=(n, n)
+    )
+    if dangling.size:
+        loops = sp.csr_matrix(
+            (np.ones(dangling.size), (dangling, dangling)), shape=(n, n)
+        )
+        matrix = (matrix + loops).tocsr()
+    return matrix
+
+
+def weighted_hitting_time_vector(
+    graph: WeightedDiGraph, targets: Collection[int], length: int
+) -> np.ndarray:
+    """``h^L_uS`` on the weighted walk, for every source ``u``."""
+    if length < 0:
+        raise ValueError("walk length L must be >= 0")
+    mask = target_mask(graph.num_nodes, targets)
+    return hitting_iteration(weighted_transition_matrix(graph), mask, [length])[0]
+
+
+def weighted_hit_probability_vector(
+    graph: WeightedDiGraph, targets: Collection[int], length: int
+) -> np.ndarray:
+    """``p^L_uS`` on the weighted walk, for every source ``u``."""
+    if length < 0:
+        raise ValueError("walk length L must be >= 0")
+    mask = target_mask(graph.num_nodes, targets)
+    return probability_iteration(
+        weighted_transition_matrix(graph), mask, [length]
+    )[0]

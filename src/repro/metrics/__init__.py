@@ -1,0 +1,17 @@
+"""Evaluation metrics (AHT / EHN) from the paper's Section 4.1."""
+
+from repro.metrics.evaluation import (
+    PAPER_METRIC_SAMPLES,
+    average_hitting_time,
+    compare_placements,
+    evaluate_selection,
+    expected_hit_nodes,
+)
+
+__all__ = [
+    "PAPER_METRIC_SAMPLES",
+    "average_hitting_time",
+    "compare_placements",
+    "evaluate_selection",
+    "expected_hit_nodes",
+]

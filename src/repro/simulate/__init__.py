@@ -1,0 +1,35 @@
+"""Application-level simulators for the paper's motivating scenarios.
+
+Section 1.1 of the paper motivates random-walk domination with three
+applications; this subpackage simulates each one end-to-end so that a
+placement computed by the solvers in :mod:`repro.core` can be judged by the
+*application's* own success measure rather than by the abstract objectives:
+
+* :mod:`repro.simulate.social` — item placement under social browsing
+  (Flickr/Facebook reading): sessions are L-length walks, the item is
+  discovered when a session reaches a hosting user.
+* :mod:`repro.simulate.p2p` — resource placement in unstructured P2P
+  overlays: TTL-bounded random-walk search, optionally with several
+  parallel walkers per query (the standard k-walker strategy [5]).
+* :mod:`repro.simulate.ads` — advertisement placement: repeat browsing
+  sessions per user, measuring reach, impressions and average frequency.
+
+All simulators share the walk engine of :mod:`repro.walks.engine`, accept
+any node set as the placement, and return small frozen report dataclasses.
+"""
+
+from repro.simulate.ads import AdCampaignReport, simulate_ad_campaign
+from repro.simulate.p2p import P2PSearchReport, simulate_p2p_search
+from repro.simulate.social import (
+    SocialBrowsingReport,
+    simulate_social_browsing,
+)
+
+__all__ = [
+    "AdCampaignReport",
+    "simulate_ad_campaign",
+    "P2PSearchReport",
+    "simulate_p2p_search",
+    "SocialBrowsingReport",
+    "simulate_social_browsing",
+]

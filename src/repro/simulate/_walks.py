@@ -1,0 +1,37 @@
+"""Walk dispatch shared by the simulators.
+
+The simulators accept either the undirected :class:`~repro.graphs.adjacency.
+Graph` or the directed, weighted :class:`~repro.graphs.weighted.
+WeightedDiGraph` (the paper's Section 2 extension) — a browsing user in a
+trust network follows recommendations with probability proportional to
+trust.  This module hides the walk-engine dispatch so each simulator is
+written once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.adjacency import Graph
+from repro.graphs.weighted import WeightedDiGraph
+from repro.walks.alias import weighted_batch_walks
+from repro.walks.engine import batch_walks
+
+__all__ = ["run_walks", "node_count"]
+
+
+def node_count(graph: "Graph | WeightedDiGraph") -> int:
+    """Node count for either graph flavor."""
+    return graph.num_nodes
+
+
+def run_walks(
+    graph: "Graph | WeightedDiGraph",
+    starts: np.ndarray,
+    length: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Batch of L-length walks on an unweighted or weighted graph."""
+    if isinstance(graph, WeightedDiGraph):
+        return weighted_batch_walks(graph, starts, length, seed=rng)
+    return batch_walks(graph, starts, length, seed=rng)

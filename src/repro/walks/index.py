@@ -1,0 +1,320 @@
+"""The inverted walk index of Algorithm 3 (``Invert_Index``).
+
+For every node ``w`` the index materializes ``R`` independent L-length
+random walks.  Each *first visit* of a node ``v`` by walk ``i`` of walker
+``w`` at hop ``j`` becomes one entry "``w`` hits ``v`` at hop ``j``" filed
+under ``(i, v)``.  The approximate greedy algorithm (Algorithm 6) then
+answers every marginal-gain query from these entries alone.
+
+Two interchangeable representations:
+
+* :class:`InvertedIndex` — the paper's list-of-lists ``I[1:R][1:n]``,
+  built exactly like the pseudocode (visited array, one walk at a time).
+  Transparent, used for small graphs and as the test oracle.
+* :class:`FlatWalkIndex` — all entries in flat numpy arrays grouped by hit
+  node (CSR-by-hit), with the ``(replicate, walker)`` pair pre-flattened to
+  an index into the flattened ``D`` matrix.  This is the representation the
+  vectorized engine (:mod:`repro.core.approx_fast`) consumes; it is built
+  chunk-wise so paper-scale graphs fit in memory.
+
+Both builders accept pre-generated walks, so tests can inject the exact
+walks of the paper's Example 3.1 and compare the two representations
+entry-for-entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.walks.engine import batch_walks, random_walk
+from repro.walks.rng import resolve_rng
+
+__all__ = ["IndexEntry", "InvertedIndex", "FlatWalkIndex", "walker_major_starts"]
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One inverted-index record: ``walker`` hits the list's node at ``hop``."""
+
+    walker: int
+    hop: int
+
+
+def walker_major_starts(num_nodes: int, num_replicates: int) -> np.ndarray:
+    """Start nodes for the canonical batch layout.
+
+    Row ``b`` of the walk batch is replicate ``b % R`` of walker ``b // R``;
+    this helper builds the matching ``starts`` vector
+    ``[0,0,...,0, 1,1,...,1, ...]``.
+    """
+    return np.repeat(np.arange(num_nodes, dtype=np.int64), num_replicates)
+
+
+def _validate_params(num_nodes: int, length: int, num_replicates: int) -> None:
+    if num_nodes < 0:
+        raise ParameterError("num_nodes must be >= 0")
+    if length < 0:
+        raise ParameterError("walk length L must be >= 0")
+    if num_replicates < 1:
+        raise ParameterError("number of replicates R must be >= 1")
+
+
+class InvertedIndex:
+    """Paper-faithful ``I[1:R][1:n]`` built per Algorithm 3.
+
+    ``lists[i][v]`` is the (insertion-ordered) list of :class:`IndexEntry`
+    for replicate ``i`` and hit node ``v``.
+    """
+
+    def __init__(self, num_nodes: int, length: int, num_replicates: int):
+        _validate_params(num_nodes, length, num_replicates)
+        self.num_nodes = num_nodes
+        self.length = length
+        self.num_replicates = num_replicates
+        self.lists: list[list[list[IndexEntry]]] = [
+            [[] for _ in range(num_nodes)] for _ in range(num_replicates)
+        ]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        length: int,
+        num_replicates: int,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> "InvertedIndex":
+        """Algorithm 3: run ``R`` walks per node and index first visits."""
+        rng = resolve_rng(seed)
+        index = cls(graph.num_nodes, length, num_replicates)
+        for walker in range(graph.num_nodes):
+            for i in range(num_replicates):
+                walk = random_walk(graph, walker, length, seed=rng)
+                index._insert_walk(i, walk)
+        return index
+
+    @classmethod
+    def from_walks(
+        cls,
+        walks: "Sequence[Sequence[int]] | np.ndarray",
+        num_nodes: int,
+        num_replicates: int,
+    ) -> "InvertedIndex":
+        """Build from pre-generated walks in walker-major order.
+
+        ``walks[w * R + i]`` must be replicate ``i`` of walker ``w``; every
+        walk must start at its walker and have ``L + 1`` positions.
+        """
+        walks = [list(map(int, walk)) for walk in walks]
+        if len(walks) != num_nodes * num_replicates:
+            raise ParameterError(
+                f"expected {num_nodes * num_replicates} walks, got {len(walks)}"
+            )
+        length = len(walks[0]) - 1 if walks else 0
+        index = cls(num_nodes, length, num_replicates)
+        for b, walk in enumerate(walks):
+            if len(walk) != length + 1:
+                raise ParameterError("all walks must have the same length")
+            if walk[0] != b // num_replicates:
+                raise ParameterError(
+                    f"walk {b} starts at {walk[0]}, expected {b // num_replicates}"
+                )
+            index._insert_walk(b % num_replicates, walk)
+        return index
+
+    def _insert_walk(self, replicate: int, walk: Sequence[int]) -> None:
+        """Index the first visits of one walk (Algorithm 3 lines 4-14)."""
+        walker = walk[0]
+        visited = {walker}
+        for hop, node in enumerate(walk[1:], start=1):
+            if node in visited:
+                continue
+            visited.add(node)
+            self.lists[replicate][node].append(IndexEntry(walker=walker, hop=hop))
+
+    # ------------------------------------------------------------------
+    def entries(self, replicate: int, node: int) -> list[IndexEntry]:
+        """Entries of ``I[replicate][node]``."""
+        return self.lists[replicate][node]
+
+    @property
+    def total_entries(self) -> int:
+        """Number of records across all replicates and nodes."""
+        return sum(
+            len(bucket) for replicate in self.lists for bucket in replicate
+        )
+
+    def to_flat(self) -> "FlatWalkIndex":
+        """Convert to the array representation (same entries, same order
+        within each hit node, grouped rep-major then insertion order)."""
+        states: list[int] = []
+        hops: list[int] = []
+        hits: list[int] = []
+        n = self.num_nodes
+        for replicate in range(self.num_replicates):
+            for node in range(n):
+                for entry in self.lists[replicate][node]:
+                    states.append(replicate * n + entry.walker)
+                    hops.append(entry.hop)
+                    hits.append(node)
+        return FlatWalkIndex._from_records(
+            np.asarray(hits, dtype=np.int64),
+            np.asarray(states, dtype=np.int64),
+            np.asarray(hops, dtype=np.int64),
+            num_nodes=n,
+            length=self.length,
+            num_replicates=self.num_replicates,
+        )
+
+
+class FlatWalkIndex:
+    """Array-backed inverted index grouped by hit node.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; entries whose hit node is ``v``
+        occupy ``[indptr[v], indptr[v+1])`` in the flat arrays.
+    state:
+        Per-entry index ``replicate * n + walker`` into the flattened
+        ``D[R, n]`` matrix of Algorithms 4-6 (``int32`` when it fits).
+    hop:
+        Per-entry first-visit hop (``int16``; hops are ``<= L``).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        state: np.ndarray,
+        hop: np.ndarray,
+        num_nodes: int,
+        length: int,
+        num_replicates: int,
+    ):
+        _validate_params(num_nodes, length, num_replicates)
+        if indptr.size != num_nodes + 1:
+            raise ParameterError("indptr must have n + 1 entries")
+        if state.size != hop.size or state.size != indptr[-1]:
+            raise ParameterError("state/hop size must match indptr[-1]")
+        self.indptr = indptr
+        self.state = state
+        self.hop = hop
+        self.num_nodes = num_nodes
+        self.length = length
+        self.num_replicates = num_replicates
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        length: int,
+        num_replicates: int,
+        seed: "int | np.random.Generator | None" = None,
+        chunk_rows: int = 1 << 19,
+    ) -> "FlatWalkIndex":
+        """Vectorized Algorithm 3.
+
+        Generates the ``n * R`` walks in chunks of ``chunk_rows`` rows and
+        extracts first-visit records column-by-column, so peak memory is
+        ``O(chunk_rows * L)`` plus the final entry arrays.
+        """
+        rng = resolve_rng(seed)
+        n = graph.num_nodes
+        _validate_params(n, length, num_replicates)
+        starts = walker_major_starts(n, num_replicates)
+        hit_parts: list[np.ndarray] = []
+        state_parts: list[np.ndarray] = []
+        hop_parts: list[np.ndarray] = []
+        for lo in range(0, starts.size, chunk_rows):
+            rows = starts[lo : lo + chunk_rows]
+            walks = batch_walks(graph, rows, length, seed=rng)
+            row_ids = np.arange(lo, lo + rows.size, dtype=np.int64)
+            reps = row_ids % num_replicates
+            state = reps * n + rows  # == rep * n + walker
+            for hop in range(1, length + 1):
+                col = walks[:, hop].astype(np.int64)
+                fresh = np.ones(rows.size, dtype=bool)
+                for prev in range(hop):
+                    np.logical_and(fresh, col != walks[:, prev], out=fresh)
+                if not fresh.any():
+                    continue
+                hit_parts.append(col[fresh])
+                state_parts.append(state[fresh])
+                hop_parts.append(np.full(int(fresh.sum()), hop, dtype=np.int64))
+        if hit_parts:
+            hits = np.concatenate(hit_parts)
+            states = np.concatenate(state_parts)
+            hops = np.concatenate(hop_parts)
+        else:
+            hits = np.empty(0, dtype=np.int64)
+            states = np.empty(0, dtype=np.int64)
+            hops = np.empty(0, dtype=np.int64)
+        return cls._from_records(
+            hits, states, hops, num_nodes=n, length=length,
+            num_replicates=num_replicates,
+        )
+
+    @classmethod
+    def from_walks(
+        cls,
+        walks: "Sequence[Sequence[int]] | np.ndarray",
+        num_nodes: int,
+        num_replicates: int,
+    ) -> "FlatWalkIndex":
+        """Build from explicit walker-major walks (test/injection path)."""
+        return InvertedIndex.from_walks(walks, num_nodes, num_replicates).to_flat()
+
+    @classmethod
+    def _from_records(
+        cls,
+        hits: np.ndarray,
+        states: np.ndarray,
+        hops: np.ndarray,
+        num_nodes: int,
+        length: int,
+        num_replicates: int,
+    ) -> "FlatWalkIndex":
+        order = np.argsort(hits, kind="stable")
+        counts = np.bincount(hits, minlength=num_nodes) if hits.size else np.zeros(
+            num_nodes, dtype=np.int64
+        )
+        indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        state_dtype = (
+            np.int32 if num_nodes * num_replicates < np.iinfo(np.int32).max else np.int64
+        )
+        return cls(
+            indptr=indptr,
+            state=states[order].astype(state_dtype),
+            hop=hops[order].astype(np.int16),
+            num_nodes=num_nodes,
+            length=length,
+            num_replicates=num_replicates,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_entries(self) -> int:
+        """Number of records across all replicates and nodes."""
+        return int(self.indptr[-1])
+
+    def entries_for(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(state, hop)`` slices for entries whose hit node is ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ParameterError(f"node {node} out of range")
+        lo, hi = self.indptr[node], self.indptr[node + 1]
+        return self.state[lo:hi], self.hop[lo:hi]
+
+    def entry_records(self, node: int) -> list[tuple[int, int, int]]:
+        """Readable ``(replicate, walker, hop)`` triples for one hit node,
+        sorted — convenience for tests and debugging."""
+        state, hop = self.entries_for(node)
+        reps = state.astype(np.int64) // self.num_nodes
+        walkers = state.astype(np.int64) % self.num_nodes
+        return sorted(zip(reps.tolist(), walkers.tolist(), hop.tolist()))

@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    paper_example_graph,
+    path_graph,
+    power_law_graph,
+    ring_graph,
+    star_graph,
+    two_cluster_graph,
+)
+
+#: The eight walks of the paper's Example 3.1, 0-based (R=1, L=2).
+EXAMPLE31_WALKS = [
+    [0, 1, 2],  # (v1, v2, v3)
+    [1, 2, 4],  # (v2, v3, v5)
+    [2, 1, 4],  # (v3, v2, v5)
+    [3, 6, 4],  # (v4, v7, v5)
+    [4, 1, 5],  # (v5, v2, v6)
+    [5, 6, 4],  # (v6, v7, v5)
+    [6, 4, 6],  # (v7, v5, v7)
+    [7, 6, 3],  # (v8, v7, v4)
+]
+
+#: Gains the paper computes in round 1 of Example 3.1 (Problem 1), 0-based.
+EXAMPLE31_ROUND1_GAINS = [2.0, 5.0, 3.0, 2.0, 3.0, 2.0, 5.0, 2.0]
+
+
+@pytest.fixture
+def example_graph():
+    """The paper's Fig. 1 running example (8 nodes)."""
+    return paper_example_graph()
+
+
+@pytest.fixture
+def example_walks():
+    return [list(walk) for walk in EXAMPLE31_WALKS]
+
+
+@pytest.fixture
+def path5():
+    return path_graph(5)
+
+
+@pytest.fixture
+def ring6():
+    return ring_graph(6)
+
+
+@pytest.fixture
+def star4():
+    """Star with center 0 and leaves 1..4."""
+    return star_graph(4)
+
+
+@pytest.fixture
+def k5():
+    return complete_graph(5)
+
+
+@pytest.fixture
+def small_power_law():
+    """Deterministic 60-node power-law graph used across algorithm tests."""
+    return power_law_graph(60, 180, seed=17)
+
+
+@pytest.fixture
+def medium_power_law():
+    """Deterministic 200-node power-law graph for integration-ish tests."""
+    return power_law_graph(200, 800, seed=23)
+
+
+@pytest.fixture
+def clusters():
+    return two_cluster_graph(8, bridge_edges=1, seed=5)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)

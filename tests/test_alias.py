@@ -1,0 +1,97 @@
+"""Tests for the alias-method weighted walk sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import power_law_graph
+from repro.graphs.weighted import WeightedDiGraph
+from repro.walks.alias import (
+    AliasSampler,
+    weighted_batch_walks,
+    weighted_random_walk,
+)
+
+
+class TestAliasDistribution:
+    def test_two_to_one_weighting(self):
+        # From 0: edge to 1 has weight 2, edge to 2 has weight 1.
+        g = WeightedDiGraph.from_edges([(0, 1, 2.0), (0, 2, 1.0)])
+        sampler = AliasSampler(g)
+        rng = np.random.default_rng(1)
+        current = np.zeros(30_000, dtype=np.int64)
+        nxt = sampler.step(current, rng)
+        frac_to_1 = (nxt == 1).mean()
+        assert frac_to_1 == pytest.approx(2 / 3, abs=0.02)
+
+    def test_uniform_weights_match_unweighted(self):
+        g = WeightedDiGraph.from_edges(
+            [(0, 1, 1.0), (0, 2, 1.0), (0, 3, 1.0), (0, 4, 1.0)]
+        )
+        sampler = AliasSampler(g)
+        rng = np.random.default_rng(2)
+        nxt = sampler.step(np.zeros(40_000, dtype=np.int64), rng)
+        counts = np.bincount(nxt, minlength=5)[1:]
+        assert counts.min() > 0.9 * counts.mean()
+
+    def test_extreme_skew(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1000.0), (0, 2, 1.0)])
+        sampler = AliasSampler(g)
+        rng = np.random.default_rng(3)
+        nxt = sampler.step(np.zeros(20_000, dtype=np.int64), rng)
+        assert (nxt == 1).mean() > 0.99
+
+    def test_many_edges_distribution(self):
+        rng = np.random.default_rng(4)
+        weights = rng.random(12) + 0.05
+        g = WeightedDiGraph.from_edges(
+            [(0, i + 1, float(w)) for i, w in enumerate(weights)]
+        )
+        sampler = AliasSampler(g)
+        nxt = sampler.step(np.zeros(120_000, dtype=np.int64), np.random.default_rng(5))
+        counts = np.bincount(nxt, minlength=13)[1:]
+        empirical = counts / counts.sum()
+        expected = weights / weights.sum()
+        assert np.allclose(empirical, expected, atol=0.01)
+
+    def test_dangling_stays(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        sampler = AliasSampler(g)
+        nxt = sampler.step(np.ones(10, dtype=np.int64), np.random.default_rng(6))
+        assert (nxt == 1).all()
+
+    def test_edge_probability(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 3.0), (0, 2, 1.0)])
+        sampler = AliasSampler(g)
+        assert sampler.edge_probability(0, 0) == pytest.approx(0.75)
+        with pytest.raises(ParameterError):
+            sampler.edge_probability(0, 5)
+
+
+class TestWeightedWalks:
+    def test_walk_shape_and_start(self):
+        g = WeightedDiGraph.from_undirected(power_law_graph(30, 90, seed=1))
+        walks = weighted_batch_walks(g, np.arange(30), 5, seed=2)
+        assert walks.shape == (30, 6)
+        assert walks[:, 0].tolist() == list(range(30))
+
+    def test_walk_follows_arcs(self):
+        g = WeightedDiGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]
+        )
+        walk = weighted_random_walk(g, 0, 6, seed=3)
+        # The only trajectory is the directed cycle.
+        assert walk == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_deterministic_by_seed(self):
+        g = WeightedDiGraph.from_undirected(power_law_graph(30, 90, seed=1))
+        a = weighted_batch_walks(g, np.arange(30), 4, seed=9)
+        b = weighted_batch_walks(g, np.arange(30), 4, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(ParameterError):
+            weighted_batch_walks(g, np.array([0]), -1)
+        with pytest.raises(ParameterError):
+            weighted_batch_walks(g, np.array([5]), 2)

@@ -1,0 +1,285 @@
+"""Analysis subpackage: submodularity audits and absorbing-chain theory."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    absorbing_hitting_time,
+    approximation_ratio,
+    audit_set_function,
+    stationary_distribution,
+    truncation_gap,
+)
+from repro.core.exact_optimal import optimal_value
+from repro.core.dp_greedy import dpf2
+from repro.core.objectives import F1Objective, F2Objective
+from repro.errors import ParameterError
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.generators import (
+    complete_graph,
+    paper_example_graph,
+    path_graph,
+    power_law_graph,
+    ring_graph,
+    star_graph,
+)
+
+
+class BrokenObjective:
+    """A non-submodular, non-monotone set function for negative tests."""
+
+    def __init__(self, num_nodes: int = 6):
+        self._n = num_nodes
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    def value(self, targets) -> float:
+        size = len(set(targets))
+        return float(size * size)  # convex: violates submodularity
+
+    def marginal_gain(self, targets, candidate) -> float:
+        return self.value(set(targets) | {candidate}) - self.value(targets)
+
+
+class ShrinkingObjective(BrokenObjective):
+    """Decreasing set function: violates monotonicity."""
+
+    def value(self, targets) -> float:
+        return -float(len(set(targets)))
+
+
+class TestAuditSetFunction:
+    def test_f1_audits_clean(self):
+        graph = power_law_graph(20, 60, seed=1)
+        audit = audit_set_function(F1Objective(graph, 4), trials=40, seed=2)
+        assert audit.ok
+        assert audit.empty_value == 0.0
+
+    def test_f2_audits_clean(self):
+        graph = paper_example_graph()
+        audit = audit_set_function(F2Objective(graph, 4), trials=40, seed=3)
+        assert audit.ok
+
+    def test_convex_function_flagged(self):
+        audit = audit_set_function(BrokenObjective(), trials=60, seed=4)
+        assert audit.submodularity_violations
+        assert not audit.ok
+
+    def test_decreasing_function_flagged(self):
+        audit = audit_set_function(ShrinkingObjective(), trials=60, seed=5)
+        assert audit.monotonicity_violations
+        assert not audit.ok
+
+    def test_rejects_bad_params(self):
+        graph = ring_graph(6)
+        objective = F1Objective(graph, 3)
+        with pytest.raises(ParameterError):
+            audit_set_function(objective, trials=0)
+        with pytest.raises(ParameterError):
+            audit_set_function(objective, max_set_size=0)
+
+    def test_rejects_tiny_ground_set(self):
+        graph = path_graph(2)
+        with pytest.raises(ParameterError):
+            audit_set_function(F1Objective(graph, 2))
+
+    def test_deterministic_under_seed(self):
+        graph = power_law_graph(15, 40, seed=6)
+        objective = F2Objective(graph, 3)
+        a = audit_set_function(objective, trials=20, seed=7)
+        b = audit_set_function(objective, trials=20, seed=7)
+        assert a.ok == b.ok
+        assert a.empty_value == b.empty_value
+
+
+class TestApproximationRatio:
+    def test_ratio_of_greedy(self):
+        graph = paper_example_graph()
+        objective = F2Objective(graph, 3)
+        greedy = dpf2(graph, 2, 3)
+        opt = optimal_value(objective, 2)
+        ratio = approximation_ratio(objective, greedy.selected, opt)
+        assert 1 - 1 / np.e <= ratio <= 1.0 + 1e-9
+
+    def test_zero_over_zero(self):
+        graph = ring_graph(5)
+        objective = F2Objective(graph, 0)  # L=0: only S itself is hit
+        assert approximation_ratio(objective, (), 0.0) == 1.0
+
+
+class TestStationaryDistribution:
+    def test_sums_to_one(self):
+        graph = power_law_graph(30, 90, seed=8)
+        pi = stationary_distribution(graph)
+        assert pi.sum() == pytest.approx(1.0)
+        assert (pi >= 0).all()
+
+    def test_proportional_to_degree(self):
+        graph = star_graph(4)  # center degree 4, leaves degree 1
+        pi = stationary_distribution(graph)
+        assert pi[0] == pytest.approx(4 / 8)
+        assert pi[1] == pytest.approx(1 / 8)
+
+    def test_regular_graph_uniform(self):
+        graph = ring_graph(10)
+        pi = stationary_distribution(graph)
+        np.testing.assert_allclose(pi, 0.1)
+
+    def test_dangling_nodes_get_zero(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.touch_node(2)
+        pi = stationary_distribution(builder.build())
+        assert pi[2] == 0.0
+
+    def test_edgeless_graph_rejected(self):
+        builder = GraphBuilder()
+        builder.touch_node(3)
+        with pytest.raises(ParameterError):
+            stationary_distribution(builder.build())
+
+    def test_invariance_under_transition(self):
+        """pi P = pi on a graph with no dangling nodes."""
+        from repro.hitting.transition import transition_matrix
+
+        graph = power_law_graph(25, 80, seed=9)
+        pi = stationary_distribution(graph)
+        after = pi @ transition_matrix(graph)
+        np.testing.assert_allclose(np.asarray(after).ravel(), pi, atol=1e-12)
+
+
+class TestAbsorbingHittingTime:
+    def test_path_graph_closed_form(self):
+        """On path 0-1-2 with target {0}: h_1 = 3, h_2 = 4.
+
+        Standard birth-death chain: from the far end of a 2-edge path the
+        walk takes on average 4 steps to reach the head.
+        """
+        graph = path_graph(3)
+        h = absorbing_hitting_time(graph, [0])
+        assert h[0] == 0.0
+        assert h[1] == pytest.approx(3.0)
+        assert h[2] == pytest.approx(4.0)
+
+    def test_complete_graph_closed_form(self):
+        """On K_n with one target, h = n - 1 for every non-target node."""
+        n = 8
+        graph = complete_graph(n)
+        h = absorbing_hitting_time(graph, [0])
+        np.testing.assert_allclose(h[1:], n - 1)
+
+    def test_unreachable_nodes_are_infinite(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.add_edge(2, 3)
+        h = absorbing_hitting_time(builder.build(), [0])
+        assert h[1] == pytest.approx(1.0)
+        assert np.isinf(h[2]) and np.isinf(h[3])
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ParameterError):
+            absorbing_hitting_time(ring_graph(5), ())
+
+    def test_matches_truncated_limit(self):
+        """h^L_uS -> h_uS as L grows (connected graph)."""
+        from repro.hitting.exact import hitting_time_vector
+
+        graph = power_law_graph(20, 60, seed=10)
+        targets = [0, 3]
+        exact = absorbing_hitting_time(graph, targets)
+        truncated = hitting_time_vector(graph, targets, 400)
+        np.testing.assert_allclose(truncated, exact, atol=1e-6)
+
+
+class TestTruncationGap:
+    def test_nonnegative_and_decreasing_in_length(self):
+        graph = power_law_graph(25, 75, seed=11)
+        targets = [1, 4]
+        gap_short = truncation_gap(graph, targets, 2)
+        gap_long = truncation_gap(graph, targets, 12)
+        assert (gap_short >= -1e-9).all()
+        assert (gap_long <= gap_short + 1e-9).all()
+
+    def test_zero_on_targets(self):
+        graph = ring_graph(8)
+        gap = truncation_gap(graph, [0], 5)
+        assert gap[0] == 0.0
+
+    def test_infinite_for_unreachable(self):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.touch_node(2)
+        gap = truncation_gap(builder.build(), [0], 4)
+        assert np.isinf(gap[2])
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ParameterError):
+            truncation_gap(ring_graph(5), [0], -1)
+
+
+class TestRecommendLength:
+    def test_complete_graph_small_l(self):
+        """K_n mixes in one step: a short horizon already suffices."""
+        from repro.analysis import recommend_length
+
+        graph = complete_graph(10)
+        length = recommend_length(graph, [0], tolerance=0.05)
+        assert 1 <= length <= 64
+
+    def test_path_needs_longer_horizon_than_star(self):
+        from repro.analysis import recommend_length
+
+        path_l = recommend_length(path_graph(12), [0], tolerance=0.1)
+        star_l = recommend_length(star_graph(11), [0], tolerance=0.1)
+        assert path_l > star_l
+
+    def test_meets_tolerance_by_definition(self):
+        from repro.analysis import recommend_length, truncation_gap
+        from repro.analysis.stationary import absorbing_hitting_time
+        import numpy as np
+
+        graph = power_law_graph(30, 90, seed=21)
+        targets = [0, 4]
+        tol = 0.08
+        length = recommend_length(graph, targets, tolerance=tol)
+        unbounded = absorbing_hitting_time(graph, targets)
+        from repro.hitting.transition import target_mask
+
+        mask = target_mask(graph.num_nodes, targets)
+        relevant = np.isfinite(unbounded) & ~mask
+        gap = truncation_gap(graph, targets, length)
+        assert gap[relevant].mean() <= tol * unbounded[relevant].mean() + 1e-9
+        # And length is minimal: one step shorter misses the tolerance.
+        if length > 1:
+            shorter = truncation_gap(graph, targets, length - 1)
+            assert (
+                shorter[relevant].mean()
+                > tol * unbounded[relevant].mean() - 1e-9
+            )
+
+    def test_unreachable_only_sources(self):
+        from repro.analysis import recommend_length
+        from repro.graphs.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.touch_node(2)
+        # Node 2 can never reach {0, 1}; nodes 0,1 are the targets.
+        assert recommend_length(builder.build(), [0, 1], tolerance=0.1) == 0
+
+    def test_rejects_bad_tolerance(self):
+        from repro.analysis import recommend_length
+
+        with pytest.raises(ParameterError):
+            recommend_length(ring_graph(5), [0], tolerance=0.0)
+        with pytest.raises(ParameterError):
+            recommend_length(ring_graph(5), [0], tolerance=1.0)
+
+    def test_max_length_exceeded(self):
+        from repro.analysis import recommend_length
+
+        with pytest.raises(ParameterError):
+            recommend_length(path_graph(40), [0], tolerance=0.001,
+                             max_length=4)

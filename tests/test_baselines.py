@@ -1,0 +1,108 @@
+"""Tests for the Degree / Dominate / Random baselines."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    path_graph,
+    star_graph,
+    two_cluster_graph,
+)
+from repro.core.baselines import (
+    degree_baseline,
+    dominate_baseline,
+    random_baseline,
+)
+
+
+class TestDegree:
+    def test_top_degrees(self, small_power_law):
+        result = degree_baseline(small_power_law, 5)
+        degrees = small_power_law.degrees
+        chosen = degrees[list(result.selected)]
+        threshold = sorted(degrees.tolist(), reverse=True)[4]
+        assert (chosen >= threshold).all()
+
+    def test_order_by_degree(self, star4):
+        result = degree_baseline(star4, 2)
+        assert result.selected[0] == 0  # center has max degree
+
+    def test_tie_break_lower_id(self):
+        g = path_graph(4)  # degrees [1,2,2,1]
+        result = degree_baseline(g, 2)
+        assert result.selected == (1, 2)
+
+    def test_k_zero(self, small_power_law):
+        assert degree_baseline(small_power_law, 0).selected == ()
+
+    def test_k_validated(self, small_power_law):
+        with pytest.raises(ParameterError):
+            degree_baseline(small_power_law, small_power_law.num_nodes + 1)
+
+
+class TestDominate:
+    def test_star_center_first(self, star4):
+        result = dominate_baseline(star4, 1)
+        assert result.selected == (0,)
+
+    def test_two_clusters_split(self):
+        g = two_cluster_graph(6, bridge_edges=1, seed=2)
+        result = dominate_baseline(g, 2)
+        sides = {v // 6 for v in result.selected}
+        assert sides == {0, 1}
+
+    def test_gain_is_new_neighbors(self):
+        # Path 0-1-2-3-4: first pick is a degree-2 node; the second pick's
+        # gain counts only neighbors not already covered.
+        g = path_graph(5)
+        result = dominate_baseline(g, 2)
+        assert result.gains[0] == 2.0
+        assert result.gains[1] <= 2.0
+
+    def test_gains_non_increasing(self, small_power_law):
+        result = dominate_baseline(small_power_law, 8)
+        gains = list(result.gains)
+        assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_matches_naive_implementation(self, small_power_law):
+        # Reference: literal argmax |N({u}) - N(S)| each round.
+        def naive(graph, k):
+            covered = set()
+            chosen = []
+            for _ in range(k):
+                best, best_gain = -1, -1
+                for u in range(graph.num_nodes):
+                    if u in chosen:
+                        continue
+                    gain = len(set(graph.neighbors(u).tolist()) - covered)
+                    if gain > best_gain:
+                        best, best_gain = u, gain
+                chosen.append(best)
+                covered |= set(graph.neighbors(best).tolist())
+            return tuple(chosen)
+
+        assert dominate_baseline(small_power_law, 6).selected == naive(
+            small_power_law, 6
+        )
+
+    def test_handles_exhausted_coverage(self):
+        # More budget than useful picks: still returns k distinct nodes...
+        g = star_graph(3)
+        result = dominate_baseline(g, 4)
+        assert len(set(result.selected)) == 4
+
+
+class TestRandom:
+    def test_distinct(self, small_power_law):
+        result = random_baseline(small_power_law, 10, seed=1)
+        assert len(set(result.selected)) == 10
+
+    def test_deterministic_by_seed(self, small_power_law):
+        a = random_baseline(small_power_law, 5, seed=3)
+        b = random_baseline(small_power_law, 5, seed=3)
+        assert a.selected == b.selected
+
+    def test_within_range(self, small_power_law):
+        result = random_baseline(small_power_law, 5, seed=2)
+        assert all(0 <= v < small_power_law.num_nodes for v in result.selected)

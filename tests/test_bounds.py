@@ -1,0 +1,89 @@
+"""Tests for the Hoeffding sample-size bounds (Lemmas 3.3/3.4)."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hitting.bounds import (
+    delta_for_sample_size,
+    epsilon_for_sample_size,
+    hoeffding_tail,
+    sample_size_f1,
+    sample_size_f2,
+)
+
+
+class TestSampleSizes:
+    def test_lemma33_formula(self):
+        n, s, eps, delta = 1000, 30, 0.1, 0.01
+        expected = math.ceil(math.log((n - s) / delta) / (2 * eps**2))
+        assert sample_size_f1(n, s, eps, delta) == expected
+
+    def test_lemma34_formula(self):
+        n, eps, delta = 1000, 0.1, 0.01
+        expected = math.ceil(math.log(n / delta) / (2 * eps**2))
+        assert sample_size_f2(n, eps, delta) == expected
+
+    def test_f1_needs_fewer_than_f2(self):
+        # log((n-|S|)/delta) < log(n/delta) for |S| > 0.
+        assert sample_size_f1(1000, 100, 0.1, 0.01) <= sample_size_f2(
+            1000, 0.1, 0.01
+        )
+
+    def test_tighter_epsilon_needs_more_samples(self):
+        loose = sample_size_f2(1000, 0.2, 0.01)
+        tight = sample_size_f2(1000, 0.05, 0.01)
+        assert tight > loose
+
+    def test_smaller_delta_needs_more_samples(self):
+        assert sample_size_f2(1000, 0.1, 0.001) > sample_size_f2(1000, 0.1, 0.1)
+
+    def test_paper_scale_r_is_small(self):
+        # The paper observes R ~ 100 suffices; the bound at eps=0.15,
+        # delta=0.1 on a 1000-node graph is within an order of magnitude.
+        assert sample_size_f2(1000, 0.15, 0.1) < 300
+
+
+class TestInversions:
+    def test_epsilon_round_trip(self):
+        n, delta = 500, 0.05
+        r = sample_size_f2(n, 0.1, delta)
+        eps = epsilon_for_sample_size(n, r, delta)
+        assert eps <= 0.1 + 1e-9
+
+    def test_delta_round_trip(self):
+        n, eps = 500, 0.1
+        r = sample_size_f2(n, eps, 0.05)
+        delta = delta_for_sample_size(n, r, eps)
+        assert delta <= 0.05 + 1e-9
+
+    def test_delta_capped_at_one(self):
+        assert delta_for_sample_size(10**6, 1, 0.01) == 1.0
+
+    def test_tail_decreases_with_samples(self):
+        assert hoeffding_tail(200, 0.1) < hoeffding_tail(100, 0.1)
+
+
+class TestValidation:
+    def test_eps_out_of_range(self):
+        with pytest.raises(ParameterError):
+            sample_size_f2(10, 0.0, 0.1)
+        with pytest.raises(ParameterError):
+            sample_size_f2(10, 1.0, 0.1)
+
+    def test_delta_out_of_range(self):
+        with pytest.raises(ParameterError):
+            sample_size_f2(10, 0.1, 0.0)
+
+    def test_set_size_out_of_range(self):
+        with pytest.raises(ParameterError):
+            sample_size_f1(10, 10, 0.1, 0.1)
+        with pytest.raises(ParameterError):
+            sample_size_f1(10, -1, 0.1, 0.1)
+
+    def test_bad_sample_size(self):
+        with pytest.raises(ParameterError):
+            epsilon_for_sample_size(10, 0, 0.1)
+        with pytest.raises(ParameterError):
+            hoeffding_tail(0, 0.1)

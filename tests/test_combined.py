@@ -1,0 +1,123 @@
+"""Tests for the combined-objective extension (future-work problem 1)."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import paper_example_graph
+from repro.walks.index import FlatWalkIndex
+from repro.core.approx_fast import approx_greedy_fast
+from repro.core.combined import (
+    CombinedObjective,
+    approx_combined,
+    balanced_weights,
+    combined_greedy,
+)
+from repro.core.dp_greedy import dpf1, dpf2
+
+
+class TestCombinedObjective:
+    def test_reduces_to_f1(self, small_power_law):
+        from repro.core.objectives import F1Objective
+
+        combined = CombinedObjective(small_power_law, 4, 1.0, 0.0)
+        f1 = F1Objective(small_power_law, 4)
+        assert combined.value({1, 2}) == pytest.approx(f1.value({1, 2}))
+
+    def test_reduces_to_f2(self, small_power_law):
+        from repro.core.objectives import F2Objective
+
+        combined = CombinedObjective(small_power_law, 4, 0.0, 1.0)
+        f2 = F2Objective(small_power_law, 4)
+        assert combined.value({1, 2}) == pytest.approx(f2.value({1, 2}))
+
+    def test_linearity(self, small_power_law):
+        from repro.core.objectives import F1Objective, F2Objective
+
+        combined = CombinedObjective(small_power_law, 4, 0.3, 0.7)
+        expected = 0.3 * F1Objective(small_power_law, 4).value({5}) + (
+            0.7 * F2Objective(small_power_law, 4).value({5})
+        )
+        assert combined.value({5}) == pytest.approx(expected)
+
+    def test_submodular(self):
+        # Positive combinations preserve submodularity (paper Section 5).
+        g = paper_example_graph()
+        combined = CombinedObjective(g, 3, 0.5, 0.5)
+        nodes = range(8)
+        for small in itertools.combinations(nodes, 1):
+            small = set(small)
+            for extra in nodes:
+                if extra in small:
+                    continue
+                big = small | {extra}
+                for u in nodes:
+                    if u in big:
+                        continue
+                    assert combined.marginal_gain(small, u) >= (
+                        combined.marginal_gain(big, u) - 1e-9
+                    )
+
+    def test_weights_validated(self, small_power_law):
+        with pytest.raises(ParameterError):
+            CombinedObjective(small_power_law, 3, -1.0, 1.0)
+        with pytest.raises(ParameterError):
+            CombinedObjective(small_power_law, 3, 0.0, 0.0)
+
+
+class TestBalancedWeights:
+    def test_extremes(self):
+        assert balanced_weights(1.0, 5) == (0.2, 0.0)
+        assert balanced_weights(0.0, 5) == (0.0, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            balanced_weights(1.5, 5)
+        with pytest.raises(ParameterError):
+            balanced_weights(0.5, 0)
+
+
+class TestCombinedGreedy:
+    def test_pure_f1_matches_dpf1(self, small_power_law):
+        combined = combined_greedy(small_power_law, 4, 4, 1.0, 0.0)
+        reference = dpf1(small_power_law, 4, 4)
+        assert combined.selected == reference.selected
+
+    def test_pure_f2_matches_dpf2(self, small_power_law):
+        combined = combined_greedy(small_power_law, 4, 4, 0.0, 1.0)
+        reference = dpf2(small_power_law, 4, 4)
+        assert combined.selected == reference.selected
+
+    def test_params_recorded(self, small_power_law):
+        result = combined_greedy(small_power_law, 2, 3, 0.4, 0.6)
+        assert result.params["w1"] == 0.4
+        assert result.params["w2"] == 0.6
+
+
+class TestApproxCombined:
+    def test_pure_weights_match_single_objective(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 10, seed=9)
+        combined = approx_combined(
+            small_power_law, 5, 4, 1.0, 0.0, index=index
+        )
+        single = approx_greedy_fast(
+            small_power_law, 5, 4, index=index, objective="f1", lazy=False
+        )
+        assert combined.selected == single.selected
+
+    def test_mixture_runs(self, small_power_law):
+        result = approx_combined(
+            small_power_law, 4, 4, 0.2, 0.8, num_replicates=10, seed=3
+        )
+        assert len(set(result.selected)) == 4
+
+    def test_weights_validated(self, small_power_law):
+        with pytest.raises(ParameterError):
+            approx_combined(small_power_law, 2, 3, 0.0, 0.0)
+
+    def test_k_validated(self, small_power_law):
+        with pytest.raises(ParameterError):
+            approx_combined(
+                small_power_law, small_power_law.num_nodes + 1, 3, 1.0, 1.0
+            )

@@ -1,0 +1,112 @@
+"""Empirical validation of the Hoeffding sample-size bounds (Lemmas 3.3/3.4).
+
+The lemmas promise: with ``R >= log((n - |S|)/delta) / (2 eps^2)`` walks
+per node, ``Pr[|F1_hat - F1| >= eps (n - |S|) L] <= delta`` (and the
+analogue for F2).  These tests measure the deviation across many
+independent estimator runs against the exact DP values and check the
+violation rate.  Hoeffding is loose in practice, so a clean pass is
+expected with large margin; a failure here means either the estimator or
+the bound inversion regressed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import power_law_graph
+from repro.hitting.bounds import sample_size_f1, sample_size_f2
+from repro.hitting.exact import hit_probability_vector, hitting_time_vector
+from repro.walks.estimators import estimate_f1, estimate_f2
+
+EPSILON = 0.1
+DELTA = 0.1
+TRIALS = 40
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = power_law_graph(40, 120, seed=5)
+    targets = {0, 7, 19}
+    length = 5
+    return graph, targets, length
+
+
+class TestF1Concentration:
+    def test_bound_holds_empirically(self, instance):
+        graph, targets, length = instance
+        n_out = graph.num_nodes - len(targets)
+        replicates = sample_size_f1(
+            graph.num_nodes, len(targets), EPSILON, DELTA
+        )
+        exact = graph.num_nodes * length - float(
+            hitting_time_vector(graph, targets, length).sum()
+        )
+        budget = EPSILON * n_out * length
+        violations = 0
+        for trial in range(TRIALS):
+            estimate = estimate_f1(
+                graph, targets, length, replicates, seed=1000 + trial
+            )
+            if abs(estimate - exact) >= budget:
+                violations += 1
+        assert violations / TRIALS <= DELTA
+
+    def test_estimates_center_on_truth(self, instance):
+        """Unbiasedness (Lemma 3.1): the mean estimate converges to F1."""
+        graph, targets, length = instance
+        exact = graph.num_nodes * length - float(
+            hitting_time_vector(graph, targets, length).sum()
+        )
+        estimates = [
+            estimate_f1(graph, targets, length, 50, seed=2000 + t)
+            for t in range(TRIALS)
+        ]
+        margin = 0.02 * graph.num_nodes * length
+        assert abs(np.mean(estimates) - exact) < margin
+
+
+class TestF2Concentration:
+    def test_bound_holds_empirically(self, instance):
+        graph, targets, length = instance
+        replicates = sample_size_f2(graph.num_nodes, EPSILON, DELTA)
+        exact = float(hit_probability_vector(graph, targets, length).sum())
+        budget = EPSILON * graph.num_nodes
+        violations = 0
+        for trial in range(TRIALS):
+            estimate = estimate_f2(
+                graph, targets, length, replicates, seed=3000 + trial
+            )
+            if abs(estimate - exact) >= budget:
+                violations += 1
+        assert violations / TRIALS <= DELTA
+
+    def test_estimates_center_on_truth(self, instance):
+        """Unbiasedness (Lemma 3.2)."""
+        graph, targets, length = instance
+        exact = float(hit_probability_vector(graph, targets, length).sum())
+        estimates = [
+            estimate_f2(graph, targets, length, 50, seed=4000 + t)
+            for t in range(TRIALS)
+        ]
+        assert abs(np.mean(estimates) - exact) < 0.02 * graph.num_nodes
+
+    def test_error_shrinks_with_r(self, instance):
+        """Monte-Carlo 1/sqrt(R): quadrupling R should roughly halve the
+        spread of the estimates."""
+        graph, targets, length = instance
+        exact = float(hit_probability_vector(graph, targets, length).sum())
+
+        def spread(replicates: int) -> float:
+            errors = [
+                abs(
+                    estimate_f2(
+                        graph, targets, length, replicates, seed=5000 + t
+                    )
+                    - exact
+                )
+                for t in range(TRIALS)
+            ]
+            return float(np.mean(errors))
+
+        loose = spread(8)
+        tight = spread(128)
+        assert tight < loose

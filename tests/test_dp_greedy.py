@@ -1,0 +1,76 @@
+"""Tests for the DP-based greedy (DPF1 / DPF2)."""
+
+import itertools
+
+import pytest
+
+from repro.graphs.generators import paper_example_graph, star_graph, two_cluster_graph
+from repro.core.dp_greedy import dpf1, dpf2
+from repro.core.objectives import F1Objective, F2Objective
+
+
+class TestQuality:
+    @pytest.mark.parametrize(
+        "runner,objective_cls", [(dpf1, F1Objective), (dpf2, F2Objective)]
+    )
+    def test_greedy_guarantee_on_small_graph(self, runner, objective_cls):
+        # Exhaustive optimum on the 8-node paper graph, k=2: greedy must be
+        # within 1-1/e (it is usually optimal here).
+        g = paper_example_graph()
+        length, k = 3, 2
+        objective = objective_cls(g, length)
+        best = max(
+            objective.value(set(c)) for c in itertools.combinations(range(8), k)
+        )
+        result = runner(g, k, length)
+        achieved = objective.value(set(result.selected))
+        assert achieved >= (1 - 1 / 2.718281828) * best - 1e-9
+
+    def test_star_center_first(self):
+        result = dpf2(star_graph(6), 1, 2)
+        assert result.selected == (0,)
+
+    def test_two_clusters_covered(self):
+        # With k=2 greedy should put one target in each cluster.
+        g = two_cluster_graph(6, bridge_edges=1, seed=3)
+        result = dpf2(g, 2, 3)
+        sides = {v // 6 for v in result.selected}
+        assert sides == {0, 1}
+
+    def test_gains_non_increasing(self, small_power_law):
+        result = dpf1(small_power_law, 6, 4)
+        gains = list(result.gains)
+        assert all(a >= b - 1e-9 for a, b in zip(gains, gains[1:]))
+
+    def test_prefix_property(self, small_power_law):
+        # A k=3 run is a prefix of a k=6 run (deterministic objective).
+        small = dpf1(small_power_law, 3, 4)
+        large = dpf1(small_power_law, 6, 4)
+        assert large.selected[:3] == small.selected
+
+
+class TestLazyEquivalence:
+    @pytest.mark.parametrize("runner", [dpf1, dpf2])
+    def test_lazy_matches_full(self, runner, small_power_law):
+        lazy = runner(small_power_law, 5, 4, lazy=True)
+        full = runner(small_power_law, 5, 4, lazy=False)
+        assert lazy.selected == full.selected
+
+    def test_lazy_fewer_evaluations(self, small_power_law):
+        lazy = dpf1(small_power_law, 5, 4, lazy=True)
+        full = dpf1(small_power_law, 5, 4, lazy=False)
+        assert lazy.num_gain_evaluations < full.num_gain_evaluations
+
+
+class TestMetadata:
+    def test_params_recorded(self, small_power_law):
+        result = dpf1(small_power_law, 2, 5)
+        assert result.params["L"] == 5
+        assert result.params["objective"] == "f1"
+        assert result.algorithm == "DPF1"
+
+    def test_dpf2_name(self, small_power_law):
+        assert dpf2(small_power_law, 1, 2).algorithm == "DPF2"
+
+    def test_k_zero(self, small_power_law):
+        assert dpf1(small_power_law, 0, 3).selected == ()

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts.
+
+Examples are the first code users run, and the easiest code to break
+silently during refactors (nothing else imports them).  Executing each
+module with ``run_name != "__main__"`` runs its imports and module-level
+constants without the (slow) ``main()`` body — enough to catch renamed
+APIs, moved modules, and syntax errors in seconds.
+
+``quickstart.py``'s ``main()`` additionally runs end to end with shrunken
+constants, as the one full-path guarantee.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert len(names) >= 8
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+)
+def test_example_imports_cleanly(script):
+    """Module-level code (imports, constants, function defs) must run."""
+    namespace = runpy.run_path(str(script), run_name="example_smoke")
+    assert "main" in namespace, f"{script.name} must define main()"
+    assert callable(namespace["main"])
+
+
+def test_quickstart_main_runs_end_to_end(monkeypatch, capsys):
+    namespace = runpy.run_path(
+        str(EXAMPLES_DIR / "quickstart.py"), run_name="example_smoke"
+    )
+    # Shrink the scenario so the full pipeline finishes in seconds.
+    namespace["main"].__globals__["CLUSTERS"] = 3
+    namespace["main"].__globals__["CLUSTER_SIZE"] = 30
+    namespace["main"]()
+    out = capsys.readouterr().out
+    assert "ApproxF1" in out
+    assert "communities covered" in out

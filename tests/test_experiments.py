@@ -1,0 +1,185 @@
+"""Tests for the experiment harness: config, runner, reporting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.config import HarnessConfig, default_config
+from repro.experiments.reporting import ExperimentTable, format_table, format_value
+from repro.experiments.runner import ALGORITHMS, quality_series, run_algorithm
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = HarnessConfig()
+        assert 0 < cfg.scale <= 1
+        assert cfg.length == 6
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_R", "42")
+        monkeypatch.setenv("REPRO_SEED", "7")
+        cfg = default_config()
+        assert cfg.scale == 0.5
+        assert cfg.num_replicates == 42
+        assert cfg.seed == 7
+
+    def test_with_overrides(self):
+        cfg = HarnessConfig().with_overrides(scale=0.1)
+        assert cfg.scale == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            HarnessConfig(scale=0.0)
+        with pytest.raises(ParameterError):
+            HarnessConfig(num_replicates=0)
+        with pytest.raises(ParameterError):
+            HarnessConfig(budgets=(-1,))
+
+
+class TestRunner:
+    @pytest.mark.parametrize("name", ALGORITHMS)
+    def test_every_algorithm_runs(self, name, small_power_law):
+        kwargs = {"num_replicates": 10, "seed": 1}
+        result = run_algorithm(name, small_power_law, 3, 3, **kwargs)
+        assert len(result.selected) == 3
+
+    def test_unknown_algorithm(self, small_power_law):
+        with pytest.raises(ParameterError):
+            run_algorithm("Oracle", small_power_law, 2, 3)
+
+    def test_quality_series_points(self, small_power_law):
+        result = run_algorithm("Degree", small_power_law, 6, 4)
+        points = quality_series(small_power_law, result, [2, 4, 6], 4)
+        assert [p.k for p in points] == [2, 4, 6]
+        # AHT non-increasing in k (nested selections), EHN non-decreasing.
+        ahts = [p.aht for p in points]
+        ehns = [p.ehn for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(ahts, ahts[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(ehns, ehns[1:]))
+
+    def test_quality_series_budget_too_large(self, small_power_law):
+        result = run_algorithm("Degree", small_power_law, 3, 4)
+        with pytest.raises(ParameterError):
+            quality_series(small_power_law, result, [5], 4)
+
+    def test_shared_index(self, small_power_law):
+        from repro.walks.index import FlatWalkIndex
+
+        index = FlatWalkIndex.build(small_power_law, 3, 8, seed=5)
+        a = run_algorithm("ApproxF1", small_power_law, 3, 3, index=index)
+        b = run_algorithm("ApproxF1", small_power_law, 3, 3, index=index)
+        assert a.selected == b.selected
+
+
+class TestReporting:
+    def test_add_row_validates_width(self):
+        table = ExperimentTable(title="t", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_and_filtered(self):
+        table = ExperimentTable(title="t", columns=("algo", "k", "v"))
+        table.add_row("A", 1, 0.5)
+        table.add_row("A", 2, 0.7)
+        table.add_row("B", 1, 0.9)
+        assert table.column("k") == [1, 2, 1]
+        assert table.filtered(algo="A", k=2) == [("A", 2, 0.7)]
+
+    def test_str_contains_rows_and_notes(self):
+        table = ExperimentTable(
+            title="demo", columns=("x",), notes=["a note"]
+        )
+        table.add_row(3.14159)
+        text = str(table)
+        assert "demo" in text
+        assert "3.1416" in text
+        assert "a note" in text
+
+    def test_format_value(self):
+        assert format_value(1234.5) == "1,234.5"
+        assert format_value(0.25) == "0.25"
+        assert format_value(float("nan")) == "nan"
+        assert format_value(True) == "True"
+        assert format_value("x") == "x"
+
+    def test_format_table_alignment(self):
+        text = format_table("t", ["col"], [["a"], ["bb"]])
+        lines = text.splitlines()
+        assert lines[1].startswith("col")
+        assert len(lines) == 5  # title, header, rule, 2 rows
+
+
+class TestFiguresSmoke:
+    """Tiny-scale smoke of every figure entry point (full scale runs live in
+    benchmarks/)."""
+
+    @pytest.fixture
+    def tiny(self):
+        return HarnessConfig(
+            scale=0.02, num_replicates=10, seed=5, budgets=(2, 4), length=3
+        )
+
+    def test_table2(self, tiny):
+        from repro.experiments.figures import table2
+
+        table = table2(tiny)
+        assert len(table.rows) == 4
+        assert table.column("name") == [
+            "CAGrQc", "CAHepPh", "Brightkite", "Epinions",
+        ]
+
+    def test_fig2_shape(self, tiny):
+        from repro.experiments.figures import fig2
+
+        table = fig2(tiny, r_values=(10,), lengths=(3,), k=3)
+        algos = set(table.column("algorithm"))
+        assert algos == {"DPF1", "ApproxF1"}
+
+    def test_fig3_shape(self, tiny):
+        from repro.experiments.figures import fig3
+
+        table = fig3(tiny, r_values=(10,), lengths=(3,), k=3)
+        assert set(table.column("algorithm")) == {"DPF2", "ApproxF2"}
+
+    def test_fig4_rows(self, tiny):
+        from repro.experiments.figures import fig4
+
+        table = fig4(tiny, lengths=(3,), num_replicates=10, k=3)
+        assert len(table.rows) == 4
+        assert all(row[-1] >= 0 for row in table.rows)
+
+    def test_fig5_rows(self, tiny):
+        from repro.experiments.figures import fig5
+
+        table = fig5(tiny, r_values=(5, 10), lengths=(3,), k=3)
+        assert len(table.rows) == 4
+
+    def test_fig6_fig7(self, tiny):
+        from repro.experiments.figures import fig6_fig7
+
+        aht, ehn = fig6_fig7(tiny, datasets=["CAGrQc"])
+        assert len(aht.rows) == 4 * 2  # 4 algorithms x 2 budgets
+        assert len(ehn.rows) == 8
+
+    def test_fig8(self, tiny):
+        from repro.experiments.figures import fig8
+
+        table = fig8(tiny, dataset="CAGrQc", budgets=(2,), lengths=(3,))
+        sweeps = set(table.column("sweep"))
+        assert sweeps == {"vs-k", "vs-L"}
+
+    def test_fig9(self, tiny):
+        from repro.experiments.figures import fig9
+
+        cfg = tiny.with_overrides(scale=0.002)
+        table = fig9(cfg, indices=(1, 2), k=5, length=3, num_replicates=5)
+        assert len(table.rows) == 4
+        nodes = table.column("nodes")
+        assert nodes[2] == 2 * nodes[0]
+
+    def test_fig10(self, tiny):
+        from repro.experiments.figures import fig10
+
+        table = fig10(tiny, datasets=("CAGrQc",), lengths=(2, 3), k=4)
+        assert set(table.column("L")) == {2, 3}
+        assert len(table.rows) == 2 * 4

@@ -1,0 +1,62 @@
+"""Extension exhibit entry points (experiments.extensions) at tiny scale."""
+
+import pytest
+
+from repro.experiments.config import default_config
+from repro.experiments.extensions import (
+    ext_applications,
+    ext_edge_domination,
+    ext_stochastic,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    """Very small scale so exhibit smoke tests stay fast."""
+    return default_config().with_overrides(scale=0.02, num_replicates=10)
+
+
+class TestExtEdgeDomination:
+    def test_structure(self, tiny_config):
+        table = ext_edge_domination(tiny_config, k=5, length=4)
+        assert table.columns == (
+            "dataset", "algorithm", "edge traffic", "seconds"
+        )
+        assert len(table.rows) == 6  # 2 datasets x 3 algorithms
+        assert set(table.column("algorithm")) == {
+            "ApproxF3", "ApproxF1", "Degree"
+        }
+
+    def test_traffic_positive(self, tiny_config):
+        table = ext_edge_domination(tiny_config, k=5, length=4)
+        assert all(t >= 0 for t in table.column("edge traffic"))
+
+
+class TestExtStochastic:
+    def test_structure_and_ordering(self, tiny_config):
+        table = ext_stochastic(tiny_config, k=10)
+        strategies = table.column("strategy")
+        assert strategies == ["full", "lazy", "stochastic"]
+        ehn = dict(zip(strategies, table.column("EHN")))
+        # Lazy equals full exactly; stochastic within its guarantee band.
+        assert ehn["lazy"] == ehn["full"]
+        assert ehn["stochastic"] >= 0.5 * ehn["full"]
+
+    def test_k_clamped_to_graph(self):
+        config = default_config().with_overrides(
+            scale=0.001, num_replicates=5
+        )
+        table = ext_stochastic(config, k=10_000)
+        assert len(table.rows) == 3
+
+
+class TestExtApplications:
+    def test_structure(self, tiny_config):
+        table = ext_applications(tiny_config, k=5)
+        assert len(table.rows) == 3
+        assert set(table.column("placement")) == {
+            "ApproxF2", "Degree", "Random"
+        }
+        for kpi in ("social discovery", "p2p success", "ad reach"):
+            for value in table.column(kpi):
+                assert 0.0 <= value <= 1.0

@@ -1,0 +1,191 @@
+"""METIS / JSON / weighted-arc interchange formats."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.formats import (
+    read_json_graph,
+    read_metis,
+    read_weighted_arcs,
+    write_json_graph,
+    write_metis,
+    write_weighted_arcs,
+)
+from repro.graphs.generators import (
+    paper_example_graph,
+    power_law_graph,
+    ring_graph,
+)
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.weighted import WeightedDiGraph
+
+
+class TestMetis:
+    def test_round_trip(self, tmp_path):
+        graph = power_law_graph(30, 90, seed=1)
+        path = tmp_path / "g.metis"
+        write_metis(graph, path)
+        assert read_metis(path) == graph
+
+    def test_round_trip_with_isolated_nodes(self, tmp_path):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.touch_node(3)
+        graph = builder.build()
+        path = tmp_path / "iso.metis"
+        write_metis(graph, path)
+        assert read_metis(path) == graph
+
+    def test_header_format(self, tmp_path):
+        graph = ring_graph(5)
+        path = tmp_path / "ring.metis"
+        write_metis(graph, path)
+        first = path.read_text().splitlines()[0]
+        assert first == "5 5"
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.metis"
+        path.write_text("% comment\n2 1\n2\n1\n")
+        graph = read_metis(path)
+        assert graph.num_nodes == 2
+        assert graph.num_edges == 1
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.metis"
+        path.write_text("")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_rejects_wrong_node_count(self, tmp_path):
+        path = tmp_path / "bad.metis"
+        path.write_text("3 1\n2\n1\n")  # says 3 nodes, has 2 lines
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_rejects_wrong_edge_count(self, tmp_path):
+        path = tmp_path / "bad2.metis"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_rejects_out_of_range_neighbor(self, tmp_path):
+        path = tmp_path / "bad3.metis"
+        path.write_text("2 1\n5\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_rejects_self_loop(self, tmp_path):
+        path = tmp_path / "bad4.metis"
+        path.write_text("2 1\n1\n2\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_rejects_non_integer(self, tmp_path):
+        path = tmp_path / "bad5.metis"
+        path.write_text("2 1\nx\n1\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+    def test_gzip_round_trip(self, tmp_path):
+        graph = ring_graph(7)
+        path = tmp_path / "ring.metis.gz"
+        write_metis(graph, path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().strip() == "7 7"
+        assert read_metis(path) == graph
+
+
+class TestJsonGraph:
+    def test_round_trip(self, tmp_path):
+        graph = paper_example_graph()
+        path = tmp_path / "g.json"
+        write_json_graph(graph, path)
+        assert read_json_graph(path) == graph
+
+    def test_preserves_isolated_nodes(self, tmp_path):
+        builder = GraphBuilder()
+        builder.add_edge(0, 1)
+        builder.touch_node(4)
+        graph = builder.build()
+        path = tmp_path / "iso.json"
+        write_json_graph(graph, path)
+        assert read_json_graph(path).num_nodes == 5
+
+    def test_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(GraphFormatError):
+            read_json_graph(path)
+
+    def test_rejects_missing_num_nodes(self, tmp_path):
+        path = tmp_path / "missing.json"
+        path.write_text('{"edges": [[0, 1]]}')
+        with pytest.raises(GraphFormatError):
+            read_json_graph(path)
+
+    def test_rejects_malformed_edges(self, tmp_path):
+        path = tmp_path / "mal.json"
+        path.write_text('{"num_nodes": 3, "edges": [["a", 1]]}')
+        with pytest.raises(GraphFormatError):
+            read_json_graph(path)
+
+    def test_empty_edge_list(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text('{"num_nodes": 3, "edges": []}')
+        graph = read_json_graph(path)
+        assert graph.num_nodes == 3
+        assert graph.num_edges == 0
+
+
+class TestWeightedArcs:
+    def _sample(self):
+        return WeightedDiGraph.from_edges(
+            [(0, 1, 2.0), (1, 0, 1.0), (1, 2, 0.5), (2, 0, 3.25)]
+        )
+
+    def test_round_trip(self, tmp_path):
+        graph = self._sample()
+        path = tmp_path / "arcs.txt"
+        write_weighted_arcs(graph, path)
+        assert read_weighted_arcs(path) == graph
+
+    def test_header_comment(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        write_weighted_arcs(self._sample(), path, header="trust network")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# trust network"
+
+    def test_num_nodes_override(self, tmp_path):
+        path = tmp_path / "arcs.txt"
+        write_weighted_arcs(self._sample(), path)
+        graph = read_weighted_arcs(path, num_nodes=10)
+        assert graph.num_nodes == 10
+
+    def test_rejects_two_column_lines(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError):
+            read_weighted_arcs(path)
+
+    def test_rejects_non_numeric_weight(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1 heavy\n")
+        with pytest.raises(GraphFormatError):
+            read_weighted_arcs(path)
+
+    def test_gzip_round_trip(self, tmp_path):
+        graph = self._sample()
+        path = tmp_path / "arcs.txt.gz"
+        write_weighted_arcs(graph, path)
+        assert read_weighted_arcs(path) == graph
+
+    def test_weights_preserved_exactly(self, tmp_path):
+        graph = self._sample()
+        path = tmp_path / "arcs.txt"
+        write_weighted_arcs(graph, path)
+        back = read_weighted_arcs(path)
+        import numpy as np
+
+        np.testing.assert_array_equal(back.weights, graph.weights)

@@ -1,0 +1,216 @@
+"""Tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    chung_lu_graph,
+    complete_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    paper_example_graph,
+    path_graph,
+    planted_partition_graph,
+    power_law_graph,
+    ring_graph,
+    star_graph,
+    two_cluster_graph,
+)
+from repro.graphs.properties import is_connected
+
+
+class TestBarabasiAlbert:
+    def test_size(self):
+        g = barabasi_albert_graph(100, 3, seed=1)
+        assert g.num_nodes == 100
+        # clique of 4 contributes 6 edges, each of 96 new nodes 3 edges
+        assert g.num_edges == 6 + 96 * 3
+
+    def test_connected(self):
+        assert is_connected(barabasi_albert_graph(80, 2, seed=2))
+
+    def test_deterministic(self):
+        a = barabasi_albert_graph(50, 2, seed=9)
+        b = barabasi_albert_graph(50, 2, seed=9)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = barabasi_albert_graph(50, 2, seed=9)
+        b = barabasi_albert_graph(50, 2, seed=10)
+        assert a != b
+
+    def test_heavy_tail(self):
+        g = barabasi_albert_graph(400, 3, seed=3)
+        degrees = g.degrees
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(3, 3)
+
+
+class TestPowerLaw:
+    def test_exact_edge_count(self):
+        g = power_law_graph(200, 1500, seed=5)
+        assert g.num_nodes == 200
+        assert g.num_edges == 1500
+
+    def test_exact_edge_count_sparse(self):
+        g = power_law_graph(300, 320, seed=6)
+        assert g.num_edges == 320
+
+    def test_paper_synthetic_size(self):
+        g = power_law_graph(1000, 9956, seed=7)
+        assert (g.num_nodes, g.num_edges) == (1000, 9956)
+
+    def test_too_many_edges(self):
+        with pytest.raises(ParameterError):
+            power_law_graph(4, 10)
+
+    def test_tiny(self):
+        with pytest.raises(ParameterError):
+            power_law_graph(1, 0)
+
+    def test_deterministic(self):
+        assert power_law_graph(100, 400, seed=1) == power_law_graph(
+            100, 400, seed=1
+        )
+
+
+class TestErdosRenyi:
+    def test_p_zero_and_one(self):
+        assert erdos_renyi_graph(10, 0.0, seed=1).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=1).num_edges == 45
+
+    def test_expected_density(self):
+        g = erdos_renyi_graph(100, 0.2, seed=3)
+        expected = 0.2 * 100 * 99 / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+    def test_invalid_p(self):
+        with pytest.raises(ParameterError):
+            erdos_renyi_graph(10, 1.5)
+
+
+class TestChungLu:
+    def test_expected_degrees_roughly_respected(self):
+        weights = np.full(200, 10.0)
+        g = chung_lu_graph(weights, seed=8)
+        assert abs(g.degrees.mean() - 10.0) < 2.0
+
+    def test_zero_weights_ok(self):
+        g = chung_lu_graph([0.0, 0.0, 5.0, 5.0], seed=1)
+        assert g.degree(0) == 0
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ParameterError):
+            chung_lu_graph([0.0, 0.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            chung_lu_graph([1.0, -2.0])
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.degree(0) == 1
+        assert g.degree(2) == 2
+
+    def test_path_single(self):
+        assert path_graph(1).num_edges == 0
+
+    def test_ring(self):
+        g = ring_graph(6)
+        assert g.num_edges == 6
+        assert set(g.degrees.tolist()) == {2}
+
+    def test_ring_minimum(self):
+        with pytest.raises(ParameterError):
+            ring_graph(2)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert all(g.degree(i) == 1 for i in range(1, 5))
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert set(g.degrees.tolist()) == {5}
+
+    def test_grid(self):
+        g = grid_graph(3, 4)
+        assert g.num_nodes == 12
+        assert g.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.degree(0) == 2  # corner
+
+    def test_grid_single_row(self):
+        g = grid_graph(1, 5)
+        assert g.num_edges == 4
+
+    def test_two_cluster(self):
+        g = two_cluster_graph(5, bridge_edges=2, seed=1)
+        assert g.num_nodes == 10
+        # two K5s plus at most 2 bridges
+        assert 20 <= g.num_edges <= 22
+        assert is_connected(g)
+
+
+class TestPlantedPartition:
+    def test_size(self):
+        g = planted_partition_graph(3, 10, 0.5, 0.01, seed=1)
+        assert g.num_nodes == 30
+
+    def test_intra_denser_than_inter(self):
+        g = planted_partition_graph(4, 40, 0.3, 0.01, seed=2)
+        intra = inter = 0
+        for u, v in g.edges():
+            if u // 40 == v // 40:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 3 * inter
+
+    def test_extreme_probabilities(self):
+        isolated = planted_partition_graph(2, 5, 0.0, 0.0, seed=1)
+        assert isolated.num_edges == 0
+        cliques = planted_partition_graph(2, 4, 1.0, 0.0, seed=1)
+        assert cliques.num_edges == 2 * 6
+
+    def test_deterministic(self):
+        a = planted_partition_graph(3, 20, 0.2, 0.02, seed=9)
+        b = planted_partition_graph(3, 20, 0.2, 0.02, seed=9)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            planted_partition_graph(0, 5, 0.5, 0.1)
+        with pytest.raises(ParameterError):
+            planted_partition_graph(2, 5, 1.5, 0.1)
+
+
+class TestPaperExample:
+    def test_size(self):
+        g = paper_example_graph()
+        assert g.num_nodes == 8
+
+    def test_section2_walks_are_valid(self):
+        from repro.walks.engine import walk_is_valid
+
+        g = paper_example_graph()
+        # the two walks printed in Section 2 (0-based)
+        assert walk_is_valid(g, [0, 1, 2, 1, 5])
+        assert walk_is_valid(g, [0, 5, 1, 2, 4])
+
+    def test_example31_walks_are_valid(self, example_walks):
+        from repro.walks.engine import walk_is_valid
+
+        g = paper_example_graph()
+        for walk in example_walks:
+            assert walk_is_valid(g, walk), walk

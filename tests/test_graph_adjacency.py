@@ -1,0 +1,140 @@
+"""Tests for the CSR Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_deduplicates(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_from_edges_num_nodes_extends(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=5)
+        assert g.num_nodes == 5
+        assert g.degree(4) == 0
+
+    def test_empty_graph(self):
+        g = Graph.from_edges([], num_nodes=0)
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_isolated_only(self):
+        g = Graph.from_edges([], num_nodes=3)
+        assert g.num_nodes == 3
+        assert g.degrees.tolist() == [0, 0, 0]
+
+    def test_invalid_indptr_start(self):
+        with pytest.raises(ParameterError):
+            Graph(np.array([1, 2]), np.array([0], dtype=np.int32))
+
+    def test_indptr_indices_mismatch(self):
+        with pytest.raises(ParameterError):
+            Graph(np.array([0, 2]), np.array([0], dtype=np.int32))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(ParameterError):
+            Graph(np.array([0, 2, 1, 3]), np.arange(3, dtype=np.int32))
+
+    def test_arrays_read_only(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            g.indices[0] = 5
+        with pytest.raises(ValueError):
+            g.indptr[0] = 5
+
+
+class TestAccessors:
+    def test_neighbors_sorted(self):
+        g = Graph.from_edges([(2, 0), (2, 3), (2, 1)])
+        assert g.neighbors(2).tolist() == [0, 1, 3]
+
+    def test_degree_matches_neighbors(self, small_power_law):
+        g = small_power_law
+        for u in range(g.num_nodes):
+            assert g.degree(u) == len(g.neighbors(u))
+
+    def test_degrees_sum_to_twice_edges(self, small_power_law):
+        g = small_power_law
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+
+    def test_has_edge_symmetric(self, small_power_law):
+        g = small_power_law
+        for u, v in list(g.edges())[:50]:
+            assert g.has_edge(u, v)
+            assert g.has_edge(v, u)
+
+    def test_has_edge_absent(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert not g.has_edge(0, 2)
+
+    def test_node_range_checked(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ParameterError):
+            g.neighbors(2)
+        with pytest.raises(ParameterError):
+            g.degree(-1)
+
+    def test_edges_iterates_once_each(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        edges = list(g.edges())
+        assert edges == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_matches_edges(self, small_power_law):
+        g = small_power_law
+        from_iter = sorted(g.edges())
+        from_array = sorted(map(tuple, g.edge_array().tolist()))
+        assert from_iter == from_array
+
+    def test_len(self):
+        assert len(Graph.from_edges([(0, 1)], num_nodes=7)) == 7
+
+
+class TestSubgraph:
+    def test_subgraph_relabels(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_nodes == 3
+        assert sorted(sub.edges()) == [(0, 1), (1, 2)]
+
+    def test_subgraph_duplicate_nodes_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ParameterError):
+            g.subgraph([0, 0])
+
+    def test_subgraph_out_of_range(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ParameterError):
+            g.subgraph([0, 5])
+
+    def test_subgraph_empty(self):
+        g = Graph.from_edges([(0, 1)])
+        sub = g.subgraph([])
+        assert sub.num_nodes == 0
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 0), (2, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(0, 1), (1, 2)])
+        assert a != b
+
+    def test_eq_other_type(self):
+        assert Graph.from_edges([(0, 1)]) != "graph"
+
+    def test_repr(self):
+        assert repr(Graph.from_edges([(0, 1)])) == "Graph(n=2, m=1)"

@@ -1,0 +1,93 @@
+"""Tests for SNAP-format edge-list IO."""
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graphs.generators import power_law_graph
+from repro.graphs.io import read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, small_power_law):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_power_law, path)
+        loaded = read_edge_list(path, relabel=False)
+        assert loaded == small_power_law
+
+    def test_header_written_as_comments(self, tmp_path, small_power_law):
+        path = tmp_path / "graph.txt"
+        write_edge_list(small_power_law, path, header="source: test\nrun: 1")
+        text = path.read_text()
+        assert text.startswith("# source: test\n# run: 1\n")
+
+    def test_gzip_round_trip(self, tmp_path):
+        g = power_law_graph(50, 120, seed=2)
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(g, path)
+        with gzip.open(path, "rt") as handle:
+            assert handle.readline().startswith("#")
+        assert read_edge_list(path, relabel=False) == g
+
+
+class TestReading:
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# header\n\n% other comment\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_relabel_compacts_ids(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("100 200\n200 300\n")
+        g = read_edge_list(path, relabel=True)
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+
+    def test_no_relabel_keeps_gaps(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n5 6\n")
+        g = read_edge_list(path, relabel=False)
+        assert g.num_nodes == 7
+        assert g.degree(3) == 0
+
+    def test_directed_duplicates_collapse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n1 0\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_self_loops_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n")
+        assert read_edge_list(path).num_edges == 1
+
+    def test_tab_and_space_separators(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n1   2\n")
+        assert read_edge_list(path).num_edges == 2
+
+    def test_extra_columns_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 0.5\n")
+        assert read_edge_list(path).num_edges == 1
+
+
+class TestErrors:
+    def test_single_column_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("42\n")
+        with pytest.raises(GraphFormatError, match="two endpoints"):
+            read_edge_list(path)
+
+    def test_non_integer_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphFormatError, match="non-integer"):
+            read_edge_list(path)
+
+    def test_error_mentions_line_number(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\nbroken\n")
+        with pytest.raises(GraphFormatError, match=":2:"):
+            read_edge_list(path)

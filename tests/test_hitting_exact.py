@@ -1,0 +1,212 @@
+"""Tests for the exact hitting-time DPs (Theorems 2.1-2.3).
+
+The strongest oracle is brute-force enumeration: on a tiny graph we expand
+*every* L-step trajectory with its probability and compute E[T^L_uS] and
+Pr[hit] directly from Eq. (1)/(3), then require the DP to match to machine
+precision.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import (
+    complete_graph,
+    paper_example_graph,
+    path_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.hitting.exact import (
+    hit_probability_horizons,
+    hit_probability_vector,
+    hitting_time_horizons,
+    hitting_time_matrix,
+    hitting_time_vector,
+    pairwise_hitting_time,
+)
+
+
+def brute_force(graph, start, targets, length):
+    """Expected truncated hitting time and hit probability by enumeration."""
+    targets = set(targets)
+    total_time = 0.0
+    total_prob = 0.0
+    stack = [(start, 1.0, 0)]
+    while stack:
+        node, prob, step = stack.pop()
+        if node in targets:
+            total_time += prob * step
+            total_prob += prob
+            continue
+        if step == length:
+            total_time += prob * length
+            continue
+        neigh = graph.neighbors(node)
+        if neigh.size == 0:
+            total_time += prob * length
+            continue
+        for nxt in neigh:
+            stack.append((int(nxt), prob / neigh.size, step + 1))
+    return total_time, total_prob
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("length", [0, 1, 2, 3, 5])
+    def test_paper_graph_all_sources(self, length):
+        g = paper_example_graph()
+        targets = {1, 6}
+        h = hitting_time_vector(g, targets, length)
+        p = hit_probability_vector(g, targets, length)
+        for u in range(g.num_nodes):
+            exp_h, exp_p = brute_force(g, u, targets, length)
+            assert h[u] == pytest.approx(exp_h, abs=1e-12)
+            assert p[u] == pytest.approx(exp_p, abs=1e-12)
+
+    @pytest.mark.parametrize("targets", [{0}, {2, 4}, {0, 1, 2, 3, 4}])
+    def test_path_graph(self, targets):
+        g = path_graph(5)
+        h = hitting_time_vector(g, targets, 4)
+        p = hit_probability_vector(g, targets, 4)
+        for u in range(5):
+            exp_h, exp_p = brute_force(g, u, targets, 4)
+            assert h[u] == pytest.approx(exp_h, abs=1e-12)
+            assert p[u] == pytest.approx(exp_p, abs=1e-12)
+
+    def test_dangling_node(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        h = hitting_time_vector(g, {0}, 5)
+        p = hit_probability_vector(g, {0}, 5)
+        assert h[2] == 5.0  # dangling, not a target: stuck forever
+        assert p[2] == 0.0
+        assert h[1] == 1.0  # must step to 0
+        assert p[1] == 1.0
+
+
+class TestClosedForms:
+    def test_complete_graph_geometric(self):
+        # In K_n with one target, each step hits with prob 1/(n-1);
+        # E[min(Geom(q), L)] = sum_{i=1..L} (1-q)^(i-1).
+        n, length = 6, 8
+        g = complete_graph(n)
+        q = 1 / (n - 1)
+        expected = sum((1 - q) ** (i - 1) for i in range(1, length + 1))
+        h = hitting_time_vector(g, {0}, length)
+        assert h[1] == pytest.approx(expected, rel=1e-12)
+
+    def test_star_leaf_to_center(self):
+        g = star_graph(5)
+        assert pairwise_hitting_time(g, 1, 0, 7) == 1.0
+
+    def test_star_center_to_leaf(self):
+        # From the center the walk reaches the chosen leaf only at odd hops:
+        # each round trip (wrong leaf and back) takes 2 hops.  With L = 4:
+        # T = 1 w.p. 1/5; T = 3 w.p. (4/5)(1/5); else truncated at 4.
+        g = star_graph(5)
+        expected = 1 * (1 / 5) + 3 * (4 / 5) * (1 / 5) + 4 * (4 / 5) ** 2
+        assert pairwise_hitting_time(g, 0, 1, 4) == pytest.approx(expected)
+
+    def test_ring_symmetry(self):
+        g = ring_graph(8)
+        h = hitting_time_vector(g, {0}, 6)
+        for offset in range(1, 4):
+            assert h[offset] == pytest.approx(h[8 - offset], rel=1e-12)
+
+
+class TestDefinitionProperties:
+    def test_zero_on_targets(self, small_power_law):
+        h = hitting_time_vector(small_power_law, {3, 7}, 6)
+        assert h[3] == 0.0 and h[7] == 0.0
+        p = hit_probability_vector(small_power_law, {3, 7}, 6)
+        assert p[3] == 1.0 and p[7] == 1.0
+
+    def test_bounded_by_length(self, small_power_law):
+        h = hitting_time_vector(small_power_law, {0}, 9)
+        assert (h <= 9.0 + 1e-12).all()
+        assert (h >= 0.0).all()
+
+    def test_probability_in_unit_interval(self, small_power_law):
+        p = hit_probability_vector(small_power_law, {0, 1}, 9)
+        assert (p >= 0).all() and (p <= 1 + 1e-12).all()
+
+    def test_empty_targets(self, small_power_law):
+        h = hitting_time_vector(small_power_law, set(), 5)
+        assert np.allclose(h, 5.0)
+        p = hit_probability_vector(small_power_law, set(), 5)
+        assert (p == 0.0).all()
+
+    def test_length_zero(self, small_power_law):
+        h = hitting_time_vector(small_power_law, {1}, 0)
+        assert (h == 0.0).all()
+        p = hit_probability_vector(small_power_law, {1}, 0)
+        assert p[1] == 1.0 and p.sum() == 1.0
+
+    def test_monotone_in_targets(self, small_power_law):
+        # Lemma behind Theorem 3.1: h decreases when S grows.
+        h_small = hitting_time_vector(small_power_law, {0}, 6)
+        h_big = hitting_time_vector(small_power_law, {0, 5, 9}, 6)
+        assert (h_big <= h_small + 1e-12).all()
+
+    def test_monotone_probability_in_targets(self, small_power_law):
+        p_small = hit_probability_vector(small_power_law, {0}, 6)
+        p_big = hit_probability_vector(small_power_law, {0, 5, 9}, 6)
+        assert (p_big >= p_small - 1e-12).all()
+
+    def test_hitting_time_grows_with_length(self, small_power_law):
+        # Truncated hitting time can only grow with the horizon.
+        h4 = hitting_time_vector(small_power_law, {2}, 4)
+        h8 = hitting_time_vector(small_power_law, {2}, 8)
+        assert (h8 >= h4 - 1e-12).all()
+
+    def test_probability_grows_with_length(self, small_power_law):
+        p4 = hit_probability_vector(small_power_law, {2}, 4)
+        p8 = hit_probability_vector(small_power_law, {2}, 8)
+        assert (p8 >= p4 - 1e-12).all()
+
+    def test_negative_length_rejected(self, small_power_law):
+        with pytest.raises(ParameterError):
+            hitting_time_vector(small_power_law, {0}, -1)
+        with pytest.raises(ParameterError):
+            hit_probability_vector(small_power_law, {0}, -2)
+
+    def test_out_of_range_target(self, small_power_law):
+        with pytest.raises(ParameterError):
+            hitting_time_vector(small_power_law, {999}, 3)
+
+
+class TestHorizons:
+    def test_horizons_match_individual_calls(self, small_power_law):
+        lengths = [0, 2, 5, 7]
+        hs = hitting_time_horizons(small_power_law, {1, 4}, lengths)
+        for length, h in zip(lengths, hs):
+            expected = hitting_time_vector(small_power_law, {1, 4}, length)
+            assert np.allclose(h, expected)
+
+    def test_probability_horizons(self, small_power_law):
+        lengths = [1, 3, 3, 6]  # duplicates allowed
+        ps = hit_probability_horizons(small_power_law, {2}, lengths)
+        assert np.allclose(ps[1], ps[2])
+        for length, p in zip(lengths, ps):
+            assert np.allclose(
+                p, hit_probability_vector(small_power_law, {2}, length)
+            )
+
+
+class TestMatrix:
+    def test_matrix_matches_vectors(self):
+        g = paper_example_graph()
+        H = hitting_time_matrix(g, 4)
+        for v in range(g.num_nodes):
+            assert np.allclose(H[:, v], hitting_time_vector(g, {v}, 4))
+
+    def test_diagonal_zero(self):
+        H = hitting_time_matrix(ring_graph(5), 3)
+        assert np.allclose(np.diag(H), 0.0)
+
+    def test_size_guard(self):
+        g = path_graph(10)
+        with pytest.raises(ParameterError):
+            hitting_time_matrix(g, 3, max_nodes=5)

@@ -1,0 +1,143 @@
+"""Tests for the AHT / EHN metrics."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import complete_graph, star_graph
+from repro.metrics.evaluation import (
+    average_hitting_time,
+    evaluate_selection,
+    expected_hit_nodes,
+)
+
+
+class TestAverageHittingTime:
+    def test_empty_set_is_length(self, small_power_law):
+        assert average_hitting_time(small_power_law, set(), 6) == pytest.approx(6.0)
+
+    def test_full_set_is_zero(self, small_power_law):
+        n = small_power_law.num_nodes
+        assert average_hitting_time(small_power_law, range(n), 6) == 0.0
+
+    def test_star_center(self):
+        # Every leaf hits the center in exactly one hop.
+        assert average_hitting_time(star_graph(5), {0}, 4) == pytest.approx(1.0)
+
+    def test_bounded_by_length(self, small_power_law):
+        aht = average_hitting_time(small_power_law, {0}, 5)
+        assert 0.0 <= aht <= 5.0
+
+    def test_more_targets_lower_aht(self, small_power_law):
+        a = average_hitting_time(small_power_law, {0}, 5)
+        b = average_hitting_time(small_power_law, {0, 3, 9, 14}, 5)
+        assert b <= a + 1e-9
+
+    def test_sampled_close_to_exact(self, small_power_law):
+        exact = average_hitting_time(small_power_law, {0, 5}, 5)
+        sampled = average_hitting_time(
+            small_power_law, {0, 5}, 5, method="sampled", num_samples=4000, seed=1
+        )
+        assert sampled == pytest.approx(exact, rel=0.05)
+
+    def test_bad_method(self, small_power_law):
+        with pytest.raises(ParameterError):
+            average_hitting_time(small_power_law, {0}, 3, method="guess")
+
+
+class TestExpectedHitNodes:
+    def test_empty_set_zero(self, small_power_law):
+        assert expected_hit_nodes(small_power_law, set(), 5) == 0.0
+
+    def test_full_set_n(self, small_power_law):
+        n = small_power_law.num_nodes
+        assert expected_hit_nodes(small_power_law, range(n), 5) == pytest.approx(n)
+
+    def test_star_center_everyone(self):
+        g = star_graph(5)
+        assert expected_hit_nodes(g, {0}, 2) == pytest.approx(6.0)
+
+    def test_complete_graph_value(self):
+        n, length = 6, 3
+        g = complete_graph(n)
+        q = 1 / (n - 1)
+        p_hit = 1 - (1 - q) ** length
+        assert expected_hit_nodes(g, {0}, length) == pytest.approx(
+            1 + (n - 1) * p_hit
+        )
+
+    def test_monotone_in_targets(self, small_power_law):
+        a = expected_hit_nodes(small_power_law, {0}, 5)
+        b = expected_hit_nodes(small_power_law, {0, 7}, 5)
+        assert b >= a - 1e-9
+
+    def test_sampled_close_to_exact(self, small_power_law):
+        exact = expected_hit_nodes(small_power_law, {2, 9}, 5)
+        sampled = expected_hit_nodes(
+            small_power_law, {2, 9}, 5, method="sampled", num_samples=4000, seed=2
+        )
+        assert sampled == pytest.approx(exact, rel=0.05)
+
+
+class TestEvaluateSelection:
+    def test_both_metrics(self, small_power_law):
+        metrics = evaluate_selection(small_power_law, {1, 2}, 4)
+        assert set(metrics) == {"aht", "ehn"}
+        assert metrics["aht"] == pytest.approx(
+            average_hitting_time(small_power_law, {1, 2}, 4)
+        )
+        assert metrics["ehn"] == pytest.approx(
+            expected_hit_nodes(small_power_law, {1, 2}, 4)
+        )
+
+
+class TestComparePlacements:
+    def test_table_structure(self):
+        from repro.metrics import compare_placements
+        from repro.graphs.generators import ring_graph
+
+        graph = ring_graph(12)
+        table = compare_placements(
+            graph, {"a": [0, 6], "b": [1, 2]}, length=4
+        )
+        assert table.columns == ("placement", "k", "AHT", "EHN")
+        assert len(table.rows) == 2
+        assert set(table.column("placement")) == {"a", "b"}
+
+    def test_budget_sweep_uses_prefixes(self):
+        from repro.metrics import compare_placements, evaluate_selection
+        from repro.graphs.generators import power_law_graph
+
+        graph = power_law_graph(40, 120, seed=3)
+        order = [5, 9, 1, 30]
+        table = compare_placements(
+            graph, {"greedy": order}, length=4, budgets=(1, 2, 4)
+        )
+        assert table.column("k") == [1, 2, 4]
+        k2 = table.filtered(k=2)[0]
+        expected = evaluate_selection(graph, order[:2], 4)
+        aht = table.columns.index("AHT")
+        assert k2[aht] == pytest.approx(expected["aht"])
+
+    def test_spread_beats_clump_on_ring(self):
+        from repro.metrics import compare_placements
+        from repro.graphs.generators import ring_graph
+
+        graph = ring_graph(20)
+        table = compare_placements(
+            graph, {"spread": [0, 10], "clump": [0, 1]}, length=5
+        )
+        aht = table.columns.index("AHT")
+        spread = table.filtered(placement="spread")[0][aht]
+        clump = table.filtered(placement="clump")[0][aht]
+        assert spread < clump
+
+    def test_rejects_empty_and_bad_budget(self):
+        from repro.errors import ParameterError
+        from repro.metrics import compare_placements
+        from repro.graphs.generators import ring_graph
+
+        graph = ring_graph(6)
+        with pytest.raises(ParameterError):
+            compare_placements(graph, {}, length=3)
+        with pytest.raises(ParameterError):
+            compare_placements(graph, {"a": [0]}, length=3, budgets=(2,))

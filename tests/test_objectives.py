@@ -1,0 +1,133 @@
+"""Tests for the F1/F2 objectives: values, monotonicity, submodularity."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import complete_graph, paper_example_graph, star_graph
+from repro.core.objectives import F1Objective, F2Objective, SampledF1, SampledF2
+
+
+def all_subsets(nodes, max_size):
+    for size in range(max_size + 1):
+        yield from itertools.combinations(nodes, size)
+
+
+class TestValues:
+    def test_f_empty_is_zero(self, small_power_law):
+        assert F1Objective(small_power_law, 5).value(set()) == pytest.approx(0.0)
+        assert F2Objective(small_power_law, 5).value(set()) == pytest.approx(0.0)
+
+    def test_f_full_set(self, small_power_law):
+        n = small_power_law.num_nodes
+        assert F1Objective(small_power_law, 5).value(range(n)) == pytest.approx(
+            n * 5
+        )
+        assert F2Objective(small_power_law, 5).value(range(n)) == pytest.approx(n)
+
+    def test_f2_at_least_set_size(self, small_power_law):
+        assert F2Objective(small_power_law, 4).value({1, 2, 3}) >= 3.0
+
+    def test_f2_at_most_n(self, small_power_law):
+        value = F2Objective(small_power_law, 9).value({1, 2, 3})
+        assert value <= small_power_law.num_nodes + 1e-9
+
+    def test_star_center_dominates(self):
+        g = star_graph(6)
+        f2 = F2Objective(g, 1)
+        # Every leaf hits the center in one hop: F2({center}) = n.
+        assert f2.value({0}) == pytest.approx(7.0)
+        # A leaf is hit in one hop only by the center walk w.p. 1/6.
+        assert f2.value({1}) == pytest.approx(1 + 1 / 6 + 0 * 5)
+
+    def test_length_zero(self, small_power_law):
+        assert F1Objective(small_power_law, 0).value({1}) == 0.0
+        assert F2Objective(small_power_law, 0).value({1}) == 1.0
+
+    def test_negative_length_rejected(self, small_power_law):
+        with pytest.raises(ParameterError):
+            F1Objective(small_power_law, -1)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("objective_cls", [F1Objective, F2Objective])
+    def test_nondecreasing(self, objective_cls):
+        g = paper_example_graph()
+        objective = objective_cls(g, 4)
+        for subset in all_subsets(range(8), 2):
+            base = objective.value(set(subset))
+            for extra in range(8):
+                if extra in subset:
+                    continue
+                assert objective.value(set(subset) | {extra}) >= base - 1e-9
+
+
+class TestSubmodularity:
+    @pytest.mark.parametrize("objective_cls", [F1Objective, F2Objective])
+    def test_diminishing_returns(self, objective_cls):
+        # sigma_u(S) >= sigma_u(T) for S subset T (Theorems 3.1/3.2),
+        # checked exhaustively on the paper's 8-node example.
+        g = paper_example_graph()
+        objective = objective_cls(g, 3)
+        nodes = range(8)
+        for small in all_subsets(nodes, 1):
+            small = set(small)
+            for extra in nodes:
+                if extra in small:
+                    continue
+                big = small | {extra}
+                for u in nodes:
+                    if u in big:
+                        continue
+                    gain_small = objective.marginal_gain(small, u)
+                    gain_big = objective.marginal_gain(big, u)
+                    assert gain_small >= gain_big - 1e-9
+
+
+class TestMarginalGainCache:
+    def test_cached_base_matches_recompute(self, small_power_law):
+        objective = F1Objective(small_power_law, 4)
+        s = {1, 2}
+        first = objective.marginal_gain(s, 5)
+        # Second call with the same base set uses the cache; must agree.
+        second = objective.marginal_gain(s, 5)
+        assert first == second
+        direct = objective.value(s | {5}) - objective.value(s)
+        assert first == pytest.approx(direct)
+
+    def test_cache_invalidation_on_new_set(self, small_power_law):
+        objective = F1Objective(small_power_law, 4)
+        g1 = objective.marginal_gain({1}, 5)
+        g2 = objective.marginal_gain({1, 5}, 7)
+        direct = objective.value({1, 5, 7}) - objective.value({1, 5})
+        assert g2 == pytest.approx(direct)
+        assert g1 != g2  # sanity: different query
+
+
+class TestSampledObjectives:
+    def test_sampled_f1_close_to_exact(self, small_power_law):
+        exact = F1Objective(small_power_law, 5).value({0, 9})
+        sampled = SampledF1(small_power_law, 5, 4000, seed=1).value({0, 9})
+        assert sampled == pytest.approx(exact, rel=0.05)
+
+    def test_sampled_f2_close_to_exact(self, small_power_law):
+        exact = F2Objective(small_power_law, 5).value({0, 9})
+        sampled = SampledF2(small_power_law, 5, 4000, seed=2).value({0, 9})
+        assert sampled == pytest.approx(exact, rel=0.05)
+
+    def test_estimate_counter(self, small_power_law):
+        objective = SampledF1(small_power_law, 3, 10, seed=3)
+        objective.value({1})
+        objective.marginal_gain({1}, 2)  # two evaluations (no base cache)
+        assert objective.num_estimates == 3
+
+    def test_bad_sample_count(self, small_power_law):
+        with pytest.raises(ParameterError):
+            SampledF1(small_power_law, 3, 0)
+
+    def test_num_nodes_property(self, small_power_law):
+        assert (
+            F1Objective(small_power_law, 3).num_nodes
+            == small_power_law.num_nodes
+        )

@@ -1,0 +1,166 @@
+"""Every solver against degenerate graph shapes.
+
+A production library cannot assume benign inputs: placements get requested
+on edgeless graphs, graphs with one node, graphs dominated by dangling
+nodes, and disconnected archipelagos.  These tests sweep the full solver
+matrix over such shapes and pin down the package-wide conventions
+(DESIGN.md §5): dangling walks stay put, ``h^L_uS = L`` and ``p^L_uS = 0``
+for unreachable sources, selections are always distinct and within range.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.edge_domination import edge_domination_greedy
+from repro.core.problems import SOLVER_NAMES, Problem1, Problem2, solve
+from repro.core.stochastic import stochastic_approx_greedy
+from repro.graphs.adjacency import Graph
+from repro.graphs.builder import GraphBuilder
+from repro.hitting.exact import hit_probability_vector, hitting_time_vector
+from repro.metrics.evaluation import evaluate_selection
+from repro.simulate import (
+    simulate_ad_campaign,
+    simulate_p2p_search,
+    simulate_social_browsing,
+)
+
+SAMPLING_SOLVERS = ("sampling", "approx", "approx-fast", "random")
+
+
+def edgeless(n: int = 5) -> Graph:
+    builder = GraphBuilder()
+    builder.touch_node(n - 1)
+    return builder.build()
+
+
+def single_node() -> Graph:
+    builder = GraphBuilder()
+    builder.touch_node(0)
+    return builder.build()
+
+
+def archipelago() -> Graph:
+    """Three 2-node islands."""
+    return Graph.from_edges([(0, 1), (2, 3), (4, 5)])
+
+
+def dangling_heavy() -> Graph:
+    """One edge, eight dangling nodes."""
+    builder = GraphBuilder()
+    builder.add_edge(0, 1)
+    builder.touch_node(9)
+    return builder.build()
+
+
+def _solver_options(method: str) -> dict:
+    options: dict = {}
+    if method in ("sampling", "approx", "approx-fast"):
+        options["num_replicates"] = 5
+        options["seed"] = 7
+    elif method == "random":
+        options["seed"] = 7
+    return options
+
+
+@pytest.mark.parametrize("method", SOLVER_NAMES)
+@pytest.mark.parametrize(
+    "factory", [edgeless, single_node, archipelago, dangling_heavy]
+)
+class TestSolverMatrix:
+    def test_valid_selection_everywhere(self, method, factory):
+        graph = factory()
+        k = min(2, graph.num_nodes)
+        problem = Problem2(graph, k, 3)
+        result = solve(problem, method=method, **_solver_options(method))
+        assert len(result.selected) == k
+        assert len(set(result.selected)) == k
+        assert all(0 <= v < graph.num_nodes for v in result.selected)
+
+    def test_problem1_also_works(self, method, factory):
+        graph = factory()
+        k = min(1, graph.num_nodes)
+        problem = Problem1(graph, k, 2)
+        result = solve(problem, method=method, **_solver_options(method))
+        assert len(result.selected) == k
+
+
+class TestConventionsOnDegenerateShapes:
+    def test_edgeless_hitting_times_saturate(self):
+        graph = edgeless()
+        h = hitting_time_vector(graph, [0], 4)
+        assert h[0] == 0.0
+        np.testing.assert_allclose(h[1:], 4.0)  # unreachable -> L
+
+    def test_edgeless_probabilities_vanish(self):
+        graph = edgeless()
+        p = hit_probability_vector(graph, [0], 4)
+        assert p[0] == 1.0
+        np.testing.assert_allclose(p[1:], 0.0)
+
+    def test_archipelago_domination_is_per_island(self):
+        graph = archipelago()
+        p = hit_probability_vector(graph, [0], 6)
+        assert p[1] == pytest.approx(1.0)  # same island, forced walk
+        np.testing.assert_allclose(p[2:], 0.0)  # other islands
+
+    def test_greedy_spreads_across_islands(self):
+        graph = archipelago()
+        problem = Problem2(graph, 3, 4)
+        result = solve(problem, method="dp")
+        islands = {v // 2 for v in result.selected}
+        assert islands == {0, 1, 2}
+
+    def test_dangling_heavy_metrics(self):
+        graph = dangling_heavy()
+        metrics = evaluate_selection(graph, [0], 5)
+        # Node 1 hits node 0 in exactly one hop; the 8 dangling nodes never
+        # do, so AHT = (1 * 1 + 8 * 5) / 9 and EHN = 2 (self + node 1).
+        assert metrics["aht"] == pytest.approx((1 + 8 * 5) / 9)
+        assert metrics["ehn"] == pytest.approx(2.0)
+
+    def test_length_zero_everywhere(self):
+        """L=0: nobody moves; only S itself is dominated, at time 0."""
+        graph = archipelago()
+        h = hitting_time_vector(graph, [2], 0)
+        np.testing.assert_allclose(h, 0.0)  # T^0 = 0 for every source
+        p = hit_probability_vector(graph, [2], 0)
+        assert p[2] == 1.0
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_k_equals_n_dominates_everything(self):
+        graph = dangling_heavy()
+        problem = Problem2(graph, graph.num_nodes, 3)
+        result = solve(problem, method="approx-fast", num_replicates=4,
+                       seed=1)
+        p = hit_probability_vector(graph, result.selected, 3)
+        np.testing.assert_allclose(p, 1.0)
+
+
+class TestExtensionsOnDegenerateShapes:
+    def test_edge_greedy_on_edgeless_graph(self):
+        graph = edgeless()
+        result = edge_domination_greedy(graph, 2, 3, num_replicates=4, seed=2)
+        assert len(result.selected) == 2
+        # Nothing to save: every gain is zero.
+        assert all(g == 0 for g in result.gains)
+
+    def test_stochastic_on_single_node(self):
+        graph = single_node()
+        result = stochastic_approx_greedy(
+            graph, 1, 2, num_replicates=3, seed=3
+        )
+        assert result.selected == (0,)
+
+    def test_simulators_on_edgeless_graph(self):
+        graph = edgeless()
+        social = simulate_social_browsing(graph, [0], 100, 3, seed=4)
+        assert 0.0 <= social.discovery_rate <= 1.0
+        p2p = simulate_p2p_search(graph, [0], 100, 3, seed=4)
+        assert 0.0 <= p2p.success_rate <= 1.0
+        ads = simulate_ad_campaign(graph, [0], 2, 3, seed=4)
+        assert ads.reached_users == 1  # only the host itself
+
+    def test_simulators_with_all_nodes_dangling_and_no_hosts(self):
+        graph = edgeless()
+        report = simulate_social_browsing(graph, (), 50, 3, seed=5)
+        assert report.discovery_rate == 0.0

@@ -1,0 +1,96 @@
+"""Walk-index persistence: save/load round trips and corruption handling."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx_fast import approx_greedy_fast
+from repro.errors import GraphFormatError
+from repro.graphs.generators import power_law_graph, ring_graph
+from repro.walks.index import FlatWalkIndex
+from repro.walks.persistence import load_index, save_index
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, tmp_path):
+        graph = power_law_graph(60, 180, seed=1)
+        index = FlatWalkIndex.build(graph, 5, 8, seed=2)
+        path = tmp_path / "walks.npz"
+        save_index(index, path)
+        back = load_index(path)
+        np.testing.assert_array_equal(back.indptr, index.indptr)
+        np.testing.assert_array_equal(back.state, index.state)
+        np.testing.assert_array_equal(back.hop, index.hop)
+        assert back.num_nodes == index.num_nodes
+        assert back.length == index.length
+        assert back.num_replicates == index.num_replicates
+
+    def test_selection_identical_after_reload(self, tmp_path):
+        """The point of persistence: same index -> same greedy answer."""
+        graph = power_law_graph(80, 240, seed=3)
+        index = FlatWalkIndex.build(graph, 4, 10, seed=4)
+        path = tmp_path / "walks.npz"
+        save_index(index, path)
+        original = approx_greedy_fast(graph, 6, 4, index=index)
+        reloaded = approx_greedy_fast(graph, 6, 4, index=load_index(path))
+        assert original.selected == reloaded.selected
+
+    def test_empty_index(self, tmp_path):
+        """A graph of isolated nodes yields an index with zero entries."""
+        from repro.graphs.builder import GraphBuilder
+
+        builder = GraphBuilder()
+        builder.touch_node(4)
+        index = FlatWalkIndex.build(builder.build(), 3, 2, seed=5)
+        path = tmp_path / "empty.npz"
+        save_index(index, path)
+        back = load_index(path)
+        assert back.total_entries == 0
+        assert back.num_nodes == 5
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises((GraphFormatError, FileNotFoundError)):
+            load_index(tmp_path / "nope.npz")
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip file")
+        with pytest.raises(GraphFormatError):
+            load_index(path)
+
+    def test_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, stuff=np.arange(5))
+        with pytest.raises(GraphFormatError):
+            load_index(path)
+
+    def test_wrong_version(self, tmp_path):
+        graph = ring_graph(6)
+        index = FlatWalkIndex.build(graph, 2, 2, seed=1)
+        path = tmp_path / "v99.npz"
+        np.savez(
+            path,
+            version=np.int64(99),
+            header=np.asarray([6, 2, 2], dtype=np.int64),
+            indptr=index.indptr,
+            state=index.state,
+            hop=index.hop,
+        )
+        with pytest.raises(GraphFormatError):
+            load_index(path)
+
+    def test_inconsistent_arrays(self, tmp_path):
+        graph = ring_graph(6)
+        index = FlatWalkIndex.build(graph, 2, 2, seed=1)
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            version=np.int64(1),
+            header=np.asarray([6, 2, 2], dtype=np.int64),
+            indptr=index.indptr,
+            state=index.state[:-1],  # truncated
+            hop=index.hop,
+        )
+        with pytest.raises(GraphFormatError):
+            load_index(path)

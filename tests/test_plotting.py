@@ -1,0 +1,142 @@
+"""ASCII plotting for experiment series."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.experiments.plotting import ascii_bars, ascii_plot, plot_table
+from repro.experiments.reporting import ExperimentTable
+
+
+class TestAsciiPlot:
+    def test_single_series_renders(self):
+        text = ascii_plot({"a": [(0, 0), (1, 1), (2, 4)]}, title="squares")
+        assert "== squares ==" in text
+        assert "legend: o=a" in text
+        assert text.count("o") >= 3
+
+    def test_marker_positions_monotone_series(self):
+        """An increasing series puts its first point bottom-left and its
+        last point top-right."""
+        text = ascii_plot({"up": [(0, 0), (10, 10)]}, width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        first_row = rows[0]  # top of the plot = max y
+        last_row = rows[-1]  # bottom = min y
+        assert "o" in first_row and first_row.rindex("o") > 15
+        assert "o" in last_row and last_row.index("o") <= first_row.index("|") + 1
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot(
+            {"a": [(0, 1), (1, 1)], "b": [(0, 2), (1, 2)]},
+        )
+        assert "o=a" in text
+        assert "x=b" in text
+        assert "x" in text.split("legend")[0]
+
+    def test_axis_labels_present(self):
+        text = ascii_plot(
+            {"s": [(1, 2), (3, 4)]}, x_label="k", y_label="AHT"
+        )
+        assert "k ->" in text
+        assert "AHT ^" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_plot({"p": [(5, 5)]})
+        assert "o" in text
+
+    def test_horizontal_line(self):
+        text = ascii_plot({"flat": [(0, 3), (1, 3), (2, 3)]})
+        plot_area = text.split("legend")[0]
+        assert plot_area.count("o") == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            ascii_plot({})
+        with pytest.raises(ParameterError):
+            ascii_plot({"a": []})
+
+    def test_rejects_tiny_canvas(self):
+        with pytest.raises(ParameterError):
+            ascii_plot({"a": [(0, 0)]}, width=4)
+        with pytest.raises(ParameterError):
+            ascii_plot({"a": [(0, 0)]}, height=2)
+
+    def test_rejects_too_many_series(self):
+        series = {f"s{i}": [(0, i)] for i in range(9)}
+        with pytest.raises(ParameterError):
+            ascii_plot(series)
+
+    def test_range_endpoints_labeled(self):
+        text = ascii_plot({"a": [(2, 10), (8, 50)]})
+        assert "50" in text
+        assert "10" in text
+        assert "2" in text
+        assert "8" in text
+
+
+class TestAsciiBars:
+    def test_proportional_bars(self):
+        text = ascii_bars({"fast": 1.0, "slow": 4.0}, width=40)
+        lines = text.splitlines()
+        fast = next(line for line in lines if line.startswith("fast"))
+        slow = next(line for line in lines if line.startswith("slow"))
+        assert slow.count("#") == 40
+        assert fast.count("#") == 10
+
+    def test_unit_suffix(self):
+        text = ascii_bars({"a": 2.0}, unit="s")
+        assert "2 s" in text
+
+    def test_title(self):
+        text = ascii_bars({"a": 1.0}, title="runtimes")
+        assert text.startswith("== runtimes ==")
+
+    def test_zero_values_ok(self):
+        text = ascii_bars({"a": 0.0, "b": 0.0})
+        assert "#" not in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            ascii_bars({})
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            ascii_bars({"a": -1.0})
+
+    def test_rejects_narrow(self):
+        with pytest.raises(ParameterError):
+            ascii_bars({"a": 1.0}, width=4)
+
+
+class TestPlotTable:
+    def _table(self):
+        table = ExperimentTable(
+            title="Fig X", columns=("k", "algorithm", "aht")
+        )
+        table.add_row(20, "Degree", 5.8)
+        table.add_row(20, "ApproxF1", 5.2)
+        table.add_row(40, "Degree", 5.6)
+        table.add_row(40, "ApproxF1", 5.0)
+        return table
+
+    def test_groups_become_series(self):
+        text = plot_table(self._table(), x="k", y="aht")
+        assert "o=Degree" in text
+        assert "x=ApproxF1" in text
+        assert "== Fig X ==" in text
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ParameterError):
+            plot_table(self._table(), x="k", y="missing")
+
+    def test_non_numeric_rejected(self):
+        table = ExperimentTable(title="t", columns=("k", "algorithm", "aht"))
+        table.add_row("low", "Degree", 5.0)
+        with pytest.raises(ParameterError):
+            plot_table(table, x="k", y="aht")
+
+    def test_custom_group_column(self):
+        table = ExperimentTable(title="t", columns=("x", "y", "dataset"))
+        table.add_row(1, 2.0, "CAGrQc")
+        table.add_row(2, 3.0, "CAGrQc")
+        text = plot_table(table, x="x", y="y", group_by="dataset")
+        assert "o=CAGrQc" in text

@@ -1,0 +1,76 @@
+"""Tests for the problem dataclasses and the solve() dispatcher."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.core.problems import SOLVER_NAMES, Problem1, Problem2, solve
+
+
+class TestProblemSpecs:
+    def test_objective_tags(self, small_power_law):
+        assert Problem1(small_power_law, 3, 5).objective == "f1"
+        assert Problem2(small_power_law, 3, 5).objective == "f2"
+
+    def test_k_validated(self, small_power_law):
+        with pytest.raises(ParameterError):
+            Problem1(small_power_law, -1, 5)
+        with pytest.raises(ParameterError):
+            Problem1(small_power_law, small_power_law.num_nodes + 1, 5)
+
+    def test_length_validated(self, small_power_law):
+        with pytest.raises(ParameterError):
+            Problem2(small_power_law, 3, -1)
+
+
+class TestSolveDispatch:
+    @pytest.mark.parametrize("method", ["approx-fast", "degree", "dominate"])
+    def test_fast_methods_both_problems(self, small_power_law, method):
+        for problem in (
+            Problem1(small_power_law, 3, 4),
+            Problem2(small_power_law, 3, 4),
+        ):
+            result = solve(problem, method=method, **(
+                {"seed": 1, "num_replicates": 10}
+                if method == "approx-fast"
+                else {}
+            ))
+            assert len(result.selected) == 3
+
+    def test_dp_method(self, small_power_law):
+        result = solve(Problem1(small_power_law, 2, 3), method="dp")
+        assert result.algorithm == "DPF1"
+        result = solve(Problem2(small_power_law, 2, 3), method="dp")
+        assert result.algorithm == "DPF2"
+
+    def test_sampling_method(self, small_power_law):
+        result = solve(
+            Problem1(small_power_law, 2, 3), method="sampling",
+            num_replicates=30, seed=2,
+        )
+        assert result.algorithm == "SamplingF1"
+
+    def test_approx_reference_method(self, small_power_law):
+        result = solve(
+            Problem2(small_power_law, 2, 3), method="approx",
+            num_replicates=5, seed=3,
+        )
+        assert result.algorithm == "ApproxF2"
+
+    def test_random_method(self, small_power_law):
+        result = solve(Problem1(small_power_law, 4, 3), method="random", seed=1)
+        assert len(set(result.selected)) == 4
+
+    def test_unknown_method(self, small_power_law):
+        with pytest.raises(ParameterError, match="unknown method"):
+            solve(Problem1(small_power_law, 2, 3), method="magic")
+
+    def test_solver_names_all_dispatch(self, small_power_law):
+        problem = Problem1(small_power_law, 2, 3)
+        for method in SOLVER_NAMES:
+            options = {}
+            if method in ("sampling", "approx", "approx-fast"):
+                options = {"num_replicates": 5, "seed": 1}
+            elif method == "random":
+                options = {"seed": 1}
+            result = solve(problem, method=method, **options)
+            assert len(result.selected) == 2

@@ -1,0 +1,241 @@
+"""Property-based tests (hypothesis) for the extension modules.
+
+Covers the invariants of the edge-domination machinery, the new random
+graph models, the plotting helpers, and the stochastic-greedy sizing rule.
+Walk-dependent properties inject hypothesis-generated walks so checks are
+exact (no Monte-Carlo tolerance).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.edge_domination import (
+    EdgeDominationEngine,
+    EdgeWalkIndex,
+    prefix_edge_counts,
+)
+from repro.core.stochastic import sample_size_per_round
+from repro.experiments.plotting import ascii_bars, ascii_plot
+from repro.graphs.random_models import (
+    configuration_model_graph,
+    random_regular_graph,
+    watts_strogatz_graph,
+)
+
+NODE_COUNT = 6
+
+# Walk matrices over a tiny node universe: every row is one walk.
+walk_matrices = st.integers(min_value=1, max_value=8).flatmap(
+    lambda width: st.lists(
+        st.lists(
+            st.integers(min_value=0, max_value=NODE_COUNT - 1),
+            min_size=width,
+            max_size=width,
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+
+
+@st.composite
+def walker_major_walks(draw):
+    """Walks in the walker-major layout EdgeWalkIndex.from_walks expects."""
+    reps = draw(st.integers(min_value=1, max_value=3))
+    length = draw(st.integers(min_value=0, max_value=5))
+    walks = []
+    for walker in range(NODE_COUNT):
+        for _ in range(reps):
+            walk = [walker]
+            for _ in range(length):
+                walk.append(
+                    draw(st.integers(min_value=0, max_value=NODE_COUNT - 1))
+                )
+            walks.append(walk)
+    return walks, reps, length
+
+
+class TestPrefixEdgeCountProperties:
+    @given(walk_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_nondecreasing_and_bounded(self, walks):
+        counts = prefix_edge_counts(np.asarray(walks))
+        diffs = np.diff(counts, axis=1)
+        assert (diffs >= 0).all()
+        assert (diffs <= 1).all()  # one hop adds at most one edge
+        # C[b, t] <= t always.
+        width = counts.shape[1]
+        assert (counts <= np.arange(width)).all()
+
+    @given(walk_matrices)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_set_oracle(self, walks):
+        walks = np.asarray(walks)
+        counts = prefix_edge_counts(walks)
+        for b, walk in enumerate(walks):
+            seen: set[tuple[int, int]] = set()
+            for t in range(1, walks.shape[1]):
+                u, v = int(walk[t - 1]), int(walk[t])
+                if u != v:
+                    seen.add((min(u, v), max(u, v)))
+                assert counts[b, t] == len(seen)
+
+
+class TestEdgeEngineProperties:
+    @given(walker_major_walks())
+    @settings(max_examples=30, deadline=None)
+    def test_gain_sweep_equals_singles(self, data):
+        walks, reps, _length = data
+        index = EdgeWalkIndex.from_walks(walks, NODE_COUNT, reps)
+        engine = EdgeDominationEngine(index)
+        sweep = engine.gains_all()
+        singles = np.array([engine.gain_of(u) for u in range(NODE_COUNT)])
+        np.testing.assert_array_equal(sweep, singles)
+
+    @given(walker_major_walks())
+    @settings(max_examples=30, deadline=None)
+    def test_objective_nondecreasing_under_selection(self, data):
+        walks, reps, _length = data
+        index = EdgeWalkIndex.from_walks(walks, NODE_COUNT, reps)
+        engine = EdgeDominationEngine(index)
+        previous = engine.objective_value()
+        for node in range(NODE_COUNT):
+            engine.select(node)
+            current = engine.objective_value()
+            assert current >= previous - 1e-12
+            previous = current
+
+    @given(walker_major_walks())
+    @settings(max_examples=30, deadline=None)
+    def test_full_selection_saves_everything(self, data):
+        """Selecting all nodes stops every walk at hop 0."""
+        walks, reps, length = data
+        index = EdgeWalkIndex.from_walks(walks, NODE_COUNT, reps)
+        engine = EdgeDominationEngine(index)
+        for node in range(NODE_COUNT):
+            engine.select(node)
+        full = index.prefix[:, length].astype(np.int64).sum() / reps
+        assert engine.objective_value() == full
+
+    @given(walker_major_walks())
+    @settings(max_examples=20, deadline=None)
+    def test_lazy_equals_full_selection(self, data):
+        walks, reps, _length = data
+        index = EdgeWalkIndex.from_walks(walks, NODE_COUNT, reps)
+        lazy = EdgeDominationEngine(index)
+        lazy.run(4, lazy=True)
+        full = EdgeDominationEngine(index)
+        full.run(4, lazy=False)
+        assert lazy.selected == full.selected
+
+
+class TestRandomModelProperties:
+    @given(
+        st.integers(min_value=6, max_value=24),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_regular_always_regular(self, n, half_degree, seed):
+        degree = 2 * half_degree  # even degree avoids parity rejections
+        if degree >= n:
+            return
+        graph = random_regular_graph(n, degree, seed=seed)
+        assert (graph.degrees == degree).all()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4), min_size=4, max_size=16),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_configuration_model_never_exceeds(self, degrees, seed):
+        degrees = np.asarray(degrees)
+        if degrees.sum() % 2:
+            degrees[0] += 1
+        if degrees.max(initial=0) >= degrees.size:
+            return
+        graph = configuration_model_graph(degrees, seed=seed)
+        assert (graph.degrees <= degrees).all()
+
+    @given(
+        st.integers(min_value=8, max_value=30),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_watts_strogatz_preserves_edge_count(self, n, p, seed):
+        graph = watts_strogatz_graph(n, 4, p, seed=seed)
+        assert graph.num_edges == n * 2
+
+
+class TestPlottingProperties:
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=6,
+            ),
+            st.lists(
+                st.tuples(
+                    st.floats(-1e6, 1e6, allow_nan=False),
+                    st.floats(-1e6, 1e6, allow_nan=False),
+                ),
+                min_size=1,
+                max_size=10,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_plot_never_crashes_and_has_fixed_frame(self, series):
+        text = ascii_plot(series, width=32, height=8)
+        lines = text.splitlines()
+        plot_rows = [line for line in lines if line.rstrip().endswith("|")]
+        assert len(plot_rows) == 8
+        # Every plot row has the same visible width.
+        assert len({len(line) for line in plot_rows}) == 1
+
+    @given(
+        st.dictionaries(
+            st.text(
+                alphabet=st.characters(min_codepoint=97, max_codepoint=122),
+                min_size=1,
+                max_size=8,
+            ),
+            st.floats(0.0, 1e9, allow_nan=False),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bars_bounded_by_width(self, values):
+        text = ascii_bars(values, width=20)
+        for line in text.splitlines():
+            assert line.count("#") <= 20
+
+
+class TestStochasticSizing:
+    @given(
+        st.integers(min_value=1, max_value=10_000),
+        st.integers(min_value=1, max_value=500),
+        st.floats(min_value=1e-6, max_value=0.999),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sample_size_in_range(self, n, k, epsilon):
+        size = sample_size_per_round(n, k, epsilon)
+        assert 1 <= size <= n
+
+    @given(
+        st.integers(min_value=10, max_value=10_000),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_smaller_epsilon_larger_sample(self, n, k):
+        loose = sample_size_per_round(n, k, 0.5)
+        tight = sample_size_per_round(n, k, 0.01)
+        assert tight >= loose

@@ -1,0 +1,283 @@
+"""Property-based tests (hypothesis) for the core data structures and the
+theoretical invariants the paper proves.
+
+Strategy note: graphs are generated as random edge sets over a small node
+range, then canonicalized by GraphBuilder; walk-dependent properties inject
+hypothesis-generated walks into the index machinery so the checked property
+is exact (no Monte-Carlo tolerance needed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.builder import GraphBuilder
+from repro.graphs.adjacency import Graph
+from repro.hitting.exact import hit_probability_vector, hitting_time_vector
+from repro.walks.engine import batch_walks, first_hit_time, random_walk, walk_is_valid
+from repro.walks.index import FlatWalkIndex, InvertedIndex, walker_major_starts
+from repro.core.approx_fast import FastApproxEngine
+from repro.core.approx_greedy import (
+    approx_gain,
+    initial_distances,
+    update_distances,
+)
+
+NODE_COUNT = 8
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+target_sets = st.sets(
+    st.integers(min_value=0, max_value=NODE_COUNT - 1), min_size=0, max_size=4
+)
+
+
+def build_graph(edges) -> Graph:
+    builder = GraphBuilder()
+    builder.add_edges([(u, v) for u, v in edges])
+    builder.touch_node(NODE_COUNT - 1)
+    return builder.build()
+
+
+class TestGraphProperties:
+    @given(edge_lists)
+    def test_builder_canonical(self, edges):
+        g = build_graph(edges)
+        # Degree sum identity and neighbor symmetry.
+        assert int(g.degrees.sum()) == 2 * g.num_edges
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+            assert u != v
+
+    @given(edge_lists)
+    def test_builder_idempotent(self, edges):
+        g1 = build_graph(edges)
+        g2 = Graph.from_edges(list(g1.edges()), num_nodes=g1.num_nodes)
+        assert g1 == g2
+
+    @settings(deadline=None)
+    @given(edge_lists)
+    def test_matches_networkx(self, edges):
+        networkx = pytest.importorskip("networkx")
+        g = build_graph(edges)
+        nx_graph = networkx.Graph()
+        nx_graph.add_nodes_from(range(NODE_COUNT))
+        nx_graph.add_edges_from((u, v) for u, v in edges if u != v)
+        assert g.num_edges == nx_graph.number_of_edges()
+
+
+class TestHittingProperties:
+    @given(edge_lists, target_sets, st.integers(min_value=0, max_value=6))
+    def test_hitting_time_bounds(self, edges, targets, length):
+        g = build_graph(edges)
+        h = hitting_time_vector(g, targets, length)
+        assert (h >= -1e-12).all()
+        assert (h <= length + 1e-9).all()
+        for v in targets:
+            assert h[v] == 0.0
+
+    @given(edge_lists, target_sets, st.integers(min_value=0, max_value=6))
+    def test_probability_bounds(self, edges, targets, length):
+        g = build_graph(edges)
+        p = hit_probability_vector(g, targets, length)
+        assert (p >= -1e-12).all()
+        assert (p <= 1 + 1e-12).all()
+
+    @given(
+        edge_lists,
+        target_sets,
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        st.integers(min_value=0, max_value=5),
+    )
+    def test_monotone_in_set(self, edges, targets, extra, length):
+        # Eq. 14 of the paper's proof: h^L_uT <= h^L_uS for S subset T.
+        g = build_graph(edges)
+        h_small = hitting_time_vector(g, targets, length)
+        h_big = hitting_time_vector(g, set(targets) | {extra}, length)
+        assert (h_big <= h_small + 1e-9).all()
+
+    @given(edge_lists, target_sets, st.integers(min_value=0, max_value=5))
+    def test_horizon_monotone(self, edges, targets, length):
+        g = build_graph(edges)
+        h_short = hitting_time_vector(g, targets, length)
+        h_long = hitting_time_vector(g, targets, length + 1)
+        assert (h_long >= h_short - 1e-9).all()
+
+
+class TestWalkProperties:
+    @given(edge_lists, st.integers(min_value=0, max_value=10), st.integers(0, 2**31))
+    def test_walks_follow_edges(self, edges, length, seed):
+        g = build_graph(edges)
+        walk = random_walk(g, 0, length, seed=seed)
+        assert len(walk) == length + 1
+        assert walk_is_valid(g, walk)
+
+    @given(edge_lists, st.integers(min_value=1, max_value=6), st.integers(0, 2**31))
+    def test_batch_matches_scalar_semantics(self, edges, length, seed):
+        g = build_graph(edges)
+        walks = batch_walks(g, np.arange(NODE_COUNT), length, seed=seed)
+        for row in walks:
+            assert walk_is_valid(g, row.tolist())
+
+
+# Walk-injection strategy: a full walker-major walk matrix for a fixed
+# pseudo-graph topology (walks need not follow real edges for the index
+# invariants; the index only reads the sequences).
+def walk_matrix(num_replicates: int, length: int):
+    walk = st.lists(
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        min_size=length,
+        max_size=length,
+    )
+    def assemble(tails):
+        rows = []
+        for b, tail in enumerate(tails):
+            rows.append([b // num_replicates] + tail)
+        return rows
+    return st.lists(
+        walk, min_size=NODE_COUNT * num_replicates,
+        max_size=NODE_COUNT * num_replicates,
+    ).map(assemble)
+
+
+def estimated_f1(walks, length, targets, num_replicates):
+    targets = set(targets)
+    total = 0.0
+    for walk in walks:
+        hit = first_hit_time(walk, targets)
+        total += hit if hit is not None else length
+    return NODE_COUNT * length - total / num_replicates
+
+
+def estimated_f2(walks, targets, num_replicates):
+    targets = set(targets)
+    hits = sum(1 for walk in walks if first_hit_time(walk, targets) is not None)
+    return hits / num_replicates
+
+
+class TestIndexProperties:
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(walk_matrix(2, 3))
+    def test_first_visit_uniqueness(self, walks):
+        index = InvertedIndex.from_walks(walks, NODE_COUNT, 2)
+        for i in range(2):
+            for v in range(NODE_COUNT):
+                walkers = [e.walker for e in index.entries(i, v)]
+                assert len(walkers) == len(set(walkers))
+                assert v not in walkers
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(walk_matrix(2, 3))
+    def test_flat_equals_reference(self, walks):
+        ref = InvertedIndex.from_walks(walks, NODE_COUNT, 2)
+        flat = FlatWalkIndex.from_walks(walks, NODE_COUNT, 2)
+        assert flat.total_entries == ref.total_entries
+        for v in range(NODE_COUNT):
+            assert flat.entry_records(v) == sorted(
+                (i, e.walker, e.hop)
+                for i in range(2)
+                for e in ref.entries(i, v)
+            )
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(walk_matrix(2, 3), st.lists(
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        min_size=1, max_size=3, unique=True,
+    ))
+    def test_gain_is_marginal_of_estimated_objective(self, walks, picks):
+        """The central estimator identity: Approx_Gain == Delta F1hat."""
+        index = InvertedIndex.from_walks(walks, NODE_COUNT, 2)
+        distances = initial_distances(index, "f1")
+        selected: list[int] = []
+        for node in picks:
+            gain = approx_gain(index, distances, node, "f1")
+            expected = estimated_f1(walks, 3, selected + [node], 2) - (
+                estimated_f1(walks, 3, selected, 2)
+            )
+            assert gain == pytest.approx(expected, abs=1e-9)
+            update_distances(index, distances, node, "f1")
+            selected.append(node)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(walk_matrix(2, 3), st.lists(
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        min_size=1, max_size=3, unique=True,
+    ))
+    def test_gain_is_marginal_f2(self, walks, picks):
+        index = InvertedIndex.from_walks(walks, NODE_COUNT, 2)
+        distances = initial_distances(index, "f2")
+        selected: list[int] = []
+        for node in picks:
+            gain = approx_gain(index, distances, node, "f2")
+            expected = estimated_f2(walks, selected + [node], 2) - (
+                estimated_f2(walks, selected, 2)
+            )
+            assert gain == pytest.approx(expected, abs=1e-9)
+            update_distances(index, distances, node, "f2")
+            selected.append(node)
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(walk_matrix(2, 3), st.lists(
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        min_size=0, max_size=3, unique=True,
+    ))
+    def test_fast_engine_matches_reference_everywhere(self, walks, picks):
+        ref = InvertedIndex.from_walks(walks, NODE_COUNT, 2)
+        flat = FlatWalkIndex.from_walks(walks, NODE_COUNT, 2)
+        for objective in ("f1", "f2"):
+            engine = FastApproxEngine(flat, objective)
+            distances = initial_distances(ref, objective)
+            for node in picks:
+                engine.select(node)
+                update_distances(ref, distances, node, objective)
+            assert engine.distance_matrix().tolist() == distances
+            gains = engine.gains_all() / 2
+            for u in range(NODE_COUNT):
+                if u in picks:
+                    continue
+                assert gains[u] == pytest.approx(
+                    approx_gain(ref, distances, u, objective), abs=1e-9
+                )
+
+
+class TestEstimatedObjectiveTheory:
+    """The estimated objectives inherit monotonicity and submodularity —
+    the property that makes lazy evaluation sound for the fast engine."""
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(walk_matrix(1, 3), target_sets,
+           st.integers(min_value=0, max_value=NODE_COUNT - 1))
+    def test_estimated_f1_monotone(self, walks, targets, extra):
+        base = estimated_f1(walks, 3, targets, 1)
+        bigger = estimated_f1(walks, 3, set(targets) | {extra}, 1)
+        assert bigger >= base - 1e-9
+
+    @settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    @given(
+        walk_matrix(1, 3),
+        st.sets(st.integers(min_value=0, max_value=NODE_COUNT - 1), max_size=2),
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+    )
+    def test_estimated_f1_submodular(self, walks, small, grow, candidate):
+        small = set(small)
+        big = small | {grow}
+        if candidate in big:
+            return
+        gain_small = estimated_f1(walks, 3, small | {candidate}, 1) - (
+            estimated_f1(walks, 3, small, 1)
+        )
+        gain_big = estimated_f1(walks, 3, big | {candidate}, 1) - (
+            estimated_f1(walks, 3, big, 1)
+        )
+        assert gain_small >= gain_big - 1e-9

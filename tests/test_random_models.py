@@ -1,0 +1,153 @@
+"""Random-graph families beyond the paper's power-law model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.properties import is_connected
+from repro.graphs.random_models import (
+    configuration_model_graph,
+    forest_fire_graph,
+    random_regular_graph,
+    watts_strogatz_graph,
+)
+
+
+class TestWattsStrogatz:
+    def test_zero_rewiring_is_ring_lattice(self):
+        graph = watts_strogatz_graph(12, 4, 0.0, seed=1)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 12 * 2  # n * k / 2
+        # Every node keeps exactly its lattice degree.
+        assert (graph.degrees == 4).all()
+
+    def test_edge_count_preserved_under_rewiring(self):
+        graph = watts_strogatz_graph(40, 6, 0.3, seed=2)
+        assert graph.num_edges == 40 * 3
+
+    def test_full_rewiring_changes_topology(self):
+        lattice = watts_strogatz_graph(30, 4, 0.0, seed=3)
+        rewired = watts_strogatz_graph(30, 4, 1.0, seed=3)
+        assert lattice != rewired
+
+    def test_deterministic_under_seed(self):
+        a = watts_strogatz_graph(25, 4, 0.5, seed=7)
+        b = watts_strogatz_graph(25, 4, 0.5, seed=7)
+        assert a == b
+
+    def test_simple_graph_invariants(self):
+        graph = watts_strogatz_graph(50, 8, 0.7, seed=4)
+        # No self-loops: CSR rows never contain their own index.
+        for u in range(graph.num_nodes):
+            assert u not in graph.neighbors(u)
+
+    def test_rejects_odd_neighbors(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz_graph(10, 3, 0.1)
+
+    def test_rejects_small_n(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz_graph(4, 4, 0.1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ParameterError):
+            watts_strogatz_graph(10, 2, 1.5)
+
+
+class TestRandomRegular:
+    @pytest.mark.parametrize("n,d", [(10, 3), (20, 4), (15, 2)])
+    def test_degrees_are_exact(self, n, d):
+        graph = random_regular_graph(n, d, seed=5)
+        assert (graph.degrees == d).all()
+        assert graph.num_edges == n * d // 2
+
+    def test_rejects_odd_product(self):
+        with pytest.raises(ParameterError):
+            random_regular_graph(5, 3)
+
+    def test_rejects_degree_too_large(self):
+        with pytest.raises(ParameterError):
+            random_regular_graph(5, 5)
+
+    def test_rejects_zero_degree(self):
+        with pytest.raises(ParameterError):
+            random_regular_graph(5, 0)
+
+    def test_deterministic_under_seed(self):
+        a = random_regular_graph(16, 4, seed=9)
+        b = random_regular_graph(16, 4, seed=9)
+        assert a == b
+
+    def test_degree_baseline_is_neutralized(self):
+        """On a regular graph every node ties on degree — the property that
+        motivates this family for ablations."""
+        graph = random_regular_graph(20, 4, seed=11)
+        degrees = graph.degrees
+        assert degrees.min() == degrees.max()
+
+
+class TestConfigurationModel:
+    def test_approximates_degree_sequence(self):
+        wanted = np.array([5, 4, 3, 3, 2, 2, 2, 2, 1, 1, 1, 2])
+        graph = configuration_model_graph(wanted, seed=6)
+        got = graph.degrees
+        # Erased model: degrees can only fall short, never exceed.
+        assert (got <= wanted).all()
+        # And the total shortfall is small for a sparse sequence.
+        assert (wanted - got).sum() <= 6
+
+    def test_zero_degrees_allowed(self):
+        graph = configuration_model_graph([2, 1, 1, 0], seed=7)
+        assert graph.num_nodes == 4
+        assert graph.degree(3) == 0
+
+    def test_rejects_odd_sum(self):
+        with pytest.raises(ParameterError):
+            configuration_model_graph([1, 1, 1])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            configuration_model_graph([2, -1, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            configuration_model_graph([])
+
+    def test_rejects_infeasible_max_degree(self):
+        with pytest.raises(ParameterError):
+            configuration_model_graph([3, 1, 1, 1][:3])
+
+    def test_deterministic_under_seed(self):
+        seq = [3, 2, 2, 2, 2, 1]
+        a = configuration_model_graph(seq, seed=13)
+        b = configuration_model_graph(seq, seed=13)
+        assert a == b
+
+
+class TestForestFire:
+    def test_connected_by_construction(self):
+        graph = forest_fire_graph(60, 0.3, seed=8)
+        assert graph.num_nodes == 60
+        assert is_connected(graph)
+
+    def test_at_least_spanning_tree_edges(self):
+        graph = forest_fire_graph(40, 0.4, seed=9)
+        assert graph.num_edges >= 39
+
+    def test_higher_probability_burns_more(self):
+        sparse = forest_fire_graph(80, 0.05, seed=10)
+        dense = forest_fire_graph(80, 0.6, seed=10)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_deterministic_under_seed(self):
+        a = forest_fire_graph(30, 0.35, seed=15)
+        b = forest_fire_graph(30, 0.35, seed=15)
+        assert a == b
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ParameterError):
+            forest_fire_graph(1, 0.3)
+        with pytest.raises(ParameterError):
+            forest_fire_graph(10, 1.0)
+        with pytest.raises(ParameterError):
+            forest_fire_graph(10, -0.1)

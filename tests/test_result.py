@@ -1,0 +1,47 @@
+"""Tests for SelectionResult."""
+
+import pytest
+
+from repro.core.result import SelectionResult
+
+
+class TestSelectionResult:
+    def test_normalizes_types(self):
+        import numpy as np
+
+        result = SelectionResult(
+            algorithm="X",
+            selected=(np.int64(1), np.int64(2)),
+            gains=(np.float64(0.5),),
+        )
+        assert result.selected == (1, 2)
+        assert isinstance(result.selected[0], int)
+        assert isinstance(result.gains[0], float)
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionResult(algorithm="X", selected=(1, 1))
+
+    def test_selected_set(self):
+        result = SelectionResult(algorithm="X", selected=(3, 1, 2))
+        assert result.selected_set == frozenset({1, 2, 3})
+
+    def test_prefix(self):
+        result = SelectionResult(algorithm="X", selected=(3, 1, 2))
+        assert result.prefix(2) == (3, 1)
+        assert result.prefix(0) == ()
+        assert result.prefix(99) == (3, 1, 2)
+
+    def test_prefix_negative(self):
+        with pytest.raises(ValueError):
+            SelectionResult(algorithm="X", selected=(1,)).prefix(-1)
+
+    def test_summary_mentions_algorithm(self):
+        result = SelectionResult(algorithm="DPF1", selected=(1,))
+        assert "DPF1" in result.summary()
+
+    def test_params_default_isolated(self):
+        a = SelectionResult(algorithm="X", selected=())
+        b = SelectionResult(algorithm="Y", selected=())
+        a.params["k"] = 1
+        assert "k" not in b.params

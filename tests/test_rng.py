@@ -1,0 +1,54 @@
+"""Tests for the RNG discipline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.walks.rng import resolve_rng, spawn_children
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = resolve_rng(42).random(5)
+        b = resolve_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_numpy_integer_accepted(self):
+        assert isinstance(resolve_rng(np.int64(7)), np.random.Generator)
+
+    def test_generator_passed_through(self):
+        gen = np.random.default_rng(1)
+        assert resolve_rng(gen) is gen
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(ParameterError):
+            resolve_rng("seed")
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        children = spawn_children(7, 4)
+        assert len(children) == 4
+
+    def test_children_independent_streams(self):
+        a, b = spawn_children(7, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_reproducible(self):
+        a1, _ = spawn_children(7, 2)
+        a2, _ = spawn_children(7, 2)
+        assert np.array_equal(a1.random(10), a2.random(10))
+
+    def test_zero_children(self):
+        assert spawn_children(1, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            spawn_children(1, -1)

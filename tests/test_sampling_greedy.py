@@ -1,0 +1,60 @@
+"""Tests for the sampling-based greedy (Algorithm 1 + Algorithm 2 gains)."""
+
+import pytest
+
+from repro.graphs.generators import star_graph
+from repro.core.dp_greedy import dpf1, dpf2
+from repro.core.objectives import F1Objective, F2Objective
+from repro.core.sampling_greedy import sampling_greedy_f1, sampling_greedy_f2
+
+
+class TestSelectionQuality:
+    def test_star_center_first(self):
+        result = sampling_greedy_f2(star_graph(8), 1, 2, num_replicates=200, seed=1)
+        assert result.selected == (0,)
+
+    def test_close_to_dp_on_small_graph(self, small_power_law):
+        # With enough samples the noisy greedy should land within a few
+        # percent of the DP greedy's objective value.
+        k, length = 4, 4
+        dp = dpf1(small_power_law, k, length)
+        sampled = sampling_greedy_f1(
+            small_power_law, k, length, num_replicates=300, seed=2
+        )
+        objective = F1Objective(small_power_law, length)
+        assert objective.value(set(sampled.selected)) >= 0.9 * objective.value(
+            set(dp.selected)
+        )
+
+    def test_f2_variant(self, small_power_law):
+        k, length = 4, 4
+        dp = dpf2(small_power_law, k, length)
+        sampled = sampling_greedy_f2(
+            small_power_law, k, length, num_replicates=300, seed=3
+        )
+        objective = F2Objective(small_power_law, length)
+        assert objective.value(set(sampled.selected)) >= 0.9 * objective.value(
+            set(dp.selected)
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_selection(self, small_power_law):
+        a = sampling_greedy_f1(small_power_law, 3, 3, num_replicates=50, seed=7)
+        b = sampling_greedy_f1(small_power_law, 3, 3, num_replicates=50, seed=7)
+        assert a.selected == b.selected
+
+
+class TestMetadata:
+    def test_params(self, small_power_law):
+        result = sampling_greedy_f1(
+            small_power_law, 2, 3, num_replicates=20, seed=1
+        )
+        assert result.params["R"] == 20
+        assert result.algorithm == "SamplingF1"
+
+    def test_distinct_selection(self, small_power_law):
+        result = sampling_greedy_f2(
+            small_power_law, 5, 3, num_replicates=30, seed=4
+        )
+        assert len(set(result.selected)) == 5

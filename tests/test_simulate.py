@@ -1,0 +1,390 @@
+"""Application simulators: social browsing, P2P search, ad campaigns."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.approx_fast import approx_greedy_fast
+from repro.errors import ParameterError
+from repro.graphs.generators import (
+    complete_graph,
+    power_law_graph,
+    ring_graph,
+    star_graph,
+)
+from repro.graphs.builder import GraphBuilder
+from repro.hitting.exact import hit_probability_vector, hitting_time_vector
+from repro.simulate import (
+    simulate_ad_campaign,
+    simulate_p2p_search,
+    simulate_social_browsing,
+)
+
+
+def dangling_graph():
+    """Nodes 0-1 joined; node 2 isolated."""
+    builder = GraphBuilder()
+    builder.add_edge(0, 1)
+    builder.touch_node(2)
+    return builder.build()
+
+
+class TestSocialBrowsing:
+    def test_full_placement_discovers_instantly(self):
+        graph = ring_graph(10)
+        report = simulate_social_browsing(
+            graph, range(10), num_sessions=50, length=4, seed=1
+        )
+        assert report.discovery_rate == 1.0
+        assert report.mean_hops_to_discovery == 0.0
+        assert report.mean_truncated_hops == 0.0
+
+    def test_empty_placement_discovers_nothing(self):
+        graph = ring_graph(10)
+        report = simulate_social_browsing(
+            graph, (), num_sessions=50, length=4, seed=1
+        )
+        assert report.discovery_rate == 0.0
+        assert math.isnan(report.mean_hops_to_discovery)
+        assert report.mean_truncated_hops == 4.0
+
+    def test_deterministic_under_seed(self):
+        graph = power_law_graph(50, 150, seed=2)
+        a = simulate_social_browsing(graph, [0, 3], 500, 5, seed=9)
+        b = simulate_social_browsing(graph, [0, 3], 500, 5, seed=9)
+        assert a == b
+
+    def test_all_mode_covers_every_user(self):
+        graph = ring_graph(8)
+        report = simulate_social_browsing(
+            graph, [0], num_sessions=16, length=3, start="all", seed=4
+        )
+        assert report.num_sessions == 16  # two passes over 8 users
+
+    def test_all_mode_minimum_one_pass(self):
+        graph = ring_graph(8)
+        report = simulate_social_browsing(
+            graph, [0], num_sessions=3, length=3, start="all", seed=4
+        )
+        assert report.num_sessions == 8
+
+    def test_degree_mode_runs(self):
+        graph = star_graph(10)
+        report = simulate_social_browsing(
+            graph, [0], num_sessions=200, length=2, start="degree", seed=5
+        )
+        # Center hosts: every leaf session hits at hop <= 2 on a star and
+        # center sessions hit at hop 0.
+        assert report.discovery_rate == 1.0
+
+    def test_degree_mode_on_edgeless_graph(self):
+        builder = GraphBuilder()
+        builder.touch_node(4)
+        graph = builder.build()
+        report = simulate_social_browsing(
+            graph, [0], num_sessions=100, length=3, start="degree", seed=6
+        )
+        # Falls back to uniform starts; only starts at node 0 discover.
+        assert 0.0 < report.discovery_rate < 1.0
+
+    def test_rejects_bad_start_mode(self):
+        with pytest.raises(ParameterError):
+            simulate_social_browsing(ring_graph(5), [0], 10, 3, start="hubs")
+
+    def test_rejects_bad_params(self):
+        graph = ring_graph(5)
+        with pytest.raises(ParameterError):
+            simulate_social_browsing(graph, [0], 0, 3)
+        with pytest.raises(ParameterError):
+            simulate_social_browsing(graph, [0], 10, -1)
+        with pytest.raises(ParameterError):
+            simulate_social_browsing(graph, [9], 10, 3)
+
+    def test_discovery_rate_matches_exact_probability(self):
+        """With start='all' the discovery rate estimates mean p^L_uS."""
+        graph = power_law_graph(40, 120, seed=7)
+        hosts = [0, 5]
+        length = 4
+        report = simulate_social_browsing(
+            graph, hosts, num_sessions=40 * 400, length=length,
+            start="all", seed=11,
+        )
+        exact = float(hit_probability_vector(graph, hosts, length).mean())
+        assert report.discovery_rate == pytest.approx(exact, abs=0.02)
+
+    def test_truncated_hops_match_exact_hitting_time(self):
+        """mean_truncated_hops estimates mean h^L_uS under start='all'."""
+        graph = power_law_graph(40, 120, seed=7)
+        hosts = [2, 9]
+        length = 5
+        report = simulate_social_browsing(
+            graph, hosts, num_sessions=40 * 400, length=length,
+            start="all", seed=13,
+        )
+        exact = float(hitting_time_vector(graph, hosts, length).mean())
+        assert report.mean_truncated_hops == pytest.approx(exact, abs=0.05)
+
+    def test_greedy_placement_beats_low_degree_placement(self):
+        graph = power_law_graph(150, 450, seed=3)
+        k, length = 4, 5
+        greedy = approx_greedy_fast(
+            graph, k, length, num_replicates=50, objective="f2", seed=5
+        )
+        losers = np.argsort(graph.degrees)[:k]
+        good = simulate_social_browsing(
+            graph, greedy.selected, 4000, length, seed=19
+        )
+        bad = simulate_social_browsing(graph, losers, 4000, length, seed=19)
+        assert good.discovery_rate > bad.discovery_rate
+
+    def test_dangling_nodes_never_discover_remote_items(self):
+        graph = dangling_graph()
+        report = simulate_social_browsing(
+            graph, [0], num_sessions=3 * 200, length=4, start="all", seed=2
+        )
+        # Node 2 is isolated: its sessions never discover; nodes 0 and 1
+        # always do (0 at hop 0; 1 at hop 1 since its only neighbor is 0).
+        assert report.discovery_rate == pytest.approx(2 / 3)
+
+
+class TestP2PSearch:
+    def test_full_replication_always_succeeds(self):
+        graph = ring_graph(12)
+        report = simulate_p2p_search(
+            graph, range(12), num_queries=100, ttl=3, seed=1
+        )
+        assert report.success_rate == 1.0
+        assert report.mean_hops_to_hit == 0.0
+        assert report.total_messages == 0
+
+    def test_no_replicas_never_succeeds(self):
+        graph = ring_graph(12)
+        report = simulate_p2p_search(graph, (), num_queries=100, ttl=3, seed=1)
+        assert report.success_rate == 0.0
+        assert math.isnan(report.mean_hops_to_hit)
+        # Every walker walks its full TTL.
+        assert report.total_messages == 100 * 3
+
+    def test_more_walkers_raise_success_rate(self):
+        graph = power_law_graph(100, 300, seed=4)
+        hosts = [0, 1]
+        single = simulate_p2p_search(
+            graph, hosts, num_queries=2000, ttl=4, walkers_per_query=1, seed=8
+        )
+        multi = simulate_p2p_search(
+            graph, hosts, num_queries=2000, ttl=4, walkers_per_query=4, seed=8
+        )
+        assert multi.success_rate > single.success_rate
+        assert multi.total_messages > single.total_messages
+
+    def test_explicit_origins(self):
+        graph = star_graph(6)
+        report = simulate_p2p_search(
+            graph, [0], origins=np.array([1, 2, 3]), ttl=2, seed=3
+        )
+        assert report.num_queries == 3
+        # Leaves' first hop is always the center.
+        assert report.success_rate == 1.0
+        assert report.mean_hops_to_hit == 1.0
+
+    def test_origin_validation(self):
+        graph = ring_graph(5)
+        with pytest.raises(ParameterError):
+            simulate_p2p_search(graph, [0], origins=np.array([9]), ttl=2)
+        with pytest.raises(ParameterError):
+            simulate_p2p_search(graph, [0], origins=np.array([]), ttl=2)
+
+    def test_rejects_bad_params(self):
+        graph = ring_graph(5)
+        with pytest.raises(ParameterError):
+            simulate_p2p_search(graph, [0], num_queries=0, ttl=2)
+        with pytest.raises(ParameterError):
+            simulate_p2p_search(graph, [0], num_queries=5, ttl=-1)
+        with pytest.raises(ParameterError):
+            simulate_p2p_search(graph, [0], num_queries=5, ttl=2,
+                                walkers_per_query=0)
+
+    def test_deterministic_under_seed(self):
+        graph = power_law_graph(60, 180, seed=5)
+        a = simulate_p2p_search(graph, [1, 2], 300, 4, seed=21)
+        b = simulate_p2p_search(graph, [1, 2], 300, 4, seed=21)
+        assert a == b
+
+    def test_good_placement_cuts_messages(self):
+        """Domination-aware placement saves traffic vs a corner placement.
+
+        Topology: two stars joined at their centers — every walk funnels
+        through a center, so replicating at the centers (what greedy finds)
+        succeeds almost immediately while replicating on two leaves of one
+        star leaves the other star's queries walking out their TTL.
+        """
+        leaves = 25
+        edges = [(0, 1)]
+        edges += [(0, v) for v in range(2, 2 + leaves)]
+        edges += [(1, v) for v in range(2 + leaves, 2 + 2 * leaves)]
+        from repro.graphs.adjacency import Graph
+
+        graph = Graph.from_edges(edges)
+        k, ttl = 2, 5
+        greedy = approx_greedy_fast(
+            graph, k, ttl, num_replicates=100, objective="f1", seed=7
+        )
+        assert set(greedy.selected) == {0, 1}
+        lopsided = [2, 3]  # two leaves of the first star
+        good = simulate_p2p_search(graph, greedy.selected, 3000, ttl, seed=23)
+        bad = simulate_p2p_search(graph, lopsided, 3000, ttl, seed=23)
+        assert good.mean_messages_per_query < bad.mean_messages_per_query
+        assert good.success_rate > bad.success_rate
+
+    def test_success_rate_matches_exact_probability(self):
+        graph = power_law_graph(40, 120, seed=9)
+        hosts = [3, 14]
+        ttl = 4
+        origins = np.repeat(np.arange(40), 300)
+        report = simulate_p2p_search(
+            graph, hosts, origins=origins, ttl=ttl, seed=29
+        )
+        exact = float(hit_probability_vector(graph, hosts, ttl).mean())
+        assert report.success_rate == pytest.approx(exact, abs=0.02)
+
+
+class TestAdCampaign:
+    def test_hosts_count_as_reached(self):
+        graph = ring_graph(10)
+        report = simulate_ad_campaign(graph, [0], sessions_per_user=2,
+                                      length=0, seed=1)
+        # With L=0 nobody moves: only the host sees the ad.
+        assert report.reached_users == 1
+        assert report.impressions == 2
+        assert report.frequency == 2.0
+
+    def test_count_hosts_false_excludes_hosts(self):
+        graph = ring_graph(10)
+        report = simulate_ad_campaign(
+            graph, [0], sessions_per_user=2, length=0, count_hosts=False,
+            seed=1,
+        )
+        assert report.reached_users == 0
+        assert report.impressions == 0
+        assert math.isnan(report.frequency)
+
+    def test_complete_graph_high_reach(self):
+        graph = complete_graph(20)
+        report = simulate_ad_campaign(graph, [0], sessions_per_user=8,
+                                      length=6, seed=2)
+        assert report.reach > 0.9
+
+    def test_reach_monotone_in_sessions(self):
+        graph = power_law_graph(80, 240, seed=3)
+        few = simulate_ad_campaign(graph, [0, 1], sessions_per_user=1,
+                                   length=4, seed=5)
+        many = simulate_ad_campaign(graph, [0, 1], sessions_per_user=10,
+                                    length=4, seed=5)
+        assert many.reach >= few.reach
+        assert many.impressions > few.impressions
+
+    def test_rejects_bad_params(self):
+        graph = ring_graph(5)
+        with pytest.raises(ParameterError):
+            simulate_ad_campaign(graph, [0], sessions_per_user=0)
+        with pytest.raises(ParameterError):
+            simulate_ad_campaign(graph, [0], length=-1)
+
+    def test_deterministic_under_seed(self):
+        graph = power_law_graph(50, 150, seed=6)
+        a = simulate_ad_campaign(graph, [2, 4], 3, 4, seed=31)
+        b = simulate_ad_campaign(graph, [2, 4], 3, 4, seed=31)
+        assert a == b
+
+    def test_greedy_hosts_outreach_low_degree_hosts(self):
+        graph = power_law_graph(120, 360, seed=8)
+        k, length = 5, 5
+        greedy = approx_greedy_fast(
+            graph, k, length, num_replicates=50, objective="f2", seed=9
+        )
+        degrees = graph.degrees
+        losers = np.argsort(degrees)[:k]  # lowest-degree hosts
+        good = simulate_ad_campaign(graph, greedy.selected, 4, length, seed=33)
+        bad = simulate_ad_campaign(graph, losers, 4, length, seed=33)
+        assert good.reach > bad.reach
+
+    def test_single_session_reach_tracks_f2(self):
+        """One session per user, count hosts: reach * n estimates F2(S)."""
+        graph = power_law_graph(40, 120, seed=10)
+        hosts = [0, 7]
+        length = 4
+        totals = []
+        for seed in range(20):
+            report = simulate_ad_campaign(
+                graph, hosts, sessions_per_user=1, length=length, seed=seed
+            )
+            totals.append(report.reached_users)
+        exact = float(hit_probability_vector(graph, hosts, length).sum())
+        assert np.mean(totals) == pytest.approx(exact, rel=0.1)
+
+
+class TestWeightedGraphSimulation:
+    """Simulators accept the directed/weighted extension's digraph."""
+
+    def _lifted(self, seed=3):
+        from repro.graphs.weighted import WeightedDiGraph
+
+        base = power_law_graph(60, 180, seed=seed)
+        return base, WeightedDiGraph.from_undirected(base)
+
+    def test_social_on_digraph(self):
+        _, weighted = self._lifted()
+        report = simulate_social_browsing(weighted, [0, 5], 500, 4, seed=7)
+        assert 0.0 <= report.discovery_rate <= 1.0
+        assert report.num_hosts == 2
+
+    def test_unit_weights_match_unweighted_statistically(self):
+        """A unit-weight lift is the same walk law: rates must agree."""
+        base, weighted = self._lifted()
+        hosts = [0, 3, 9]
+        a = simulate_social_browsing(base, hosts, 60 * 200, 4,
+                                     start="all", seed=11)
+        b = simulate_social_browsing(weighted, hosts, 60 * 200, 4,
+                                     start="all", seed=12)
+        assert a.discovery_rate == pytest.approx(b.discovery_rate, abs=0.02)
+
+    def test_p2p_on_digraph(self):
+        _, weighted = self._lifted()
+        report = simulate_p2p_search(weighted, [1], 400, 4,
+                                     walkers_per_query=2, seed=9)
+        assert report.num_queries == 400
+        assert 0.0 <= report.success_rate <= 1.0
+
+    def test_ads_on_digraph(self):
+        _, weighted = self._lifted()
+        report = simulate_ad_campaign(weighted, [2], 2, 3, seed=13)
+        assert report.num_users == 60
+        assert report.reached_users >= 1
+
+    def test_degree_start_uses_out_degrees(self):
+        from repro.graphs.weighted import WeightedDiGraph
+
+        # Node 0 has all the out-weight; sessions must still be valid.
+        weighted = WeightedDiGraph.from_edges(
+            [(0, 1, 5.0), (0, 2, 5.0), (1, 0, 1.0)], num_nodes=3
+        )
+        report = simulate_social_browsing(
+            weighted, [1], 300, 3, start="degree", seed=15
+        )
+        assert 0.0 <= report.discovery_rate <= 1.0
+
+    def test_asymmetric_trust_changes_outcome(self):
+        """Directionality matters: all arcs point toward node 0, so a
+        placement on 0 dominates everything, while any leaf placement
+        dominates almost nothing."""
+        from repro.graphs.weighted import WeightedDiGraph
+
+        arcs = [(u, 0, 1.0) for u in range(1, 10)]
+        weighted = WeightedDiGraph.from_edges(arcs, num_nodes=10)
+        into_hub = simulate_social_browsing(weighted, [0], 10 * 100, 3,
+                                            start="all", seed=17)
+        into_leaf = simulate_social_browsing(weighted, [5], 10 * 100, 3,
+                                             start="all", seed=17)
+        assert into_hub.discovery_rate == 1.0  # every walk reaches the hub
+        assert into_leaf.discovery_rate < 0.3

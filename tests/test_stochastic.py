@@ -1,0 +1,152 @@
+"""Stochastic greedy and its interaction with objectives and engines."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.objectives import F1Objective, F2Objective
+from repro.core.greedy import greedy_select
+from repro.core.stochastic import (
+    sample_size_per_round,
+    stochastic_approx_greedy,
+    stochastic_greedy_select,
+)
+from repro.errors import ParameterError
+from repro.graphs.generators import power_law_graph, ring_graph, star_graph
+from repro.walks.index import FlatWalkIndex
+
+
+class TestSampleSize:
+    def test_formula(self):
+        # ceil((100 / 10) * ln(10)) = ceil(23.02...) = 24
+        assert sample_size_per_round(100, 10, 0.1) == 24
+
+    def test_clamped_to_pool(self):
+        assert sample_size_per_round(5, 1, 0.01) == 5
+
+    def test_at_least_one(self):
+        assert sample_size_per_round(100, 100, 0.9) >= 1
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ParameterError):
+            sample_size_per_round(10, 2, 0.0)
+        with pytest.raises(ParameterError):
+            sample_size_per_round(10, 2, 1.0)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ParameterError):
+            sample_size_per_round(10, 0, 0.1)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ParameterError):
+            sample_size_per_round(0, 1, 0.1)
+
+
+class TestStochasticGreedySelect:
+    def test_selects_k_distinct(self):
+        graph = power_law_graph(40, 120, seed=1)
+        objective = F2Objective(graph, length=4)
+        result = stochastic_greedy_select(objective, 5, seed=7)
+        assert len(result.selected) == 5
+        assert len(set(result.selected)) == 5
+
+    def test_k_zero(self):
+        graph = ring_graph(6)
+        result = stochastic_greedy_select(F1Objective(graph, 3), 0, seed=1)
+        assert result.selected == ()
+
+    def test_rejects_bad_k(self):
+        graph = ring_graph(6)
+        with pytest.raises(ParameterError):
+            stochastic_greedy_select(F1Objective(graph, 3), 7)
+
+    def test_deterministic_under_seed(self):
+        graph = power_law_graph(40, 120, seed=1)
+        objective = F1Objective(graph, length=4)
+        a = stochastic_greedy_select(objective, 4, seed=42)
+        b = stochastic_greedy_select(objective, 4, seed=42)
+        assert a.selected == b.selected
+
+    def test_fewer_evaluations_than_full_greedy(self):
+        graph = power_law_graph(60, 180, seed=2)
+        objective = F2Objective(graph, length=4)
+        stochastic = stochastic_greedy_select(objective, 10, seed=5)
+        full = greedy_select(objective, 10, lazy=False)
+        assert stochastic.num_gain_evaluations < full.num_gain_evaluations
+
+    def test_epsilon_one_samples_whole_pool(self):
+        """With tiny epsilon the sample covers the pool -> matches greedy."""
+        graph = power_law_graph(25, 70, seed=3)
+        objective = F2Objective(graph, length=4)
+        stochastic = stochastic_greedy_select(
+            objective, 4, epsilon=1e-9, seed=11
+        )
+        exact = greedy_select(objective, 4, lazy=False)
+        assert stochastic.selected == exact.selected
+
+    def test_quality_close_to_greedy(self):
+        """Stochastic greedy should land within a few percent of greedy."""
+        graph = power_law_graph(80, 240, seed=4)
+        objective = F2Objective(graph, length=5)
+        exact = greedy_select(objective, 8, lazy=True)
+        stochastic = stochastic_greedy_select(objective, 8, seed=23)
+        assert objective.value(stochastic.selected) >= 0.8 * objective.value(
+            exact.selected
+        )
+
+    def test_result_params(self):
+        graph = ring_graph(10)
+        result = stochastic_greedy_select(
+            F1Objective(graph, 3), 2, epsilon=0.2, seed=1
+        )
+        assert result.params["epsilon"] == 0.2
+        assert result.params["strategy"] == "stochastic"
+
+
+class TestStochasticApproxGreedy:
+    def test_basic_run(self):
+        graph = power_law_graph(100, 300, seed=6)
+        result = stochastic_approx_greedy(
+            graph, 6, 5, num_replicates=20, objective="f2", seed=9
+        )
+        assert result.algorithm == "StochasticApproxF2"
+        assert len(result.selected) == 6
+
+    def test_f1_name(self):
+        graph = ring_graph(12)
+        result = stochastic_approx_greedy(
+            graph, 2, 3, num_replicates=5, objective="f1", seed=2
+        )
+        assert result.algorithm == "StochasticApproxF1"
+
+    def test_rejects_bad_k(self):
+        graph = ring_graph(6)
+        with pytest.raises(ParameterError):
+            stochastic_approx_greedy(graph, 7, 3)
+
+    def test_reuses_index(self):
+        graph = ring_graph(15)
+        index = FlatWalkIndex.build(graph, 3, 10, seed=3)
+        a = stochastic_approx_greedy(graph, 3, 3, index=index, seed=8)
+        b = stochastic_approx_greedy(graph, 3, 3, index=index, seed=8)
+        assert a.selected == b.selected
+
+    def test_index_mismatch(self):
+        index = FlatWalkIndex.build(ring_graph(15), 3, 5, seed=3)
+        with pytest.raises(ParameterError):
+            stochastic_approx_greedy(ring_graph(10), 2, 3, index=index)
+
+    def test_star_center_found(self):
+        """Even a sampled round should find the star center: its gain
+        dominates every leaf so any sample containing it selects it, and
+        with epsilon=1e-9 the sample is the whole pool."""
+        graph = star_graph(30)
+        result = stochastic_approx_greedy(
+            graph, 1, 3, num_replicates=30, objective="f2",
+            epsilon=1e-9, seed=13,
+        )
+        assert result.selected[0] == 0
+
+    def test_exposed_at_top_level(self):
+        assert repro.stochastic_approx_greedy is stochastic_approx_greedy
+        assert repro.stochastic_greedy_select is stochastic_greedy_select

@@ -1,0 +1,82 @@
+"""Tests for transition-matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.hitting.transition import (
+    absorbing_restriction,
+    target_mask,
+    transition_matrix,
+)
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self, small_power_law):
+        P = transition_matrix(small_power_law)
+        sums = np.asarray(P.sum(axis=1)).ravel()
+        assert np.allclose(sums, 1.0)
+
+    def test_uniform_over_neighbors(self, star4):
+        P = transition_matrix(star4).toarray()
+        assert P[0, 1] == pytest.approx(0.25)
+        assert P[1, 0] == pytest.approx(1.0)
+        assert P[1, 2] == 0.0
+
+    def test_dangling_self_loop(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        P = transition_matrix(g).toarray()
+        assert P[2, 2] == 1.0
+        assert P[2].sum() == 1.0
+
+    def test_symmetric_degrees(self, ring6):
+        P = transition_matrix(ring6).toarray()
+        assert np.allclose(P, P.T)  # regular graph: P symmetric
+
+
+class TestTargetMask:
+    def test_basic(self):
+        mask = target_mask(5, {1, 3})
+        assert mask.tolist() == [False, True, False, True, False]
+
+    def test_empty(self):
+        assert not target_mask(3, set()).any()
+
+    def test_out_of_range(self):
+        with pytest.raises(ParameterError):
+            target_mask(3, {5})
+        with pytest.raises(ParameterError):
+            target_mask(3, {-1})
+
+
+class TestAbsorbingRestriction:
+    def test_absorbed_rows_zeroed(self, ring6):
+        P = transition_matrix(ring6)
+        mask = target_mask(6, {0, 3})
+        Q = absorbing_restriction(P, mask).toarray()
+        assert np.allclose(Q[0], 0.0)
+        assert np.allclose(Q[3], 0.0)
+        # Surviving transitions among V\S keep their probabilities.
+        assert Q[1, 2] == pytest.approx(P.toarray()[1, 2])
+
+    def test_powers_give_survival_mass(self):
+        # Row sums of Q^t are the probability the walk avoided S for t steps.
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0)])
+        P = transition_matrix(g)
+        mask = target_mask(3, {0})
+        Q = absorbing_restriction(P, mask)
+        surv1 = np.asarray(Q.sum(axis=1)).ravel()
+        assert surv1[1] == pytest.approx(0.5)  # from 1, avoid 0 w.p. 1/2
+        surv2 = np.asarray((Q @ Q).sum(axis=1)).ravel()
+        assert surv2[1] == pytest.approx(0.25)
+
+    def test_columns_also_zeroed(self, ring6):
+        P = transition_matrix(ring6)
+        Q = absorbing_restriction(P, target_mask(6, {0})).toarray()
+        assert np.allclose(Q[:, 0], 0.0)
+
+    def test_mask_size_checked(self, ring6):
+        P = transition_matrix(ring6)
+        with pytest.raises(ParameterError):
+            absorbing_restriction(P, np.zeros(4, dtype=bool))

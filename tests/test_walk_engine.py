@@ -1,0 +1,131 @@
+"""Tests for the L-length random-walk engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.graphs.generators import path_graph, power_law_graph, ring_graph
+from repro.walks.engine import (
+    batch_first_hits,
+    batch_walks,
+    first_hit_time,
+    random_walk,
+    walk_is_valid,
+)
+
+
+class TestRandomWalk:
+    def test_length_and_start(self, small_power_law):
+        walk = random_walk(small_power_law, 3, 7, seed=1)
+        assert len(walk) == 8
+        assert walk[0] == 3
+
+    def test_all_steps_are_edges(self, small_power_law):
+        walk = random_walk(small_power_law, 0, 20, seed=2)
+        assert walk_is_valid(small_power_law, walk)
+
+    def test_zero_length(self, small_power_law):
+        assert random_walk(small_power_law, 5, 0, seed=1) == [5]
+
+    def test_deterministic_by_seed(self, small_power_law):
+        a = random_walk(small_power_law, 0, 10, seed=3)
+        b = random_walk(small_power_law, 0, 10, seed=3)
+        assert a == b
+
+    def test_dangling_node_stays(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        assert random_walk(g, 2, 4, seed=1) == [2, 2, 2, 2, 2]
+
+    def test_invalid_args(self, small_power_law):
+        with pytest.raises(ParameterError):
+            random_walk(small_power_law, 0, -1)
+        with pytest.raises(ParameterError):
+            random_walk(small_power_law, 999, 2)
+
+
+class TestBatchWalks:
+    def test_shape_and_starts(self, small_power_law):
+        starts = np.array([0, 1, 2, 2])
+        walks = batch_walks(small_power_law, starts, 5, seed=1)
+        assert walks.shape == (4, 6)
+        assert walks[:, 0].tolist() == [0, 1, 2, 2]
+
+    def test_every_transition_is_an_edge(self, small_power_law):
+        starts = np.arange(small_power_law.num_nodes)
+        walks = batch_walks(small_power_law, starts, 8, seed=4)
+        for row in walks:
+            assert walk_is_valid(small_power_law, row.tolist())
+
+    def test_zero_length(self, small_power_law):
+        walks = batch_walks(small_power_law, [1, 2], 0, seed=1)
+        assert walks.shape == (2, 1)
+
+    def test_empty_batch(self, small_power_law):
+        walks = batch_walks(small_power_law, [], 5, seed=1)
+        assert walks.shape == (0, 6)
+
+    def test_dangling_stays(self):
+        g = Graph.from_edges([(0, 1)], num_nodes=3)
+        walks = batch_walks(g, [2, 2], 3, seed=1)
+        assert (walks == 2).all()
+
+    def test_out_of_range_start(self, small_power_law):
+        with pytest.raises(ParameterError):
+            batch_walks(small_power_law, [0, 999], 3)
+
+    def test_uniform_neighbor_choice(self):
+        # From the center of a star every leaf should be roughly equally
+        # likely at step 1.
+        from repro.graphs.generators import star_graph
+
+        g = star_graph(4)
+        walks = batch_walks(g, np.zeros(8000, dtype=int), 1, seed=5)
+        counts = np.bincount(walks[:, 1], minlength=5)[1:]
+        assert counts.min() > 0.8 * counts.mean()
+
+    def test_path_parity(self):
+        # On a path, position after one step differs by exactly 1.
+        g = path_graph(10)
+        walks = batch_walks(g, np.full(100, 5), 1, seed=6)
+        assert set(np.abs(walks[:, 1] - 5).tolist()) == {1}
+
+
+class TestFirstHit:
+    def test_hit_at_start(self):
+        assert first_hit_time([3, 1, 2], {3}) == 0
+
+    def test_hit_later(self):
+        assert first_hit_time([3, 1, 2], {2}) == 2
+
+    def test_miss(self):
+        assert first_hit_time([3, 1, 2], {9}) is None
+
+    def test_empty_targets(self):
+        assert first_hit_time([3, 1, 2], set()) is None
+
+    def test_batch_matches_scalar(self, small_power_law):
+        starts = np.arange(small_power_law.num_nodes)
+        walks = batch_walks(small_power_law, starts, 6, seed=7)
+        targets = {0, 5, 9}
+        mask = np.zeros(small_power_law.num_nodes, dtype=bool)
+        mask[list(targets)] = True
+        batch = batch_first_hits(walks, mask)
+        for row, hit in zip(walks, batch):
+            scalar = first_hit_time(row.tolist(), targets)
+            assert (scalar if scalar is not None else -1) == hit
+
+    def test_batch_requires_matrix(self):
+        with pytest.raises(ParameterError):
+            batch_first_hits(np.zeros(3, dtype=int), np.zeros(3, dtype=bool))
+
+
+class TestWalkIsValid:
+    def test_empty_walk_invalid(self, small_power_law):
+        assert not walk_is_valid(small_power_law, [])
+
+    def test_teleport_invalid(self, ring6):
+        assert not walk_is_valid(ring6, [0, 3])
+
+    def test_staying_invalid_for_connected_node(self, ring6):
+        assert not walk_is_valid(ring6, [0, 0])

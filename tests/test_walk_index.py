@@ -1,0 +1,175 @@
+"""Tests for the inverted walk index (Algorithm 3), both representations.
+
+The strongest oracle here is the paper itself: Table 1 prints the exact
+inverted index produced by the Example 3.1 walks, and we assert our builders
+reproduce it entry-for-entry.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.graphs.generators import power_law_graph, ring_graph
+from repro.walks.engine import batch_walks
+from repro.walks.index import (
+    FlatWalkIndex,
+    IndexEntry,
+    InvertedIndex,
+    walker_major_starts,
+)
+
+#: Table 1 of the paper, 0-based: hit node -> [(walker, hop), ...].
+PAPER_TABLE1 = {
+    0: [],
+    1: [(0, 1), (2, 1), (4, 1)],
+    2: [(0, 2), (1, 1)],
+    3: [(7, 2)],
+    4: [(1, 2), (2, 2), (3, 2), (5, 2), (6, 1)],
+    5: [(4, 2)],
+    6: [(3, 1), (5, 1), (7, 1)],
+    7: [],
+}
+
+
+class TestPaperTable1:
+    def test_reference_index_matches_paper(self, example_walks):
+        index = InvertedIndex.from_walks(example_walks, num_nodes=8, num_replicates=1)
+        for node, expected in PAPER_TABLE1.items():
+            got = sorted((e.walker, e.hop) for e in index.entries(0, node))
+            assert got == sorted(expected), f"node v{node + 1}"
+
+    def test_flat_index_matches_paper(self, example_walks):
+        index = FlatWalkIndex.from_walks(example_walks, num_nodes=8, num_replicates=1)
+        for node, expected in PAPER_TABLE1.items():
+            got = [(walker, hop) for _, walker, hop in index.entry_records(node)]
+            assert sorted(got) == sorted(expected), f"node v{node + 1}"
+
+    def test_repeated_node_not_double_indexed(self, example_walks):
+        # Walk (v7, v5, v7): v7 revisits itself; no entry may appear for it.
+        index = InvertedIndex.from_walks(example_walks, num_nodes=8, num_replicates=1)
+        walkers_into_6 = [e.walker for e in index.entries(0, 6)]
+        assert 6 not in walkers_into_6
+
+
+class TestReferenceBuilder:
+    def test_build_first_visits_only(self, small_power_law):
+        index = InvertedIndex.build(small_power_law, length=6, num_replicates=3, seed=1)
+        for i in range(3):
+            for v in range(small_power_law.num_nodes):
+                walkers = [e.walker for e in index.entries(i, v)]
+                assert len(walkers) == len(set(walkers)), "duplicate walker entry"
+
+    def test_hops_in_range(self, small_power_law):
+        index = InvertedIndex.build(small_power_law, length=5, num_replicates=2, seed=2)
+        for i in range(2):
+            for v in range(small_power_law.num_nodes):
+                for entry in index.entries(i, v):
+                    assert 1 <= entry.hop <= 5
+
+    def test_start_node_never_indexes_itself(self, small_power_law):
+        index = InvertedIndex.build(small_power_law, length=6, num_replicates=2, seed=3)
+        for i in range(2):
+            for v in range(small_power_law.num_nodes):
+                assert all(e.walker != v for e in index.entries(i, v))
+
+    def test_zero_length_walks_empty_index(self, small_power_law):
+        index = InvertedIndex.build(small_power_law, length=0, num_replicates=2, seed=4)
+        assert index.total_entries == 0
+
+    def test_from_walks_validation(self):
+        with pytest.raises(ParameterError):
+            InvertedIndex.from_walks([[0, 1]], num_nodes=2, num_replicates=2)
+        with pytest.raises(ParameterError):
+            # wrong start node for walker-major layout
+            InvertedIndex.from_walks([[1, 0], [1, 0]], num_nodes=2, num_replicates=1)
+        with pytest.raises(ParameterError):
+            # inconsistent lengths
+            InvertedIndex.from_walks(
+                [[0, 1], [1, 0, 1]], num_nodes=2, num_replicates=1
+            )
+
+    def test_param_validation(self):
+        with pytest.raises(ParameterError):
+            InvertedIndex(num_nodes=2, length=-1, num_replicates=1)
+        with pytest.raises(ParameterError):
+            InvertedIndex(num_nodes=2, length=1, num_replicates=0)
+
+
+class TestFlatEqualsReference:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_same_entries_on_shared_walks(self, seed):
+        graph = power_law_graph(40, 120, seed=seed)
+        replicates = 4
+        starts = walker_major_starts(graph.num_nodes, replicates)
+        walks = batch_walks(graph, starts, 5, seed=seed)
+        ref = InvertedIndex.from_walks(walks, graph.num_nodes, replicates)
+        flat = FlatWalkIndex.from_walks(walks, graph.num_nodes, replicates)
+        assert ref.total_entries == flat.total_entries
+        for v in range(graph.num_nodes):
+            ref_records = sorted(
+                (i, e.walker, e.hop)
+                for i in range(replicates)
+                for e in ref.entries(i, v)
+            )
+            assert flat.entry_records(v) == ref_records
+
+    def test_to_flat_round_trip(self, example_walks):
+        ref = InvertedIndex.from_walks(example_walks, num_nodes=8, num_replicates=1)
+        flat = ref.to_flat()
+        for v in range(8):
+            assert flat.entry_records(v) == sorted(
+                (0, e.walker, e.hop) for e in ref.entries(0, v)
+            )
+
+
+class TestFlatBuilder:
+    def test_chunked_build_deterministic(self):
+        # Same seed and chunking -> identical index.  (Different chunk sizes
+        # legitimately consume the RNG stream differently.)
+        graph = power_law_graph(50, 150, seed=7)
+        a = FlatWalkIndex.build(graph, 4, 3, seed=11, chunk_rows=8)
+        b = FlatWalkIndex.build(graph, 4, 3, seed=11, chunk_rows=8)
+        assert a.total_entries == b.total_entries
+        for v in range(graph.num_nodes):
+            assert a.entry_records(v) == b.entry_records(v)
+
+    def test_chunked_build_invariants(self):
+        # Tiny chunks must still yield a well-formed index: hops in range,
+        # one entry per (replicate, walker) per hit node, no self entries.
+        graph = power_law_graph(40, 100, seed=8)
+        flat = FlatWalkIndex.build(graph, 5, 3, seed=12, chunk_rows=7)
+        for v in range(graph.num_nodes):
+            records = flat.entry_records(v)
+            pairs = [(rep, walker) for rep, walker, _ in records]
+            assert len(pairs) == len(set(pairs))
+            assert all(walker != v for _, walker, _ in records)
+            assert all(1 <= hop <= 5 for _, _, hop in records)
+
+    def test_indptr_shape(self, small_power_law):
+        flat = FlatWalkIndex.build(small_power_law, 5, 2, seed=1)
+        assert flat.indptr.size == small_power_law.num_nodes + 1
+        assert flat.indptr[-1] == flat.total_entries
+
+    def test_entries_for_out_of_range(self, small_power_law):
+        flat = FlatWalkIndex.build(small_power_law, 3, 1, seed=1)
+        with pytest.raises(ParameterError):
+            flat.entries_for(small_power_law.num_nodes)
+
+    def test_entry_bound(self, small_power_law):
+        # At most one entry per (walker, replicate, hop-distinct node):
+        # total <= n * R * L.
+        flat = FlatWalkIndex.build(small_power_law, 5, 2, seed=2)
+        assert flat.total_entries <= small_power_law.num_nodes * 2 * 5
+
+    def test_state_encoding(self, example_walks):
+        flat = FlatWalkIndex.from_walks(example_walks, num_nodes=8, num_replicates=1)
+        state, hop = flat.entries_for(1)
+        # replicate 0 -> state == walker id
+        assert sorted(state.tolist()) == [0, 2, 4]
+        assert hop.tolist() == [1, 1, 1]
+
+
+class TestWalkerMajorStarts:
+    def test_layout(self):
+        starts = walker_major_starts(3, 2)
+        assert starts.tolist() == [0, 0, 1, 1, 2, 2]

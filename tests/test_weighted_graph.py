@@ -1,0 +1,96 @@
+"""Tests for the directed, weighted graph container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError, ParameterError
+from repro.graphs.generators import power_law_graph, ring_graph
+from repro.graphs.weighted import WeightedDiGraph
+
+
+class TestConstruction:
+    def test_from_edges(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 2.0), (1, 2, 1.0), (2, 0, 0.5)])
+        assert g.num_nodes == 3
+        assert g.num_arcs == 3
+
+    def test_directed_not_symmetric(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        targets, _ = g.out_neighbors(0)
+        assert targets.tolist() == [1]
+        targets, _ = g.out_neighbors(1)
+        assert targets.tolist() == []
+
+    def test_parallel_edges_merge_weights(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0), (0, 1, 2.5)])
+        assert g.num_arcs == 1
+        _, weights = g.out_neighbors(0)
+        assert weights[0] == pytest.approx(3.5)
+
+    def test_num_nodes_override(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)], num_nodes=5)
+        assert g.num_nodes == 5
+        assert g.out_degrees[4] == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphFormatError):
+            WeightedDiGraph.from_edges([(1, 1, 1.0)])
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(GraphFormatError):
+            WeightedDiGraph.from_edges([(0, 1, 0.0)])
+        with pytest.raises(GraphFormatError):
+            WeightedDiGraph.from_edges([(0, 1, -1.0)])
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(GraphFormatError):
+            WeightedDiGraph.from_edges([(-1, 0, 1.0)])
+
+    def test_num_nodes_too_small(self):
+        with pytest.raises(ParameterError):
+            WeightedDiGraph.from_edges([(0, 5, 1.0)], num_nodes=2)
+
+    def test_arrays_read_only(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            g.weights[0] = 9.0
+
+
+class TestFromUndirected:
+    def test_round_trip_structure(self):
+        und = power_law_graph(40, 120, seed=3)
+        g = WeightedDiGraph.from_undirected(und)
+        assert g.num_nodes == und.num_nodes
+        assert g.num_arcs == 2 * und.num_edges
+        for u in range(und.num_nodes):
+            targets, weights = g.out_neighbors(u)
+            assert targets.tolist() == und.neighbors(u).tolist()
+            assert (weights == 1.0).all()
+
+    def test_bad_weight(self):
+        with pytest.raises(ParameterError):
+            WeightedDiGraph.from_undirected(ring_graph(3), weight=0.0)
+
+
+class TestAccessors:
+    def test_out_strength(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 2.0), (0, 2, 3.0)])
+        assert g.out_strength(0) == pytest.approx(5.0)
+        assert g.out_strength(1) == 0.0
+
+    def test_arcs_iterator(self):
+        triples = [(0, 1, 2.0), (1, 2, 1.5)]
+        g = WeightedDiGraph.from_edges(triples)
+        assert list(g.arcs()) == triples
+
+    def test_node_range_checked(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        with pytest.raises(ParameterError):
+            g.out_neighbors(7)
+
+    def test_equality(self):
+        a = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        b = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        c = WeightedDiGraph.from_edges([(0, 1, 2.0)])
+        assert a == b
+        assert a != c

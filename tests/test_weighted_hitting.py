@@ -1,0 +1,109 @@
+"""Tests for hitting quantities on weighted digraphs.
+
+The decisive check: lifting an unweighted graph with unit weights must
+reproduce the unweighted DP exactly, and weighted results must match
+brute-force trajectory enumeration on small digraphs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import power_law_graph
+from repro.graphs.weighted import WeightedDiGraph
+from repro.hitting.exact import hit_probability_vector, hitting_time_vector
+from repro.hitting.weighted import (
+    weighted_hit_probability_vector,
+    weighted_hitting_time_vector,
+    weighted_transition_matrix,
+)
+
+
+def brute_force(graph, start, targets, length):
+    """Enumerate weighted trajectories for E[T] and Pr[hit]."""
+    targets = set(targets)
+    total_time = total_prob = 0.0
+    stack = [(start, 1.0, 0)]
+    while stack:
+        node, prob, step = stack.pop()
+        if node in targets:
+            total_time += prob * step
+            total_prob += prob
+            continue
+        if step == length:
+            total_time += prob * length
+            continue
+        nbrs, weights = graph.out_neighbors(node)
+        if nbrs.size == 0:
+            total_time += prob * length
+            continue
+        norm = weights.sum()
+        for v, w in zip(nbrs, weights):
+            stack.append((int(v), prob * float(w) / norm, step + 1))
+    return total_time, total_prob
+
+
+class TestTransitionMatrix:
+    def test_rows_stochastic(self):
+        g = WeightedDiGraph.from_edges(
+            [(0, 1, 2.0), (0, 2, 1.0), (1, 2, 5.0), (2, 0, 1.0)]
+        )
+        P = weighted_transition_matrix(g)
+        assert np.allclose(np.asarray(P.sum(axis=1)).ravel(), 1.0)
+
+    def test_proportional_to_weights(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 3.0), (0, 2, 1.0)])
+        P = weighted_transition_matrix(g).toarray()
+        assert P[0, 1] == pytest.approx(0.75)
+        assert P[0, 2] == pytest.approx(0.25)
+
+    def test_dangling_self_loop(self):
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        P = weighted_transition_matrix(g).toarray()
+        assert P[1, 1] == 1.0
+
+
+class TestUnitWeightsMatchUnweighted:
+    @pytest.mark.parametrize("length", [0, 1, 4, 7])
+    def test_hitting_time(self, length):
+        und = power_law_graph(50, 150, seed=6)
+        g = WeightedDiGraph.from_undirected(und)
+        targets = {0, 7, 13}
+        assert np.allclose(
+            weighted_hitting_time_vector(g, targets, length),
+            hitting_time_vector(und, targets, length),
+        )
+
+    def test_hit_probability(self):
+        und = power_law_graph(50, 150, seed=7)
+        g = WeightedDiGraph.from_undirected(und)
+        targets = {2, 9}
+        assert np.allclose(
+            weighted_hit_probability_vector(g, targets, 5),
+            hit_probability_vector(und, targets, 5),
+        )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("length", [0, 1, 2, 4])
+    def test_small_weighted_digraph(self, length):
+        g = WeightedDiGraph.from_edges(
+            [
+                (0, 1, 2.0), (0, 2, 1.0), (1, 3, 1.0), (1, 0, 3.0),
+                (2, 3, 4.0), (3, 0, 1.0), (3, 2, 2.0),
+            ]
+        )
+        targets = {3}
+        h = weighted_hitting_time_vector(g, targets, length)
+        p = weighted_hit_probability_vector(g, targets, length)
+        for u in range(4):
+            exp_h, exp_p = brute_force(g, u, targets, length)
+            assert h[u] == pytest.approx(exp_h, abs=1e-12)
+            assert p[u] == pytest.approx(exp_p, abs=1e-12)
+
+    def test_directedness_matters(self):
+        # 0 -> 1 exists, 1 -> 0 does not: h(0->1) = 1 but h(1->0) = L.
+        g = WeightedDiGraph.from_edges([(0, 1, 1.0)])
+        h = weighted_hitting_time_vector(g, {1}, 4)
+        assert h[0] == 1.0
+        h_back = weighted_hitting_time_vector(g, {0}, 4)
+        assert h_back[1] == 4.0

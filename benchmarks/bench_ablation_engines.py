@@ -1,13 +1,23 @@
-"""Ablation: paper-faithful reference engine vs the vectorized engine.
+"""Ablation: engine choices at both layers of the solver stack.
 
-Both implement Algorithm 6 on the same materialized walks; this bench
-demonstrates that (a) they agree exactly, and (b) vectorization is what
-makes the algorithm practical in Python — the reference engine plays the
-role the O(k n^2 R L) sampling greedy plays in the paper's own comparison.
+Two head-to-head comparisons on the same workload:
+
+* *Gain engine* — the paper-faithful reference implementation of
+  Algorithm 6 vs the vectorized :class:`FastApproxEngine`.  Both run on
+  the same materialized walks; they must agree exactly, and vectorization
+  is what makes the algorithm practical in Python.
+* *Walk backend* — the registered walk engines
+  (:mod:`repro.walks.backends`) generating the index walks.  ``"numpy"``
+  and ``"csr"`` are bit-identical under one seed, so the comparison is
+  pure execution strategy; ``"sharded"`` uses spawned per-shard streams,
+  so it is timed on the same workload but not stream-matched.
 """
+
+import numpy as np
 
 from repro.experiments.reporting import ExperimentTable
 from repro.graphs.generators import power_law_graph
+from repro.walks.backends import get_engine
 from repro.walks.engine import batch_walks
 from repro.walks.index import FlatWalkIndex, InvertedIndex, walker_major_starts
 from repro.core.approx_fast import approx_greedy_fast
@@ -37,6 +47,37 @@ def run_ablation(config):
     return table, outcomes
 
 
+def run_backend_ablation(config):
+    """Time every walk backend generating the same index walks."""
+    import time
+
+    graph = power_law_graph(10_000, 50_000, seed=config.seed)
+    replicates, length = 10, 6
+    starts = walker_major_starts(graph.num_nodes, replicates)
+    table = ExperimentTable(
+        title=(
+            "Ablation: walk backends "
+            f"(n=10000, B={starts.size}, L={length})"
+        ),
+        columns=("backend", "kernel", "seconds"),
+    )
+    walks_by_backend = {}
+    for name in ("numpy", "csr", "sharded"):
+        engine = get_engine(name)
+        engine.batch_walks(graph, starts[:64], length, seed=0)  # warm plans
+        started = time.perf_counter()
+        walks_by_backend[name] = engine.batch_walks(
+            graph, starts, length, seed=config.seed
+        )
+        table.add_row(name, "batch_walks", time.perf_counter() - started)
+        started = time.perf_counter()
+        FlatWalkIndex.build(
+            graph, length, replicates, seed=config.seed, engine=engine
+        )
+        table.add_row(name, "index_build", time.perf_counter() - started)
+    return table, walks_by_backend
+
+
 def test_engine_ablation(benchmark, config, report):
     table, outcomes = benchmark.pedantic(
         lambda: run_ablation(config), rounds=1, iterations=1
@@ -45,3 +86,13 @@ def test_engine_ablation(benchmark, config, report):
     for objective, (ref, fast) in outcomes.items():
         assert ref.selected == fast.selected, objective
         assert fast.elapsed_seconds < ref.elapsed_seconds
+
+
+def test_walk_backend_ablation(benchmark, config, report):
+    table, walks = benchmark.pedantic(
+        lambda: run_backend_ablation(config), rounds=1, iterations=1
+    )
+    report(table, "ablation_walk_backends.txt")
+    # numpy and csr are stream-matched: identical walks, only speed differs.
+    assert np.array_equal(walks["numpy"], walks["csr"])
+    assert walks["sharded"].shape == walks["numpy"].shape

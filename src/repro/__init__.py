@@ -15,8 +15,10 @@ Quickstart::
     print(result.selected)
     print(repro.expected_hit_nodes(graph, result.selected, length=6))
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+See README.md for install and the CLI reference, DESIGN.md §2 for the full
+system inventory (and §3 for the pluggable walk-engine backends), and
+EXPERIMENTS.md for how each benchmark script maps to the paper's tables and
+figures.
 """
 
 from repro.errors import DatasetError, GraphFormatError, ParameterError, RwdomError
@@ -68,13 +70,17 @@ from repro.hitting import (
 from repro.walks import (
     FlatWalkIndex,
     InvertedIndex,
+    WalkEngine,
+    available_engines,
     batch_walks,
     estimate_f1,
     estimate_f2,
     estimate_hit_probability,
     estimate_hitting_time,
     estimate_objectives,
+    get_engine,
     random_walk,
+    register_engine,
 )
 
 # Core contribution
@@ -178,6 +184,10 @@ __all__ = [
     # walks
     "FlatWalkIndex",
     "InvertedIndex",
+    "WalkEngine",
+    "available_engines",
+    "get_engine",
+    "register_engine",
     "batch_walks",
     "estimate_f1",
     "estimate_f2",

@@ -16,6 +16,11 @@ replica), or ``--synthetic N,M`` (power-law).  Exit status is 0 on success,
 2 on usage errors (argparse convention), and 1 when the library rejects a
 parameter.
 
+Sampling-based subcommands (``select`` with a walk-based method,
+``metrics --sampled``, ``simulate``, ``index``) accept ``--engine`` to pick
+the walk backend (see :mod:`repro.walks.backends`): ``numpy`` (default),
+``csr`` (fastest single-threaded), or ``sharded`` (thread-pool shards).
+
 A typical index-reuse workflow — pay the walk materialization once, sweep
 budgets afterwards::
 
@@ -36,6 +41,7 @@ from typing import Sequence
 
 from repro.errors import RwdomError
 from repro.graphs.adjacency import Graph
+from repro.walks.backends import DEFAULT_ENGINE, available_engines
 from repro.graphs.datasets import dataset_names, load_dataset
 from repro.graphs.generators import (
     erdos_renyi_graph,
@@ -97,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="walks per node for sampling-based solvers",
     )
     select.add_argument("--seed", type=int, default=None)
+    _add_engine_flag(select)
     select.add_argument(
         "--evaluate", action="store_true",
         help="also print exact AHT/EHN of the selection",
@@ -123,6 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's R=500 sampler instead of the exact DP",
     )
     metrics.add_argument("--seed", type=int, default=None)
+    _add_engine_flag(metrics)
 
     generate = sub.add_parser("generate", help="write a synthetic graph")
     generate.add_argument(
@@ -190,6 +198,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="sessions per user (ads)",
     )
     simulate.add_argument("--seed", type=int, default=None)
+    _add_engine_flag(simulate)
 
     index = sub.add_parser(
         "index", help="materialize the walk index (Algorithm 3) to a file"
@@ -198,6 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("-L", "--length", type=int, default=6)
     index.add_argument("-R", "--replicates", type=int, default=100)
     index.add_argument("--seed", type=int, default=None)
+    _add_engine_flag(index)
     index.add_argument("--out", required=True, help="output .npz path")
 
     analyze = sub.add_parser(
@@ -213,6 +223,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative mean truncation gap to tolerate (default 0.05)",
     )
     return parser
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", choices=available_engines(), default=DEFAULT_ENGINE,
+        help="walk-engine backend for sampling-based work (default: "
+        f"{DEFAULT_ENGINE}; 'csr' is fastest single-threaded, 'sharded' "
+        "spreads shards over a thread pool)",
+    )
 
 
 def _add_graph_source(parser: argparse.ArgumentParser) -> None:
@@ -276,6 +295,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
             options["seed"] = args.seed
         elif args.method == "random":
             options["seed"] = args.seed
+        if args.method in ("sampling", "approx-fast"):
+            options["engine"] = args.engine
         result = solve(problem, method=args.method, **options)
     print(result.summary())
     print("selected:", ",".join(str(v) for v in result.selected))
@@ -298,7 +319,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     targets = _parse_targets(args.targets)
     method = "sampled" if args.sampled else "exact"
     metrics = evaluate_selection(
-        graph, targets, args.length, method=method, seed=args.seed
+        graph, targets, args.length, method=method, seed=args.seed,
+        engine=args.engine,
     )
     print(f"AHT: {metrics['aht']:.4f}")
     print(f"EHN: {metrics['ehn']:.1f}")
@@ -366,17 +388,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.app == "social":
         report = simulate_social_browsing(
             graph, hosts, num_sessions=args.sessions, length=args.length,
-            seed=args.seed,
+            seed=args.seed, engine=args.engine,
         )
     elif args.app == "p2p":
         report = simulate_p2p_search(
             graph, hosts, num_queries=args.sessions, ttl=args.length,
             walkers_per_query=args.walkers, seed=args.seed,
+            engine=args.engine,
         )
     else:
         report = simulate_ad_campaign(
             graph, hosts, sessions_per_user=args.sessions_per_user,
-            length=args.length, seed=args.seed,
+            length=args.length, seed=args.seed, engine=args.engine,
         )
     for key, value in asdict(report).items():
         print(f"{key}: {value}")
@@ -389,7 +412,8 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args)
     index = FlatWalkIndex.build(
-        graph, args.length, args.replicates, seed=args.seed
+        graph, args.length, args.replicates, seed=args.seed,
+        engine=args.engine,
     )
     save_index(index, args.out)
     print(

@@ -33,6 +33,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.core.result import SelectionResult
+from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.index import FlatWalkIndex
 
 __all__ = ["FastApproxEngine", "approx_greedy_fast"]
@@ -194,6 +195,7 @@ def approx_greedy_fast(
     seed: "int | np.random.Generator | None" = None,
     index: FlatWalkIndex | None = None,
     lazy: bool = True,
+    engine: "str | WalkEngine | None" = None,
 ) -> SelectionResult:
     """Algorithm 6 on the vectorized engine (``ApproxF1`` / ``ApproxF2``).
 
@@ -201,12 +203,19 @@ def approx_greedy_fast(
     (same estimator, same tie-breaking); ``lazy`` switches between CELF and
     the paper's full sweep, which produce the same selection and differ only
     in work.  Supply a prebuilt ``index`` to reuse walks across runs.
+    ``engine`` picks the walk backend used to materialize the index
+    (:mod:`repro.walks.backends`; ignored when ``index`` is supplied); the
+    ``"numpy"`` and ``"csr"`` backends yield identical selections under
+    the same seed.
     """
     if not 0 <= k <= graph.num_nodes:
         raise ParameterError(f"k={k} must lie in [0, n={graph.num_nodes}]")
+    walk_engine = get_engine(engine)
     started = time.perf_counter()
     if index is None:
-        index = FlatWalkIndex.build(graph, length, num_replicates, seed=seed)
+        index = FlatWalkIndex.build(
+            graph, length, num_replicates, seed=seed, engine=walk_engine
+        )
     elif index.num_nodes != graph.num_nodes:
         raise ParameterError("index was built for a different graph size")
     engine = FastApproxEngine(index, objective=objective)
@@ -226,6 +235,7 @@ def approx_greedy_fast(
             "method": "approx-fast",
             "objective": objective,
             "engine": "vectorized",
+            "walk_engine": walk_engine.name,
             "lazy": lazy,
         },
     )

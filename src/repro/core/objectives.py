@@ -29,6 +29,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.hitting.exact import hit_probability_vector, hitting_time_vector
+from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.estimators import estimate_f1, estimate_f2
 from repro.walks.rng import resolve_rng
 
@@ -149,12 +150,14 @@ class _SampledObjective(_GraphObjective):
         length: int,
         num_samples: int,
         seed: "int | np.random.Generator | None" = None,
+        engine: "str | WalkEngine | None" = None,
     ):
         super().__init__(graph, length)
         if num_samples < 1:
             raise ParameterError("num_samples R must be >= 1")
         self._num_samples = num_samples
         self._rng = resolve_rng(seed)
+        self._engine = get_engine(engine)
         self.num_estimates = 0
 
     @property
@@ -171,7 +174,7 @@ class SampledF1(_SampledObjective):
         self.num_estimates += 1
         return estimate_f1(
             self._graph, set(targets), self._length, self._num_samples,
-            seed=self._rng,
+            seed=self._rng, engine=self._engine,
         )
 
 
@@ -184,5 +187,5 @@ class SampledF2(_SampledObjective):
         self.num_estimates += 1
         return estimate_f2(
             self._graph, set(targets), self._length, self._num_samples,
-            seed=self._rng,
+            seed=self._rng, engine=self._engine,
         )

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.graphs.adjacency import Graph
 from repro.core.greedy import greedy_select
+from repro.walks.backends import WalkEngine, get_engine
 from repro.core.objectives import SampledF1, SampledF2
 from repro.core.result import SelectionResult
 
@@ -32,12 +33,19 @@ def sampling_greedy_f1(
     num_replicates: int = 100,
     seed: "int | np.random.Generator | None" = None,
     lazy: bool = False,
+    engine: "str | WalkEngine | None" = None,
 ) -> SelectionResult:
-    """Greedy for Problem 1 with Eq. 9 estimated gains."""
-    objective = SampledF1(graph, length, num_replicates, seed=seed)
+    """Greedy for Problem 1 with Eq. 9 estimated gains.
+
+    ``engine`` picks the walk backend (:mod:`repro.walks.backends`) the
+    Algorithm 2 estimator samples with.
+    """
+    walk_engine = get_engine(engine)
+    objective = SampledF1(graph, length, num_replicates, seed=seed, engine=walk_engine)
     result = greedy_select(objective, k, lazy=lazy, algorithm_name="SamplingF1")
     result.params.update(
-        {"L": length, "R": num_replicates, "method": "sampling", "objective": "f1"}
+        {"L": length, "R": num_replicates, "method": "sampling",
+         "objective": "f1", "walk_engine": walk_engine.name}
     )
     return result
 
@@ -49,11 +57,18 @@ def sampling_greedy_f2(
     num_replicates: int = 100,
     seed: "int | np.random.Generator | None" = None,
     lazy: bool = False,
+    engine: "str | WalkEngine | None" = None,
 ) -> SelectionResult:
-    """Greedy for Problem 2 with Eq. 10 estimated gains."""
-    objective = SampledF2(graph, length, num_replicates, seed=seed)
+    """Greedy for Problem 2 with Eq. 10 estimated gains.
+
+    ``engine`` picks the walk backend (:mod:`repro.walks.backends`) the
+    Algorithm 2 estimator samples with.
+    """
+    walk_engine = get_engine(engine)
+    objective = SampledF2(graph, length, num_replicates, seed=seed, engine=walk_engine)
     result = greedy_select(objective, k, lazy=lazy, algorithm_name="SamplingF2")
     result.params.update(
-        {"L": length, "R": num_replicates, "method": "sampling", "objective": "f2"}
+        {"L": length, "R": num_replicates, "method": "sampling",
+         "objective": "f2", "walk_engine": walk_engine.name}
     )
     return result

@@ -31,6 +31,7 @@ from repro.core.approx_fast import FastApproxEngine
 from repro.core.objectives import SetObjective
 from repro.core.result import SelectionResult
 from repro.graphs.adjacency import Graph
+from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.index import FlatWalkIndex
 from repro.walks.rng import resolve_rng
 
@@ -114,6 +115,7 @@ def stochastic_approx_greedy(
     epsilon: float = 0.1,
     seed: "int | np.random.Generator | None" = None,
     index: FlatWalkIndex | None = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> SelectionResult:
     """Algorithm 6 with stochastic-greedy rounds.
 
@@ -126,9 +128,12 @@ def stochastic_approx_greedy(
     if not 0 <= k <= graph.num_nodes:
         raise ParameterError(f"k={k} must lie in [0, n={graph.num_nodes}]")
     rng = resolve_rng(seed)
+    walk_engine = get_engine(engine)
     started = time.perf_counter()
     if index is None:
-        index = FlatWalkIndex.build(graph, length, num_replicates, seed=rng)
+        index = FlatWalkIndex.build(
+            graph, length, num_replicates, seed=rng, engine=walk_engine
+        )
     elif index.num_nodes != graph.num_nodes:
         raise ParameterError("index was built for a different graph size")
     engine = FastApproxEngine(index, objective=objective)
@@ -160,5 +165,6 @@ def stochastic_approx_greedy(
             "objective": objective,
             "epsilon": epsilon,
             "strategy": "stochastic",
+            "walk_engine": walk_engine.name,
         },
     )

@@ -21,6 +21,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.hitting.exact import hit_probability_vector, hitting_time_vector
+from repro.walks.backends import WalkEngine
 from repro.walks.estimators import estimate_objectives
 
 __all__ = [
@@ -46,11 +47,13 @@ def average_hitting_time(
     method: str = "exact",
     num_samples: int = PAPER_METRIC_SAMPLES,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> float:
     """AHT ``M1(S)``; for ``S`` covering all of ``V`` the metric is 0.
 
     With an empty ``S`` every hitting time is the truncation value ``L``,
-    so ``M1(emptyset) = L`` — the worst possible score.
+    so ``M1(emptyset) = L`` — the worst possible score.  ``engine`` picks
+    the walk backend for ``method="sampled"`` (ignored for the exact DP).
     """
     _check_method(method)
     target_set = set(int(v) for v in targets)
@@ -60,7 +63,9 @@ def average_hitting_time(
     if method == "exact":
         h = hitting_time_vector(graph, target_set, length)
         return float(h.sum() / outside)  # h vanishes on S
-    est = estimate_objectives(graph, target_set, length, num_samples, seed=seed)
+    est = estimate_objectives(
+        graph, target_set, length, num_samples, seed=seed, engine=engine
+    )
     # Invert the estimator's aggregation: F1 = n L - sum_{V\S} h.
     total_hit = graph.num_nodes * length - est.f1
     return float(total_hit / outside)
@@ -73,6 +78,7 @@ def expected_hit_nodes(
     method: str = "exact",
     num_samples: int = PAPER_METRIC_SAMPLES,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> float:
     """EHN ``M2(S) = sum_u p^L_uS`` (members of ``S`` contribute 1 each)."""
     _check_method(method)
@@ -81,7 +87,7 @@ def expected_hit_nodes(
         p = hit_probability_vector(graph, target_set, length)
         return float(p.sum())
     return estimate_objectives(
-        graph, target_set, length, num_samples, seed=seed
+        graph, target_set, length, num_samples, seed=seed, engine=engine
     ).f2
 
 
@@ -92,16 +98,17 @@ def evaluate_selection(
     method: str = "exact",
     num_samples: int = PAPER_METRIC_SAMPLES,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> dict[str, float]:
     """Both paper metrics for one selection, as ``{"aht": ..., "ehn": ...}``."""
     return {
         "aht": average_hitting_time(
             graph, targets, length, method=method, num_samples=num_samples,
-            seed=seed,
+            seed=seed, engine=engine,
         ),
         "ehn": expected_hit_nodes(
             graph, targets, length, method=method, num_samples=num_samples,
-            seed=seed,
+            seed=seed, engine=engine,
         ),
     }
 

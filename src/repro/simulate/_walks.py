@@ -4,8 +4,9 @@ The simulators accept either the undirected :class:`~repro.graphs.adjacency.
 Graph` or the directed, weighted :class:`~repro.graphs.weighted.
 WeightedDiGraph` (the paper's Section 2 extension) — a browsing user in a
 trust network follows recommendations with probability proportional to
-trust.  This module hides the walk-engine dispatch so each simulator is
-written once.
+trust.  This module hides the walk-backend dispatch so each simulator is
+written once: the graph flavor and the ``engine=`` selection
+(:mod:`repro.walks.backends`) are both resolved here.
 """
 
 from __future__ import annotations
@@ -14,10 +15,9 @@ import numpy as np
 
 from repro.graphs.adjacency import Graph
 from repro.graphs.weighted import WeightedDiGraph
-from repro.walks.alias import weighted_batch_walks
-from repro.walks.engine import batch_walks
+from repro.walks.backends import WalkEngine, get_engine
 
-__all__ = ["run_walks", "node_count"]
+__all__ = ["run_walks", "run_first_hits", "node_count"]
 
 
 def node_count(graph: "Graph | WeightedDiGraph") -> int:
@@ -30,8 +30,25 @@ def run_walks(
     starts: np.ndarray,
     length: int,
     rng: np.random.Generator,
+    engine: "str | WalkEngine | None" = None,
 ) -> np.ndarray:
     """Batch of L-length walks on an unweighted or weighted graph."""
-    if isinstance(graph, WeightedDiGraph):
-        return weighted_batch_walks(graph, starts, length, seed=rng)
-    return batch_walks(graph, starts, length, seed=rng)
+    return get_engine(engine).run_walks(graph, starts, length, seed=rng)
+
+
+def run_first_hits(
+    graph: "Graph | WeightedDiGraph",
+    starts: np.ndarray,
+    length: int,
+    target_mask: np.ndarray,
+    rng: np.random.Generator,
+    engine: "str | WalkEngine | None" = None,
+) -> np.ndarray:
+    """First-hit hop per walk (``-1`` on miss), without keeping the walks.
+
+    The CSR backend fuses walk generation with hit detection, so a
+    simulation never materializes its ``(sessions, L+1)`` walk matrix.
+    """
+    return get_engine(engine).walk_first_hits(
+        graph, starts, length, target_mask, seed=rng
+    )

@@ -27,8 +27,8 @@ from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.graphs.weighted import WeightedDiGraph
 from repro.hitting.transition import target_mask
-from repro.simulate._walks import run_walks
-from repro.walks.engine import batch_first_hits
+from repro.simulate._walks import run_first_hits
+from repro.walks.backends import WalkEngine
 from repro.walks.rng import resolve_rng
 
 __all__ = ["AdCampaignReport", "simulate_ad_campaign"]
@@ -78,6 +78,7 @@ def simulate_ad_campaign(
     length: int = 6,
     count_hosts: bool = True,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> AdCampaignReport:
     """Simulate a campaign where every user browses repeatedly.
 
@@ -93,8 +94,7 @@ def simulate_ad_campaign(
     rng = resolve_rng(seed)
     n = graph.num_nodes
     starts = np.repeat(np.arange(n, dtype=np.int64), sessions_per_user)
-    walks = run_walks(graph, starts, length, rng)
-    first = batch_first_hits(walks, mask)
+    first = run_first_hits(graph, starts, length, mask, rng, engine=engine)
     saw = (first >= 0).reshape(n, sessions_per_user)
     if not count_hosts:
         saw[mask, :] = False

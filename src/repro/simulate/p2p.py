@@ -30,8 +30,8 @@ from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.graphs.weighted import WeightedDiGraph
 from repro.hitting.transition import target_mask
-from repro.simulate._walks import run_walks
-from repro.walks.engine import batch_first_hits
+from repro.simulate._walks import run_first_hits
+from repro.walks.backends import WalkEngine
 from repro.walks.rng import resolve_rng
 
 __all__ = ["P2PSearchReport", "simulate_p2p_search"]
@@ -84,6 +84,7 @@ def simulate_p2p_search(
     walkers_per_query: int = 1,
     origins: "np.ndarray | None" = None,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> P2PSearchReport:
     """Simulate TTL-bounded random-walk search against a placement.
 
@@ -124,8 +125,7 @@ def simulate_p2p_search(
             raise ParameterError("origins out of range")
     queries = origins.size
     starts = np.repeat(origins, walkers_per_query)
-    walks = run_walks(graph, starts, ttl, rng)
-    first = batch_first_hits(walks, mask)  # -1 on miss, else hop
+    first = run_first_hits(graph, starts, ttl, mask, rng, engine=engine)  # -1 on miss
     per_query = first.reshape(queries, walkers_per_query)
     hit_hops = np.where(per_query >= 0, per_query, ttl + 1)
     best = hit_hops.min(axis=1)

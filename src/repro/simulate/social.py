@@ -23,8 +23,8 @@ from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.graphs.weighted import WeightedDiGraph
 from repro.hitting.transition import target_mask
-from repro.simulate._walks import run_walks
-from repro.walks.engine import batch_first_hits
+from repro.simulate._walks import run_first_hits
+from repro.walks.backends import WalkEngine
 from repro.walks.rng import resolve_rng
 
 __all__ = ["SocialBrowsingReport", "simulate_social_browsing"]
@@ -96,6 +96,7 @@ def simulate_social_browsing(
     length: int = 6,
     start: str = "uniform",
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> SocialBrowsingReport:
     """Simulate browsing sessions against an item placement.
 
@@ -120,6 +121,8 @@ def simulate_social_browsing(
         equally, so this mode mirrors the objectives most closely).
     seed:
         Randomness control, package-wide convention.
+    engine:
+        Walk backend (:mod:`repro.walks.backends`); default ``"numpy"``.
     """
     if num_sessions < 1:
         raise ParameterError("num_sessions must be >= 1")
@@ -128,8 +131,7 @@ def simulate_social_browsing(
     mask = target_mask(graph.num_nodes, hosts)
     rng = resolve_rng(seed)
     starts = _session_starts(graph, num_sessions, start, rng)
-    walks = run_walks(graph, starts, length, rng)
-    first = batch_first_hits(walks, mask)
+    first = run_first_hits(graph, starts, length, mask, rng, engine=engine)
     discovered = first >= 0
     num_discoveries = int(discovered.sum())
     truncated = np.where(discovered, first, length).astype(np.float64)

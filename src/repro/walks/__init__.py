@@ -1,4 +1,5 @@
-"""Random-walk machinery: engine, RNG discipline, inverted index, estimators."""
+"""Random-walk machinery: kernels, pluggable backends, RNG discipline,
+inverted index, estimators (DESIGN.md §2-§3)."""
 
 from repro.walks.engine import (
     batch_first_hits,
@@ -27,6 +28,16 @@ from repro.walks.alias import (
     weighted_batch_walks,
     weighted_random_walk,
 )
+from repro.walks.backends import (
+    CSRWalkEngine,
+    DEFAULT_ENGINE,
+    NumpyWalkEngine,
+    ShardedWalkEngine,
+    WalkEngine,
+    available_engines,
+    get_engine,
+    register_engine,
+)
 from repro.walks.persistence import load_index, save_index
 from repro.walks.rng import resolve_rng, spawn_children
 
@@ -54,4 +65,12 @@ __all__ = [
     "AliasSampler",
     "weighted_batch_walks",
     "weighted_random_walk",
+    "WalkEngine",
+    "NumpyWalkEngine",
+    "CSRWalkEngine",
+    "ShardedWalkEngine",
+    "DEFAULT_ENGINE",
+    "available_engines",
+    "get_engine",
+    "register_engine",
 ]

@@ -58,6 +58,16 @@ class AliasSampler:
         self._prob[offset : offset + deg] = prob
         self._alias[offset : offset + deg] = offset + np.asarray(alias)
 
+    @property
+    def prob(self) -> np.ndarray:
+        """Per-slot keep probability, flat and CSR-aligned (length ``num_arcs``)."""
+        return self._prob
+
+    @property
+    def alias(self) -> np.ndarray:
+        """Per-slot alias target (flat slot index, length ``num_arcs``)."""
+        return self._alias
+
     def step(self, current: np.ndarray, rng: np.random.Generator) -> np.ndarray:
         """Advance a batch of walkers one weighted hop.
 

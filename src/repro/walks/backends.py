@@ -1,0 +1,528 @@
+"""Pluggable walk-engine backends (DESIGN.md §3).
+
+Every consumer of batched random walks — the solvers, the Monte-Carlo
+estimators, the application simulators, the CLI — goes through the
+:class:`WalkEngine` interface defined here instead of calling a particular
+kernel directly.  Engines are looked up by name in a process-wide registry,
+so alternative execution strategies (GPU, distributed, cached) can be
+slotted in by registering a new backend without touching any solver.
+
+Three backends ship with the package:
+
+``"numpy"``
+    The original gather-loop kernels, :func:`repro.walks.engine.batch_walks`
+    and :func:`repro.walks.alias.weighted_batch_walks`, unchanged.  This is
+    the default and the reference implementation.
+``"csr"``
+    A tighter CSR formulation: the adjacency is augmented once per graph
+    (dangling nodes get a self-loop, realizing the DESIGN.md §5 convention
+    without per-hop masking), and each hop is three allocation-free
+    ``np.take`` gathers into preallocated scratch buffers — no boolean
+    indexing, no copies, no bounds-check passes.  Weighted graphs reuse a
+    cached :class:`~repro.walks.alias.AliasSampler` (alias tables are
+    built once per graph, not once per call).  Walks are **bit-identical**
+    to the ``"numpy"`` backend under the same seed — both consume the
+    PCG64 stream one batch of uniforms per hop in the same order — so the
+    two backends are interchangeable mid-experiment.
+``"sharded"``
+    Splits a replicate batch into a fixed number of shards, derives one
+    child :class:`~numpy.random.SeedSequence` stream per shard, and runs
+    the shards on a ``concurrent.futures`` thread pool.  Results depend
+    only on ``(seed, num_shards)`` — never on worker count or scheduling —
+    so sharded runs are reproducible across machines.
+
+Resolution rules (:func:`get_engine`): ``None`` means the package default
+(``"numpy"``), a string is looked up in the registry, and a ready
+:class:`WalkEngine` instance passes through unchanged, so every API that
+takes ``engine=`` accepts all three forms.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import threading
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.graphs.weighted import WeightedDiGraph
+from repro.walks.alias import AliasSampler, weighted_batch_walks
+from repro.walks.engine import batch_first_hits, batch_walks
+from repro.walks.rng import resolve_rng, spawn_children
+
+__all__ = [
+    "WalkEngine",
+    "NumpyWalkEngine",
+    "CSRWalkEngine",
+    "ShardedWalkEngine",
+    "DEFAULT_ENGINE",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+]
+
+DEFAULT_ENGINE = "numpy"
+
+
+def _check_walk_args(
+    num_nodes: int, starts: np.ndarray, length: int
+) -> np.ndarray:
+    """Shared argument validation, matching :mod:`repro.walks.engine`."""
+    if length < 0:
+        raise ParameterError("walk length L must be >= 0")
+    starts = np.asarray(starts, dtype=np.int64)
+    if starts.size and (starts.min() < 0 or starts.max() >= num_nodes):
+        raise ParameterError("start nodes out of range")
+    return starts
+
+
+class WalkEngine(ABC):
+    """Backend interface: batched walks and first-hit detection.
+
+    Concrete engines implement the two walk generators; the remaining
+    methods have default implementations in terms of them, so a minimal
+    backend is two methods.  All engines honor the package seed convention
+    (:func:`repro.walks.rng.resolve_rng`) and the dangling-node convention
+    (DESIGN.md §5: a walker on a degree-0 node stays put).
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "abstract"
+
+    @abstractmethod
+    def batch_walks(
+        self,
+        graph: Graph,
+        starts: "Sequence[int] | np.ndarray",
+        length: int,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Unweighted L-length walks for a batch of starts, ``(B, L+1)``."""
+
+    @abstractmethod
+    def weighted_batch_walks(
+        self,
+        graph: WeightedDiGraph,
+        starts: "Sequence[int] | np.ndarray",
+        length: int,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Weight-proportional walks on a directed graph, ``(B, L+1)``."""
+
+    # ------------------------------------------------------------------
+    def run_walks(
+        self,
+        graph: "Graph | WeightedDiGraph",
+        starts: "Sequence[int] | np.ndarray",
+        length: int,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Dispatch on the graph flavor (the simulators' entry point)."""
+        if isinstance(graph, WeightedDiGraph):
+            return self.weighted_batch_walks(graph, starts, length, seed=seed)
+        return self.batch_walks(graph, starts, length, seed=seed)
+
+    def batch_first_hits(
+        self, walks: np.ndarray, target_mask: np.ndarray
+    ) -> np.ndarray:
+        """First-hit hop per walk row (``-1`` on miss)."""
+        return batch_first_hits(walks, target_mask)
+
+    def walk_first_hits(
+        self,
+        graph: "Graph | WeightedDiGraph",
+        starts: "Sequence[int] | np.ndarray",
+        length: int,
+        target_mask: np.ndarray,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> np.ndarray:
+        """Generate walks and return only their first-hit hops.
+
+        Backends may fuse the two passes (the CSR engine never materializes
+        the walk matrix); the default composes :meth:`run_walks` with
+        :meth:`batch_first_hits`.  Results are identical either way.
+        """
+        walks = self.run_walks(graph, starts, length, seed=seed)
+        return self.batch_first_hits(walks, target_mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyWalkEngine(WalkEngine):
+    """The original per-hop gather loop — default, reference backend."""
+
+    name = "numpy"
+
+    def batch_walks(self, graph, starts, length, seed=None):
+        return batch_walks(graph, starts, length, seed=seed)
+
+    def weighted_batch_walks(self, graph, starts, length, seed=None):
+        return weighted_batch_walks(graph, starts, length, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# CSR backend
+# ----------------------------------------------------------------------
+class _CSRPlan:
+    """Per-graph precomputation for the CSR backend (unweighted).
+
+    The adjacency is augmented so every dangling node carries one
+    self-loop.  A dangling walker then "moves" along its self-loop —
+    landing where it already is — which realizes the stay-put convention
+    (DESIGN.md §5) without any per-hop mask, while consuming exactly the
+    same uniform draw the numpy backend burns on it.
+    """
+
+    __slots__ = ("indptr", "indices", "degrees_f64")
+
+    def __init__(self, graph: Graph):
+        degrees = graph.degrees
+        dangling = np.flatnonzero(degrees == 0)
+        if dangling.size == 0:
+            self.indptr = graph.indptr
+            self.indices = graph.indices
+            self.degrees_f64 = degrees.astype(np.float64)
+            return
+        n = graph.num_nodes
+        aug_deg = degrees.copy()
+        aug_deg[dangling] = 1
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(aug_deg, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int32)
+        src_rows = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        within = np.arange(graph.indices.size, dtype=np.int64) - graph.indptr[src_rows]
+        indices[indptr[src_rows] + within] = graph.indices
+        indices[indptr[dangling]] = dangling
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees_f64 = aug_deg.astype(np.float64)
+
+
+class _WeightedPlan:
+    """Per-graph precomputation for the CSR backend (weighted)."""
+
+    __slots__ = ("sampler", "indices", "out_degrees_f64", "has_dangling")
+
+    def __init__(self, graph: WeightedDiGraph):
+        self.sampler = AliasSampler(graph)
+        self.indices = graph.indices.astype(np.int64)
+        out_deg = graph.out_degrees
+        self.out_degrees_f64 = out_deg.astype(np.float64)
+        self.has_dangling = bool((out_deg == 0).any())
+
+
+class _PlanCache:
+    """Bounded FIFO of per-graph plans, keyed by object identity.
+
+    The cache keeps a strong reference to each graph, so an ``id()`` can
+    never be recycled while its plan is alive; graphs are immutable, so a
+    cached plan never goes stale.  Concurrent builds of the same plan (the
+    sharded engine's thread pool) are benign: both threads compute the same
+    immutable arrays and one wins the dict slot.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        self._maxsize = maxsize
+        self._data: "dict[int, tuple[object, object]]" = {}
+
+    def get(self, graph: object, build: Callable[[object], object]) -> object:
+        key = id(graph)
+        hit = self._data.get(key)
+        if hit is not None and hit[0] is graph:
+            return hit[1]
+        plan = build(graph)
+        self._data[key] = (graph, plan)
+        while len(self._data) > self._maxsize:
+            # pop(…, None): two pool threads may race to evict the same
+            # oldest entry; losing the race must not raise.
+            self._data.pop(next(iter(self._data)), None)
+        return plan
+
+
+class CSRWalkEngine(WalkEngine):
+    """Vectorized CSR backend: block uniforms, three gathers per hop.
+
+    Bit-identical to :class:`NumpyWalkEngine` under the same seed (the
+    parity tests in ``tests/test_walk_backends.py`` assert it), roughly
+    2-3x faster on batched unweighted walks, and much faster on repeated
+    weighted calls because alias tables are built once per graph.
+    """
+
+    name = "csr"
+
+    def __init__(self, cache_size: int = 8):
+        self._plans = _PlanCache(cache_size)
+        self._weighted_plans = _PlanCache(cache_size)
+        # Hop-loop scratch, reused across calls of the same batch size so
+        # steady-state walking performs zero allocations.  Thread-local
+        # because the sharded engine drives one CSR engine from a pool.
+        self._scratch = threading.local()
+
+    # ------------------------------------------------------------------
+    def _plan(self, graph: Graph) -> _CSRPlan:
+        return self._plans.get(graph, _CSRPlan)
+
+    def _weighted_plan(self, graph: WeightedDiGraph) -> _WeightedPlan:
+        return self._weighted_plans.get(graph, _WeightedPlan)
+
+    def _buffers(self, batch: int) -> "tuple[np.ndarray, ...]":
+        """Per-thread ``(u, deg, off, pos, current)`` scratch buffers."""
+        cached = getattr(self._scratch, "buffers", None)
+        if cached is None or cached[0].size != batch:
+            cached = (
+                np.empty(batch, dtype=np.float64),
+                np.empty(batch, dtype=np.float64),
+                np.empty(batch, dtype=np.int64),
+                np.empty(batch, dtype=np.int64),
+                np.empty(batch, dtype=np.int64),
+            )
+            self._scratch.buffers = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def batch_walks(self, graph, starts, length, seed=None):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        rng = resolve_rng(seed)
+        batch = starts.size
+        walks = np.empty((length + 1, batch), dtype=np.int32)
+        walks[0] = starts
+        if length and batch:
+            plan = self._plan(graph)
+            indptr, indices, degf = plan.indptr, plan.indices, plan.degrees_f64
+            # Per-hop scratch buffers are allocated once; every hop is a
+            # fixed sequence of allocation-free kernels.  ``mode="clip"``
+            # skips numpy's bounds-check pass — positions are valid by
+            # construction.  The per-hop ``rng.random`` calls consume the
+            # PCG64 stream exactly like the numpy backend's, which is what
+            # makes the two backends bit-identical under one seed.
+            u, deg, off, pos, current = self._buffers(batch)
+            np.copyto(current, starts)  # int64: take() needs intp indices
+            for t in range(1, length + 1):
+                rng.random(out=u)
+                np.take(degf, current, out=deg, mode="clip")
+                np.multiply(u, deg, out=u)
+                np.copyto(off, u, casting="unsafe")  # trunc == floor: u >= 0
+                np.take(indptr, current, out=pos, mode="clip")
+                pos += off
+                np.take(indices, pos, out=walks[t], mode="clip")
+                np.copyto(current, walks[t])
+        # (B, L+1) transposed view: column-major hop access, which is how
+        # every consumer reads walks, stays contiguous.
+        return walks.T
+
+    def weighted_batch_walks(self, graph, starts, length, seed=None):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        rng = resolve_rng(seed)
+        batch = starts.size
+        plan = self._weighted_plan(graph)
+        if plan.has_dangling or not (length and batch):
+            # The masked per-hop path of AliasSampler.step draws uniforms
+            # for movable walkers only; reuse it so the RNG stream matches
+            # the numpy backend exactly.  The cached sampler still skips
+            # the per-call alias-table rebuild.
+            return weighted_batch_walks(
+                graph, starts, length, seed=rng, sampler=plan.sampler
+            )
+        sampler = plan.sampler
+        indptr, indices = graph.indptr, plan.indices
+        outdegf = plan.out_degrees_f64
+        prob, alias = sampler.prob, sampler.alias
+        walks = np.empty((length + 1, batch), dtype=np.int32)
+        walks[0] = starts
+        current = starts
+        for t in range(1, length + 1):
+            # Draw order (slots, then coins) matches AliasSampler.step so
+            # the stream stays aligned with the numpy backend.
+            u_slot = rng.random(batch)
+            u_coin = rng.random(batch)
+            slots = indptr[current] + (u_slot * outdegf[current]).astype(np.int64)
+            chosen = np.where(u_coin >= prob[slots], alias[slots], slots)
+            current = indices[chosen]
+            walks[t] = current
+        return walks.T
+
+    def walk_first_hits(self, graph, starts, length, target_mask, seed=None):
+        if isinstance(graph, WeightedDiGraph):
+            return super().walk_first_hits(
+                graph, starts, length, target_mask, seed=seed
+            )
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        rng = resolve_rng(seed)
+        batch = starts.size
+        first = np.where(target_mask[starts], 0, -1).astype(np.int64)
+        if length and batch:
+            plan = self._plan(graph)
+            indptr, indices, degf = plan.indptr, plan.indices, plan.degrees_f64
+            u, deg, off, pos, current = self._buffers(batch)
+            nxt = np.empty(batch, dtype=np.int32)
+            np.copyto(current, starts)
+            for t in range(1, length + 1):
+                rng.random(out=u)
+                np.take(degf, current, out=deg, mode="clip")
+                np.multiply(u, deg, out=u)
+                np.copyto(off, u, casting="unsafe")
+                np.take(indptr, current, out=pos, mode="clip")
+                pos += off
+                np.take(indices, pos, out=nxt, mode="clip")
+                np.copyto(current, nxt)
+                newly = (first < 0) & target_mask[current]
+                first[newly] = t
+        return first
+
+
+# ----------------------------------------------------------------------
+# Sharded backend
+# ----------------------------------------------------------------------
+class ShardedWalkEngine(WalkEngine):
+    """Replicate batches split across a thread pool of base-engine shards.
+
+    The batch is cut into ``num_shards`` contiguous shards; each shard gets
+    its own child generator via :func:`~repro.walks.rng.spawn_children`
+    (``SeedSequence`` spawning) and runs on the base engine inside a
+    ``concurrent.futures.ThreadPoolExecutor`` — the hot kernels are numpy
+    gathers, which release the GIL.  Shard results are reassembled in shard
+    order, so the output is a pure function of ``(seed, num_shards)``:
+    worker count and scheduling cannot change it, and a run is reproducible
+    on any machine.  ``num_shards`` is deliberately *not* derived from the
+    CPU count for exactly that reason.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        base: "str | WalkEngine" = "csr",
+        num_shards: int = 8,
+        max_workers: "int | None" = None,
+    ):
+        if num_shards < 1:
+            raise ParameterError("num_shards must be >= 1")
+        self._base_spec = base
+        self.num_shards = num_shards
+        self.max_workers = max_workers
+
+    @property
+    def base(self) -> WalkEngine:
+        """The engine each shard runs on (resolved late, default CSR)."""
+        return get_engine(self._base_spec)
+
+    # ------------------------------------------------------------------
+    def _scatter(self, starts, seed, run_shard) -> np.ndarray:
+        starts = np.asarray(starts, dtype=np.int64)
+        shards = max(1, min(self.num_shards, starts.size))
+        children = spawn_children(seed, shards)
+        chunks = np.array_split(starts, shards)
+        if shards == 1:
+            return run_shard(chunks[0], children[0])
+        with concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.max_workers
+        ) as pool:
+            parts = list(pool.map(run_shard, chunks, children))
+        return np.vstack(parts)
+
+    def _warm(self, graph: "Graph | WeightedDiGraph") -> WalkEngine:
+        """Resolve the base engine and build its per-graph plan once, so
+        pool threads only read the shared plan instead of racing to
+        construct it (O(n + m) work and memory per thread otherwise)."""
+        base = self.base
+        if isinstance(base, CSRWalkEngine):
+            if isinstance(graph, WeightedDiGraph):
+                base._weighted_plan(graph)
+            else:
+                base._plan(graph)
+        return base
+
+    def batch_walks(self, graph, starts, length, seed=None):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        base = self._warm(graph)
+        return self._scatter(
+            starts, seed,
+            lambda chunk, child: base.batch_walks(graph, chunk, length, seed=child),
+        )
+
+    def weighted_batch_walks(self, graph, starts, length, seed=None):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        base = self._warm(graph)
+        return self._scatter(
+            starts, seed,
+            lambda chunk, child: base.weighted_batch_walks(
+                graph, chunk, length, seed=child
+            ),
+        )
+
+    def walk_first_hits(self, graph, starts, length, target_mask, seed=None):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        base = self._warm(graph)
+        hits = self._scatter(
+            starts, seed,
+            lambda chunk, child: base.walk_first_hits(
+                graph, chunk, length, target_mask, seed=child
+            ).reshape(-1, 1),
+        )
+        return hits.reshape(-1)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_FACTORIES: "dict[str, Callable[[], WalkEngine]]" = {}
+_INSTANCES: "dict[str, WalkEngine]" = {}
+
+
+def register_engine(
+    name: str, factory: Callable[[], WalkEngine], replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    ``factory`` is called lazily, once, on first :func:`get_engine` lookup.
+    Re-registering an existing name requires ``replace=True`` (and drops
+    any cached instance), so a typo cannot silently shadow a builtin.
+    """
+    if not name or not isinstance(name, str):
+        raise ParameterError("engine name must be a non-empty string")
+    if name in _FACTORIES and not replace:
+        raise ParameterError(
+            f"engine {name!r} is already registered (pass replace=True)"
+        )
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def available_engines() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_engine(engine: "str | WalkEngine | None" = None) -> WalkEngine:
+    """Resolve an ``engine=`` argument to a :class:`WalkEngine` instance.
+
+    ``None`` -> the default backend (``"numpy"``); a string -> the shared
+    instance registered under that name; an instance -> itself.
+    """
+    if engine is None:
+        engine = DEFAULT_ENGINE
+    if isinstance(engine, WalkEngine):
+        return engine
+    if not isinstance(engine, str):
+        raise ParameterError(
+            f"cannot interpret {type(engine).__name__} as a walk engine"
+        )
+    try:
+        instance = _INSTANCES.get(engine)
+        if instance is None:
+            instance = _INSTANCES[engine] = _FACTORIES[engine]()
+        return instance
+    except KeyError:
+        raise ParameterError(
+            f"unknown walk engine {engine!r}; available: "
+            f"{', '.join(available_engines())}"
+        ) from None
+
+
+register_engine("numpy", NumpyWalkEngine)
+register_engine("csr", CSRWalkEngine)
+register_engine("sharded", ShardedWalkEngine)

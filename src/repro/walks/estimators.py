@@ -19,9 +19,11 @@ Note one deliberate deviation: the paper's Algorithm 2 line 14 normalizes
 argmax and no metric; we follow Eq. 6 so the estimator is consistent with
 the exact :class:`repro.core.objectives.F1Objective`.
 
-Everything below is vectorized with :func:`repro.walks.engine.batch_walks`
-and chunked so that the paper's metric-evaluation setting (R = 500 on the
-larger datasets) stays within memory.
+Everything below runs on a pluggable walk backend (``engine=``, see
+:mod:`repro.walks.backends`; the default is the numpy gather loop of
+:func:`repro.walks.engine.batch_walks`) and is chunked so that the paper's
+metric-evaluation setting (R = 500 on the larger datasets) stays within
+memory.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
-from repro.walks.engine import batch_first_hits, batch_walks
+from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.rng import resolve_rng
 
 __all__ = [
@@ -82,19 +84,22 @@ def _per_source_stats(
     num_samples: int,
     rng: np.random.Generator,
     chunk_rows: int = 1 << 19,
+    engine: "WalkEngine | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """For each source: (number of hitting walks r, total first-hit hops t).
 
     Sources inside ``S`` hit at hop 0 by definition; the mask lookup handles
-    that uniformly.
+    that uniformly.  ``engine`` must be a resolved backend; its fused
+    first-hit path lets the CSR backend skip materializing the walk matrix.
     """
+    if engine is None:
+        engine = get_engine(None)
     starts = np.repeat(sources, num_samples)
     r = np.zeros(sources.size, dtype=np.int64)
     t = np.zeros(sources.size, dtype=np.int64)
     for lo in range(0, starts.size, chunk_rows):
         rows = starts[lo : lo + chunk_rows]
-        walks = batch_walks(graph, rows, length, seed=rng)
-        hits = batch_first_hits(walks, mask)
+        hits = engine.walk_first_hits(graph, rows, length, mask, seed=rng)
         src_pos = (np.arange(lo, lo + rows.size) // num_samples).astype(np.int64)
         hit_mask = hits >= 0
         np.add.at(r, src_pos[hit_mask], 1)
@@ -109,13 +114,15 @@ def estimate_hitting_time(
     length: int,
     num_samples: int,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> float:
     """Unbiased estimate of the generalized hitting time ``h^L_uS`` (Eq. 9)."""
     _check_common(length, num_samples)
     mask = _target_mask(graph, targets)
     rng = resolve_rng(seed)
     r, t = _per_source_stats(
-        graph, np.asarray([source], dtype=np.int64), mask, length, num_samples, rng
+        graph, np.asarray([source], dtype=np.int64), mask, length, num_samples,
+        rng, engine=get_engine(engine),
     )
     return float((t[0] + (num_samples - r[0]) * length) / num_samples)
 
@@ -127,13 +134,15 @@ def estimate_hit_probability(
     length: int,
     num_samples: int,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> float:
     """Unbiased estimate of ``E[X^L_uS] = p^L_uS`` (Eq. 10)."""
     _check_common(length, num_samples)
     mask = _target_mask(graph, targets)
     rng = resolve_rng(seed)
     r, _ = _per_source_stats(
-        graph, np.asarray([source], dtype=np.int64), mask, length, num_samples, rng
+        graph, np.asarray([source], dtype=np.int64), mask, length, num_samples,
+        rng, engine=get_engine(engine),
     )
     return float(r[0] / num_samples)
 
@@ -145,6 +154,7 @@ def estimate_pairwise_hitting_time(
     length: int,
     num_samples: int,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> float:
     """Estimate of the node-to-node hitting time ``h^L_uv`` (Eq. 1).
 
@@ -152,7 +162,7 @@ def estimate_pairwise_hitting_time(
     al. [30] that the paper generalizes.
     """
     return estimate_hitting_time(
-        graph, source, [target], length, num_samples, seed=seed
+        graph, source, [target], length, num_samples, seed=seed, engine=engine
     )
 
 
@@ -162,6 +172,7 @@ def estimate_objectives(
     length: int,
     num_samples: int,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> ObjectiveEstimates:
     """Algorithm 2: unbiased estimates of ``F1(S)`` and ``F2(S)`` together."""
     _check_common(length, num_samples)
@@ -176,7 +187,10 @@ def estimate_objectives(
             num_samples=num_samples,
             length=length,
         )
-    r, t = _per_source_stats(graph, outside, mask, length, num_samples, rng)
+    r, t = _per_source_stats(
+        graph, outside, mask, length, num_samples, rng,
+        engine=get_engine(engine),
+    )
     # hhat per source, Eq. 9; aggregation per Algorithm 2 lines 12/14, with
     # the Eq. 6 normalization n*L (see module docstring).
     hhat_total = float((t.sum() + (num_samples * outside.size - r.sum()) * length))
@@ -195,9 +209,12 @@ def estimate_f1(
     length: int,
     num_samples: int,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> float:
     """Unbiased estimate of ``F1(S) = |V\\S| L - sum h^L_uS``."""
-    return estimate_objectives(graph, targets, length, num_samples, seed=seed).f1
+    return estimate_objectives(
+        graph, targets, length, num_samples, seed=seed, engine=engine
+    ).f1
 
 
 def estimate_f2(
@@ -206,6 +223,9 @@ def estimate_f2(
     length: int,
     num_samples: int,
     seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
 ) -> float:
     """Unbiased estimate of ``F2(S) = E[sum_u X^L_uS]``."""
-    return estimate_objectives(graph, targets, length, num_samples, seed=seed).f2
+    return estimate_objectives(
+        graph, targets, length, num_samples, seed=seed, engine=engine
+    ).f2

@@ -31,7 +31,8 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
-from repro.walks.engine import batch_walks, random_walk
+from repro.walks.backends import WalkEngine, get_engine
+from repro.walks.engine import random_walk
 from repro.walks.rng import resolve_rng
 
 __all__ = ["IndexEntry", "InvertedIndex", "FlatWalkIndex", "walker_major_starts"]
@@ -217,14 +218,19 @@ class FlatWalkIndex:
         num_replicates: int,
         seed: "int | np.random.Generator | None" = None,
         chunk_rows: int = 1 << 19,
+        engine: "str | WalkEngine | None" = None,
     ) -> "FlatWalkIndex":
         """Vectorized Algorithm 3.
 
         Generates the ``n * R`` walks in chunks of ``chunk_rows`` rows and
         extracts first-visit records column-by-column, so peak memory is
-        ``O(chunk_rows * L)`` plus the final entry arrays.
+        ``O(chunk_rows * L)`` plus the final entry arrays.  ``engine``
+        selects the walk backend (:mod:`repro.walks.backends`); the
+        ``"numpy"`` and ``"csr"`` backends build identical indexes under
+        the same seed.
         """
         rng = resolve_rng(seed)
+        walk_engine = get_engine(engine)
         n = graph.num_nodes
         _validate_params(n, length, num_replicates)
         starts = walker_major_starts(n, num_replicates)
@@ -233,7 +239,7 @@ class FlatWalkIndex:
         hop_parts: list[np.ndarray] = []
         for lo in range(0, starts.size, chunk_rows):
             rows = starts[lo : lo + chunk_rows]
-            walks = batch_walks(graph, rows, length, seed=rng)
+            walks = walk_engine.batch_walks(graph, rows, length, seed=rng)
             row_ids = np.arange(lo, lo + rows.size, dtype=np.int64)
             reps = row_ids % num_replicates
             state = reps * n + rows  # == rep * n + walker

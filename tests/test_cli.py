@@ -53,6 +53,29 @@ class TestSelect:
         assert payload["algorithm"] == "Degree"
         assert len(payload["selected"]) == 3
 
+    def test_engine_flag_parity(self, edge_list, capsys):
+        # The csr backend must reproduce the default backend's selection.
+        # Compare only the selection line: the summary line embeds
+        # wall-clock timing, which differs between runs.
+        def selected_line(argv):
+            assert main(argv) == 0
+            out = capsys.readouterr().out
+            return next(l for l in out.splitlines() if l.startswith("selected:"))
+
+        argv = [
+            "select", "--edge-list", edge_list, "-k", "4", "-L", "4",
+            "--method", "approx-fast", "-R", "20", "--seed", "7",
+        ]
+        assert selected_line(argv) == selected_line(argv + ["--engine", "csr"])
+
+    def test_engine_flag_rejects_unknown(self, edge_list):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "select", "--edge-list", edge_list, "-k", "2",
+                "--engine", "gpu",
+            ])
+        assert excinfo.value.code == 2  # argparse usage error
+
     def test_json_stdout(self, edge_list, capsys):
         main([
             "select", "--edge-list", edge_list, "-k", "2", "-L", "3",

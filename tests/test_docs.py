@@ -1,0 +1,23 @@
+"""Documentation-layer consistency (the checks CI runs via tools/).
+
+Keeps README.md's CLI reference, DESIGN.md's section numbering, and
+EXPERIMENTS.md's benchmark coverage from drifting away from the code.
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_cli_docs import check_docs  # noqa: E402
+
+
+def test_documentation_consistent():
+    problems = check_docs()
+    assert not problems, "\n".join(problems)
+
+
+def test_core_docs_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        assert (REPO_ROOT / name).is_file(), name

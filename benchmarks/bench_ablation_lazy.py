@@ -6,7 +6,6 @@ of gain evaluations dramatically (the paper cites [19] for the same effect
 on its own greedy).
 """
 
-from repro.experiments.config import default_config
 from repro.experiments.reporting import ExperimentTable
 from repro.graphs.datasets import load_dataset
 from repro.walks.index import FlatWalkIndex

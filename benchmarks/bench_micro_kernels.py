@@ -22,6 +22,7 @@ from repro.walks.backends import available_engines, get_engine
 from repro.walks.engine import batch_walks
 from repro.walks.index import FlatWalkIndex, walker_major_starts
 from repro.core.approx_fast import FastApproxEngine
+from repro.core.coverage_kernel import CoverageKernel
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +79,39 @@ def test_dp_level_cost(benchmark, graph):
 
 
 # ----------------------------------------------------------------------
+# Coverage-kernel micro-kernels (DESIGN.md §8)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def kernel(index):
+    return CoverageKernel.from_index(index, "f2")
+
+
+def test_kernel_build(benchmark, index):
+    benchmark(lambda: CoverageKernel.from_index(index, "f2"))
+
+
+def test_kernel_gains_all(benchmark, kernel):
+    benchmark(kernel.gains_all)
+
+
+def test_kernel_popcount_refresh(benchmark, kernel):
+    kernel.rows  # materialize the packed rows outside the timed region
+    benchmark(kernel.refresh_gains)
+
+
+def test_kernel_select_update(benchmark, index):
+    import itertools
+
+    nodes = itertools.cycle(range(index.num_nodes))
+
+    def run():
+        fresh = CoverageKernel.from_index(index, "f2")
+        fresh.select(next(nodes))
+
+    benchmark(run)
+
+
+# ----------------------------------------------------------------------
 # Walk-backend head-to-head
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("engine_name", sorted(available_engines()))
@@ -97,22 +131,25 @@ def test_index_build_backend(benchmark, backend_graph, engine_name):
     )
 
 
-def test_csr_backend_speedup(backend_graph):
+def test_csr_backend_speedup(backend_graph, bench_record, timing_gate):
     """The standing claim: csr >= 2x numpy on batched walks, bit-identical.
 
     The workload is the canonical one — the paper's default R=100 walks
     per node (exactly what ``FlatWalkIndex.build`` generates), i.e. a
     one-million-row batch.  Interleaved best-of-N timing so background
     load hits both engines alike; the parity check rules out the speedup
-    coming from doing different (cheaper) work.
+    coming from doing different (cheaper) work.  Parity is a hard
+    assertion; the speedup floor honors ``--no-timing-gate``.
     """
     starts = walker_major_starts(backend_graph.num_nodes, 100)
     numpy_engine = get_engine("numpy")
     csr_engine = get_engine("csr")
-    assert np.array_equal(
+    parity = np.array_equal(
         numpy_engine.batch_walks(backend_graph, starts[:10_000], 6, seed=3),
         csr_engine.batch_walks(backend_graph, starts[:10_000], 6, seed=3),
     )
+    bench_record("walk_backends.csr_parity", bool(parity))
+    assert parity
 
     def measure() -> tuple[float, float, float]:
         best = {"numpy": float("inf"), "csr": float("inf")}
@@ -136,4 +173,10 @@ def test_csr_backend_speedup(backend_graph):
         f"numpy {numpy_ms * 1e3:.1f} ms, csr {csr_ms * 1e3:.1f} ms "
         f"-> {ratio:.2f}x (best attempt {speedup:.2f}x)"
     )
-    assert speedup >= 2.0, f"csr only {speedup:.2f}x faster than numpy"
+    bench_record("walk_backends.batch_walks_numpy_s", numpy_ms)
+    bench_record("walk_backends.batch_walks_csr_s", csr_ms)
+    bench_record("walk_backends.csr_speedup_x", speedup)
+    if timing_gate:
+        assert speedup >= 2.0, f"csr only {speedup:.2f}x faster than numpy"
+    elif speedup < 2.0:
+        print(f"TIMING (report-only): csr speedup {speedup:.2f}x < 2.0x floor")

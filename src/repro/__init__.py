@@ -85,9 +85,11 @@ from repro.walks import (
 
 # Core contribution
 from repro.core import (
+    CoverageKernel,
     F1Objective,
     F2Objective,
     FastApproxEngine,
+    GAIN_BACKENDS,
     Problem1,
     Problem2,
     SampledF1,
@@ -196,9 +198,11 @@ __all__ = [
     "estimate_objectives",
     "random_walk",
     # core
+    "CoverageKernel",
     "F1Objective",
     "F2Objective",
     "FastApproxEngine",
+    "GAIN_BACKENDS",
     "Problem1",
     "Problem2",
     "SampledF1",

@@ -20,6 +20,10 @@ Sampling-based subcommands (``select`` with a walk-based method,
 ``metrics --sampled``, ``simulate``, ``index``) accept ``--engine`` to pick
 the walk backend (see :mod:`repro.walks.backends`): ``numpy`` (default),
 ``csr`` (fastest single-threaded), or ``sharded`` (thread-pool shards).
+``select`` with the ``approx-fast`` or ``sampling`` method additionally
+accepts ``--gain-backend`` (``entries`` or ``bitset``, see
+:mod:`repro.core.coverage_kernel`) to pick the marginal-gain machinery;
+both backends produce identical selections.
 
 A typical index-reuse workflow — pay the walk materialization once, sweep
 budgets afterwards::
@@ -41,6 +45,7 @@ from typing import Sequence
 
 from repro.errors import RwdomError
 from repro.graphs.adjacency import Graph
+from repro.core.coverage_kernel import DEFAULT_GAIN_BACKEND, GAIN_BACKENDS
 from repro.walks.backends import DEFAULT_ENGINE, available_engines
 from repro.graphs.datasets import dataset_names, load_dataset
 from repro.graphs.generators import (
@@ -104,6 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     select.add_argument("--seed", type=int, default=None)
     _add_engine_flag(select)
+    select.add_argument(
+        "--gain-backend", choices=GAIN_BACKENDS, default=DEFAULT_GAIN_BACKEND,
+        help="marginal-gain machinery for approx-fast/sampling (default: "
+        f"{DEFAULT_GAIN_BACKEND}; 'bitset' uses the packed coverage "
+        "kernel — identical selections, different speed/memory profile)",
+    )
     select.add_argument(
         "--evaluate", action="store_true",
         help="also print exact AHT/EHN of the selection",
@@ -283,7 +294,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
         index = load_index(args.index)
         objective = "f1" if args.problem == "1" else "f2"
         result = approx_greedy_fast(
-            graph, args.k, index.length, index=index, objective=objective
+            graph, args.k, index.length, index=index, objective=objective,
+            gain_backend=args.gain_backend,
         )
         args = argparse.Namespace(**{**vars(args), "length": index.length})
     else:
@@ -297,6 +309,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
             options["seed"] = args.seed
         if args.method in ("sampling", "approx-fast"):
             options["engine"] = args.engine
+            options["gain_backend"] = args.gain_backend
         result = solve(problem, method=args.method, **options)
     print(result.summary())
     print("selected:", ",".join(str(v) for v in result.selected))

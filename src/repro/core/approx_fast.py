@@ -21,6 +21,14 @@ objectives are genuine coverage-type submodular functions, so stale gains
 are valid upper bounds and the selected set provably matches the full sweep
 under the same smaller-id tie-breaking, while touching only the entry slices
 of re-evaluated candidates.
+
+``gain_backend`` selects the marginal-gain machinery (DESIGN.md §8):
+``"entries"`` is the per-entry array path described above, ``"bitset"``
+routes every query through the bit-packed
+:class:`~repro.core.coverage_kernel.CoverageKernel`, which keeps all gains
+materialized and propagates per-selection deltas instead of re-scanning the
+index.  The two backends are bit-identical — same gains, same selections —
+and differ only in speed and memory.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
+from repro.core.coverage_kernel import CoverageKernel, validate_gain_backend
 from repro.core.result import SelectionResult
 from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.index import FlatWalkIndex
@@ -44,23 +53,37 @@ _OBJECTIVES = ("f1", "f2")
 class FastApproxEngine:
     """Mutable Algorithm 6 state over a flat walk index.
 
-    The engine owns the ``d`` array and exposes gain queries and selection
+    The engine owns the gain state and exposes gain queries and selection
     updates; :func:`approx_greedy_fast` drives it, and the extension solvers
-    (:mod:`repro.core.coverage`, :mod:`repro.core.combined`) reuse it.
+    (:mod:`repro.core.coverage`, :mod:`repro.core.combined`) reuse it.  With
+    ``gain_backend="entries"`` that state is the flat ``d`` array; with
+    ``"bitset"`` it lives in a :class:`~repro.core.coverage_kernel.CoverageKernel`
+    (and ``self.d`` is ``None``).
     """
 
-    def __init__(self, index: FlatWalkIndex, objective: str = "f1"):
+    def __init__(
+        self,
+        index: FlatWalkIndex,
+        objective: str = "f1",
+        gain_backend: "str | None" = None,
+    ):
         if objective not in _OBJECTIVES:
             raise ParameterError(f"objective must be one of {_OBJECTIVES}")
         self.index = index
         self.objective = objective
+        self.gain_backend = validate_gain_backend(gain_backend)
         n = index.num_nodes
         r = index.num_replicates
-        if objective == "f1":
-            fill = index.length
-            self.d = np.full(n * r, fill, dtype=np.int32)
+        if self.gain_backend == "bitset":
+            self._kernel = CoverageKernel.from_index(index, objective)
+            self.d = None
         else:
-            self.d = np.zeros(n * r, dtype=np.int32)
+            self._kernel = None
+            if objective == "f1":
+                fill = index.length
+                self.d = np.full(n * r, fill, dtype=np.int32)
+            else:
+                self.d = np.zeros(n * r, dtype=np.int32)
         self._chosen = np.zeros(n, dtype=bool)
         self.selected: list[int] = []
         self.gains: list[float] = []
@@ -77,15 +100,21 @@ class FastApproxEngine:
 
     def distance_matrix(self) -> np.ndarray:
         """Current ``D`` as an ``(R, n)`` view (copy), for inspection."""
+        if self._kernel is not None:
+            return self._kernel.distance_matrix()
         return self.d.reshape(self.num_replicates, self.num_nodes).copy()
 
     # ------------------------------------------------------------------
     def gains_all(self) -> np.ndarray:
-        """Raw gain sums (``sigma_u * R``) for every node, one index pass.
+        """Raw gain sums (``sigma_u * R``) for every node.
 
         Kept as integers times ``R`` to stay exact; divide by ``R`` to match
-        :func:`repro.core.approx_greedy.approx_gain`.
+        :func:`repro.core.approx_greedy.approx_gain`.  The entry backend
+        pays one index pass; the bitset kernel returns its maintained gains.
         """
+        if self._kernel is not None:
+            self.num_gain_evaluations += self.num_nodes
+            return self._kernel.gains_all()
         index = self.index
         n = self.num_nodes
         if self.objective == "f1":
@@ -113,6 +142,9 @@ class FastApproxEngine:
         """Raw gain sum (``sigma_u * R``) of a single candidate."""
         if not 0 <= node < self.num_nodes:
             raise ParameterError(f"node {node} out of range")
+        if self._kernel is not None:
+            self.num_gain_evaluations += 1
+            return self._kernel.gain_of(node)
         state, hop = self.index.entries_for(node)
         if self.objective == "f1":
             contrib = self.d[state].astype(np.int64) - hop
@@ -132,6 +164,16 @@ class FastApproxEngine:
         """Commit one selection: record it and run Algorithm 5's update."""
         if self._chosen[node]:
             raise ParameterError(f"node {node} already selected")
+        if self._kernel is not None:
+            self._kernel.select(node)
+            self._chosen[node] = True
+            self.selected.append(int(node))
+            self.gains.append(
+                float(gain) / self.num_replicates
+                if gain is not None
+                else float("nan")
+            )
+            return
         state, hop = self.index.entries_for(node)
         if self.objective == "f1":
             self.d[node :: self.num_nodes] = 0
@@ -196,6 +238,7 @@ def approx_greedy_fast(
     index: FlatWalkIndex | None = None,
     lazy: bool = True,
     engine: "str | WalkEngine | None" = None,
+    gain_backend: "str | None" = None,
 ) -> SelectionResult:
     """Algorithm 6 on the vectorized engine (``ApproxF1`` / ``ApproxF2``).
 
@@ -206,10 +249,13 @@ def approx_greedy_fast(
     ``engine`` picks the walk backend used to materialize the index
     (:mod:`repro.walks.backends`; ignored when ``index`` is supplied); the
     ``"numpy"`` and ``"csr"`` backends yield identical selections under
-    the same seed.
+    the same seed.  ``gain_backend`` picks the marginal-gain machinery
+    (``"entries"`` or ``"bitset"``, see
+    :mod:`repro.core.coverage_kernel`); both produce identical selections.
     """
     if not 0 <= k <= graph.num_nodes:
         raise ParameterError(f"k={k} must lie in [0, n={graph.num_nodes}]")
+    gain_backend = validate_gain_backend(gain_backend)
     walk_engine = get_engine(engine)
     started = time.perf_counter()
     if index is None:
@@ -218,7 +264,9 @@ def approx_greedy_fast(
         )
     elif index.num_nodes != graph.num_nodes:
         raise ParameterError("index was built for a different graph size")
-    engine = FastApproxEngine(index, objective=objective)
+    engine = FastApproxEngine(
+        index, objective=objective, gain_backend=gain_backend
+    )
     engine.run(k, lazy=lazy)
     elapsed = time.perf_counter() - started
     name = "ApproxF1" if objective == "f1" else "ApproxF2"
@@ -236,6 +284,7 @@ def approx_greedy_fast(
             "objective": objective,
             "engine": "vectorized",
             "walk_engine": walk_engine.name,
+            "gain_backend": gain_backend,
             "lazy": lazy,
         },
     )

@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.core.approx_fast import FastApproxEngine
+from repro.core.coverage_kernel import validate_gain_backend
 from repro.core.greedy import greedy_select
 from repro.core.objectives import F1Objective, F2Objective
 from repro.core.result import SelectionResult
@@ -110,20 +111,26 @@ def approx_combined(
     num_replicates: int = 100,
     seed: "int | np.random.Generator | None" = None,
     index: FlatWalkIndex | None = None,
+    gain_backend: "str | None" = None,
 ) -> SelectionResult:
     """Index-based greedy on ``w1 F1 + w2 F2`` (one shared walk index).
 
     Runs full gain sweeps (no CELF) for clarity; the blended gains remain
-    submodular, so a lazy variant would also be sound.
+    submodular, so a lazy variant would also be sound.  Both engines honor
+    ``gain_backend`` (:mod:`repro.core.coverage_kernel`) and the raw gains
+    are backend-independent, so the blended argmax is too.
     """
     _check_weights(weight_f1, weight_f2)
     if not 0 <= k <= graph.num_nodes:
         raise ParameterError(f"k={k} must lie in [0, n={graph.num_nodes}]")
+    gain_backend = validate_gain_backend(gain_backend)
     started = time.perf_counter()
     if index is None:
         index = FlatWalkIndex.build(graph, length, num_replicates, seed=seed)
-    engine_f1 = FastApproxEngine(index, objective="f1")
-    engine_f2 = FastApproxEngine(index, objective="f2")
+    elif index.num_nodes != graph.num_nodes:
+        raise ParameterError("index was built for a different graph size")
+    engine_f1 = FastApproxEngine(index, objective="f1", gain_backend=gain_backend)
+    engine_f2 = FastApproxEngine(index, objective="f2", gain_backend=gain_backend)
     selected: list[int] = []
     gains: list[float] = []
     chosen = np.zeros(graph.num_nodes, dtype=bool)
@@ -153,5 +160,6 @@ def approx_combined(
             "w1": weight_f1,
             "w2": weight_f2,
             "objective": "combined",
+            "gain_backend": gain_backend,
         },
     )

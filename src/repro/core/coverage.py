@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.core.approx_fast import FastApproxEngine
+from repro.core.coverage_kernel import validate_gain_backend
 from repro.core.objectives import F2Objective
 from repro.core.result import SelectionResult
 from repro.walks.index import FlatWalkIndex
@@ -36,6 +37,14 @@ def _check_alpha(alpha: float) -> None:
         raise ParameterError("alpha must lie in [0, 1]")
 
 
+def _unreachable(threshold: float, achieved: float, budget: int) -> ParameterError:
+    return ParameterError(
+        f"coverage target alpha*n = {threshold:.6g} is unreachable: the "
+        f"greedy achieved {achieved:.6g} with its full budget of {budget} "
+        "selections; lower alpha or raise max_size"
+    )
+
+
 def min_targets_for_coverage(
     graph: Graph,
     alpha: float,
@@ -44,6 +53,7 @@ def min_targets_for_coverage(
     seed: "int | np.random.Generator | None" = None,
     index: FlatWalkIndex | None = None,
     max_size: int | None = None,
+    gain_backend: "str | None" = None,
 ) -> SelectionResult:
     """Smallest greedy set whose estimated ``F2`` reaches ``alpha * n``.
 
@@ -51,21 +61,37 @@ def min_targets_for_coverage(
     reaches the threshold (or after ``max_size`` additions, default ``n``).
     The estimated coverage after each addition is ``(sum of raw gains) / R``
     because ``F2(emptyset) = 0`` and gains telescope.
+    ``gain_backend="bitset"`` runs the rounds on the coverage kernel
+    (:mod:`repro.core.coverage_kernel`) — identical selections.
+
+    Raises :class:`ParameterError` when the target is unreachable — the
+    selection budget (``max_size``, or every node) is exhausted, or no
+    remaining candidate adds coverage, while the estimate is still below
+    ``alpha * n`` — instead of silently returning an under-covering set.
     """
     _check_alpha(alpha)
+    gain_backend = validate_gain_backend(gain_backend)
     started = time.perf_counter()
     if index is None:
         index = FlatWalkIndex.build(graph, length, num_replicates, seed=seed)
-    engine = FastApproxEngine(index, objective="f2")
+    elif index.num_nodes != graph.num_nodes:
+        raise ParameterError("index was built for a different graph size")
+    engine = FastApproxEngine(index, objective="f2", gain_backend=gain_backend)
     threshold = alpha * graph.num_nodes
     limit = graph.num_nodes if max_size is None else min(max_size, graph.num_nodes)
     covered_raw = 0  # running F2 estimate, times R
-    while len(engine.selected) < limit:
-        if covered_raw >= threshold * index.num_replicates:
-            break
+    while covered_raw < threshold * index.num_replicates:
+        if len(engine.selected) >= limit:
+            raise _unreachable(
+                threshold, covered_raw / index.num_replicates, limit
+            )
         gains = engine.gains_all()
         gains[engine._chosen] = np.iinfo(np.int64).min
         best = int(gains.argmax())
+        if gains[best] <= 0:
+            raise _unreachable(
+                threshold, covered_raw / index.num_replicates, limit
+            )
         covered_raw += int(gains[best])
         engine.select(best, gain=float(gains[best]))
     elapsed = time.perf_counter() - started
@@ -83,6 +109,7 @@ def min_targets_for_coverage(
             "threshold": threshold,
             "achieved_estimate": achieved,
             "objective": "f2",
+            "gain_backend": gain_backend,
         },
     )
 
@@ -93,7 +120,12 @@ def min_targets_for_coverage_exact(
     length: int,
     max_size: int | None = None,
 ) -> SelectionResult:
-    """DP-backed variant: exact ``F2`` checked after every greedy addition."""
+    """DP-backed variant: exact ``F2`` checked after every greedy addition.
+
+    Like :func:`min_targets_for_coverage`, raises :class:`ParameterError`
+    when the threshold is unreachable within the selection budget (with a
+    small absolute tolerance for float accumulation at ``alpha = 1``).
+    """
     _check_alpha(alpha)
     started = time.perf_counter()
     objective = F2Objective(graph, length)
@@ -104,7 +136,9 @@ def min_targets_for_coverage_exact(
     chosen: set[int] = set()
     value = 0.0
     evaluations = 0
-    while len(selected) < limit and value < threshold:
+    while value < threshold - 1e-9:
+        if len(selected) >= limit:
+            raise _unreachable(threshold, value, limit)
         best_node = -1
         best_gain = -float("inf")
         for u in range(graph.num_nodes):
@@ -115,6 +149,8 @@ def min_targets_for_coverage_exact(
             if gain > best_gain:
                 best_gain = gain
                 best_node = u
+        if best_gain <= 0:
+            raise _unreachable(threshold, value, limit)
         selected.append(best_node)
         gains.append(best_gain)
         chosen.add(best_node)

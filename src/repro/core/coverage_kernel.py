@@ -1,0 +1,394 @@
+"""Bit-packed coverage kernel for the index-based greedy (Algorithm 6).
+
+The :class:`~repro.walks.index.FlatWalkIndex` stores, for every hit node
+``v``, the ``(replicate, walker)`` pairs whose walk first-visits ``v``.
+Each such pair is one *state* ``s = replicate * n + walker`` — a cell of
+the ``D[1:R][1:n]`` matrix of Algorithms 4-6.  Selecting ``v`` "covers"
+states (Problem 2) or relaxes their first-hit distance (Problem 1), and a
+marginal gain is a sum over the candidate's state set.
+
+This module turns those state sets into packed ``uint64`` bitset rows and
+keeps every candidate's gain *materialized*:
+
+* **Problem 2 (coverage).**  Candidate ``u``'s coverage set is one packed
+  row ``rows[u]`` (its index entries plus its own ``R`` self states), and
+  the covered set is one packed vector, so a gain query is literally
+  ``popcount(rows[u] & ~covered)`` over contiguous words
+  (:meth:`CoverageKernel.popcount_gain`).
+* **Problem 1 (hitting time).**  The gain is a masked min-reduction over
+  first-visit hops: ``sum_s max(d[s] - hop_u(s), 0)`` with ``hop_u`` read
+  from the candidate's hop row (:meth:`CoverageKernel.min_reduction_gains`
+  evaluates it against the dense hop matrix exported by
+  :meth:`~repro.walks.index.FlatWalkIndex.dense_hop_matrix`).
+* **Incremental maintenance.**  A state belongs to at most ``L + 1``
+  candidate rows (the distinct nodes its walk first-visits, plus the
+  walker itself).  The kernel therefore keeps a state-major transpose of
+  the index and, on every selection, propagates the delta of the newly
+  covered (or newly relaxed) states to exactly the affected candidates.
+  Summed over a whole greedy run this is ``O(E + S)`` total update work
+  for Problem 2 (``E`` index entries, ``S = n R`` states) instead of the
+  entry path's ``O(E)`` *per round* — which is where the kernel's
+  measured speedup on full-sweep Algorithm 6 comes from
+  (``benchmarks/bench_coverage_kernel.py``).
+
+All arithmetic is integer-exact, so the kernel is *bit-identical* to the
+entry-list gain path of :class:`~repro.core.approx_fast.FastApproxEngine`:
+same gain values, same argmax, same tie-breaking, same selections.  The
+test suite asserts this entry-for-entry (``tests/test_coverage_kernel.py``)
+and CI enforces it as a hard parity gate.  See DESIGN.md §8.
+
+Consumers opt in through the ``gain_backend`` switch (``"entries"`` keeps
+the original per-entry arrays, ``"bitset"`` routes through this kernel)
+threaded through :func:`~repro.core.approx_fast.approx_greedy_fast`,
+:func:`~repro.core.stochastic.stochastic_approx_greedy`,
+:func:`~repro.core.coverage.min_targets_for_coverage`,
+:func:`~repro.core.combined.approx_combined`, the sampling-greedy
+estimator aggregation, and the CLI ``--gain-backend`` flag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.walks.index import FlatWalkIndex
+
+__all__ = [
+    "GAIN_BACKENDS",
+    "DEFAULT_GAIN_BACKEND",
+    "validate_gain_backend",
+    "pack_states",
+    "popcount",
+    "popcount_rows",
+    "CoverageKernel",
+]
+
+#: Marginal-gain evaluation strategies accepted everywhere a
+#: ``gain_backend=`` parameter (or the CLI ``--gain-backend`` flag) is.
+GAIN_BACKENDS = ("entries", "bitset")
+DEFAULT_GAIN_BACKEND = "entries"
+
+#: Default ceiling for the packed candidate rows (1 GiB) — the dense part
+#: of the kernel grows as ``n^2 R / 8`` bytes, so huge graphs should stay
+#: on the ``"entries"`` backend (or raise the cap explicitly).
+DEFAULT_MAX_PACKED_BYTES = 1 << 30
+
+
+def validate_gain_backend(name: "str | None") -> str:
+    """Resolve a ``gain_backend`` value (``None`` means the default)."""
+    if name is None:
+        return DEFAULT_GAIN_BACKEND
+    if name not in GAIN_BACKENDS:
+        raise ParameterError(
+            f"gain_backend must be one of {GAIN_BACKENDS}, got {name!r}"
+        )
+    return name
+
+
+def pack_states(states: np.ndarray, num_states: int) -> np.ndarray:
+    """Pack a set of state ids into a ``uint64`` bitset vector.
+
+    Bit ``s`` of the result is set iff ``s`` appears in ``states``; bits at
+    and beyond ``num_states`` (the padding of the last word) are zero.
+    """
+    if num_states < 0:
+        raise ParameterError("num_states must be >= 0")
+    words = (num_states + 63) >> 6
+    packed = np.zeros(words, dtype=np.uint64)
+    states = np.asarray(states, dtype=np.int64)
+    if states.size == 0:
+        return packed
+    if states.min() < 0 or states.max() >= num_states:
+        raise ParameterError("state id out of range for pack_states")
+    bits = np.left_shift(np.uint64(1), (states & 63).astype(np.uint64))
+    np.bitwise_or.at(packed, states >> 6, bits)
+    return packed
+
+
+if hasattr(np, "bitwise_count"):
+    _bitwise_count = np.bitwise_count
+else:  # numpy < 2.0: byte-LUT fallback (returns per-byte counts, callers sum)
+    _POPCOUNT_LUT = np.asarray(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _bitwise_count(packed: np.ndarray) -> np.ndarray:
+        return _POPCOUNT_LUT[np.ascontiguousarray(packed).view(np.uint8)]
+
+
+def popcount(packed: np.ndarray) -> int:
+    """Total number of set bits in a packed array."""
+    if packed.size == 0:
+        return 0
+    return int(_bitwise_count(packed).sum(dtype=np.int64))
+
+
+def popcount_rows(packed: np.ndarray) -> np.ndarray:
+    """Per-row set-bit counts of a 2-D packed array (``int64``)."""
+    if packed.size == 0:
+        return np.zeros(packed.shape[0], dtype=np.int64)
+    counts = _bitwise_count(packed)
+    return counts.reshape(packed.shape[0], -1).sum(axis=1, dtype=np.int64)
+
+
+def _gather_ranges(
+    indptr: np.ndarray, ids: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positions of the concatenated CSR slices ``[indptr[i], indptr[i+1])``.
+
+    Returns ``(positions, lengths)`` where ``positions`` indexes the CSR
+    value arrays and ``lengths[j]`` is the slice length of ``ids[j]`` (so
+    per-id payloads can be broadcast with ``np.repeat``).  Vectorized —
+    no Python-level loop over ``ids``.
+    """
+    lengths = indptr[ids + 1] - indptr[ids]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    starts = np.repeat(indptr[ids], lengths)
+    segment_base = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    positions = starts + (np.arange(total, dtype=np.int64) - segment_base)
+    return positions, lengths
+
+
+class CoverageKernel:
+    """Materialized-gain engine over packed first-hit state sets.
+
+    Mirrors the mutable state of Algorithms 4-6 for one objective and
+    answers the three queries the greedy drivers need — ``gains_all`` /
+    ``gain_of`` / ``select`` — with maintained integer gains.  Build one
+    with :meth:`from_index`; drive it through
+    :class:`~repro.core.approx_fast.FastApproxEngine` (``gain_backend=
+    "bitset"``) or directly.
+    """
+
+    def __init__(self, index: FlatWalkIndex, objective: str = "f1",
+                 max_packed_bytes: "int | None" = DEFAULT_MAX_PACKED_BYTES):
+        if objective not in ("f1", "f2"):
+            raise ParameterError("objective must be one of ('f1', 'f2')")
+        self.index = index
+        self.objective = objective
+        n = index.num_nodes
+        self.num_nodes = n
+        self.num_replicates = index.num_replicates
+        self.length = index.length
+        self.num_states = n * index.num_replicates
+        self.words = (self.num_states + 63) >> 6
+
+        # Candidate-major coverage sets: the index entries plus each
+        # candidate's own R self states (hop 0 — Algorithm 5 zeroes the
+        # candidate's D column on selection).  The index entries already
+        # arrive grouped by hit node, so the forward CSR is a direct merge
+        # (no sort): candidate u's slice is its entry slice followed by
+        # its R self states in replicate order.
+        replicates = index.num_replicates
+        entry_counts = np.diff(index.indptr)
+        num_entries = int(index.indptr[-1])
+        total = num_entries + self.num_states
+        self._fptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(entry_counts + replicates, out=self._fptr[1:])
+        self._fstate = np.empty(total, dtype=np.int64)
+        self._fhop = np.empty(total, dtype=np.int64)
+        if num_entries:
+            dest_entries = np.repeat(self._fptr[:-1], entry_counts) + (
+                np.arange(num_entries, dtype=np.int64)
+                - np.repeat(index.indptr[:-1], entry_counts)
+            )
+            self._fstate[dest_entries] = index.state.astype(np.int64)
+            self._fhop[dest_entries] = index.hop.astype(np.int64)
+        # Self state i*n + u lands at fptr[u] + entry_counts[u] + i; the
+        # (replicate, node)-raveled grids below realize exactly that.
+        self_base = self._fptr[:-1] + entry_counts
+        dest_self = (
+            self_base[None, :]
+            + np.arange(replicates, dtype=np.int64)[:, None]
+        ).ravel()
+        self._fstate[dest_self] = np.arange(self.num_states, dtype=np.int64)
+        self._fhop[dest_self] = 0
+
+        # State-major transpose (state -> candidates whose set contains it)
+        # for incremental gain maintenance.
+        fcand = np.repeat(
+            np.arange(n, dtype=np.int64), entry_counts + replicates
+        )
+        rorder = np.argsort(self._fstate, kind="stable")
+        self._rcand = fcand[rorder]
+        self._rhop = self._fhop[rorder]
+        self._rptr = np.zeros(self.num_states + 1, dtype=np.int64)
+        np.cumsum(np.bincount(self._fstate, minlength=self.num_states),
+                  out=self._rptr[1:])
+
+        # Packed candidate rows — the popcount substrate.  Materialized on
+        # first popcount use (and the memory cap enforced there), so the
+        # maintained-gain hot path never pays for them: that path needs
+        # only the O(E + S) CSR state above, even when the dense rows
+        # would not fit.
+        self._max_packed_bytes = max_packed_bytes
+        self._rows: "np.ndarray | None" = None
+
+        # Mutable per-objective state, matching FastApproxEngine exactly.
+        if objective == "f1":
+            self._d = np.full(self.num_states, index.length, dtype=np.int32)
+            self.covered = None
+            self._covered_bool = None
+            # gain(u) at D = L everywhere: sum of (L - hop) over u's set.
+            contrib = index.length - self._fhop
+        else:
+            self._d = None
+            self.covered = np.zeros(self.words, dtype=np.uint64)
+            self._covered_bool = np.zeros(self.num_states, dtype=bool)
+            contrib = np.ones(self._fhop.size, dtype=np.int64)
+        running = np.zeros(contrib.size + 1, dtype=np.int64)
+        np.cumsum(contrib, out=running[1:])
+        self.gains = running[self._fptr[1:]] - running[self._fptr[:-1]]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(
+        cls,
+        index: FlatWalkIndex,
+        objective: str = "f1",
+        max_packed_bytes: "int | None" = DEFAULT_MAX_PACKED_BYTES,
+    ) -> "CoverageKernel":
+        """Build a kernel over an existing walk index."""
+        return cls(index, objective=objective,
+                   max_packed_bytes=max_packed_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> np.ndarray:
+        """Packed per-candidate coverage rows (built on first access;
+        raises :class:`ParameterError` beyond ``max_packed_bytes``)."""
+        if self._rows is None:
+            self._rows = self.index.packed_hit_rows(
+                include_self=True, max_bytes=self._max_packed_bytes
+            )
+        return self._rows
+
+    # ------------------------------------------------------------------
+    # Gain queries — same raw integer scale (sigma_u * R) as the entry path.
+    def gains_all(self) -> np.ndarray:
+        """Maintained raw gains of every candidate (a fresh copy)."""
+        return self.gains.copy()
+
+    def gain_of(self, node: int) -> int:
+        """Maintained raw gain of one candidate (exact, O(1))."""
+        if not 0 <= node < self.num_nodes:
+            raise ParameterError(f"node {node} out of range")
+        return int(self.gains[node])
+
+    def popcount_gain(self, node: int) -> int:
+        """Problem-2 gain recomputed from first principles:
+        ``popcount(rows[node] & ~covered)``.  Always equals
+        :meth:`gain_of` — the invariant the parity tests pin."""
+        if self.objective != "f2":
+            raise ParameterError("popcount_gain is defined for f2 only")
+        if not 0 <= node < self.num_nodes:
+            raise ParameterError(f"node {node} out of range")
+        return popcount(self.rows[node] & ~self.covered)
+
+    def refresh_gains(self, chunk_rows: int = 256) -> np.ndarray:
+        """Recompute every gain from the packed substrate (no maintained
+        state): the f2 path is the chunked masked popcount sweep, the f1
+        path the masked min-reduction over the forward hop arrays.  Used
+        by tests and benchmarks as the independent oracle."""
+        if self.objective == "f2":
+            mask = ~self.covered
+            out = np.empty(self.num_nodes, dtype=np.int64)
+            for lo in range(0, self.num_nodes, chunk_rows):
+                hi = min(lo + chunk_rows, self.num_nodes)
+                out[lo:hi] = popcount_rows(self.rows[lo:hi] & mask)
+            return out
+        contrib = self._d[self._fstate].astype(np.int64) - self._fhop
+        np.maximum(contrib, 0, out=contrib)
+        running = np.zeros(contrib.size + 1, dtype=np.int64)
+        np.cumsum(contrib, out=running[1:])
+        return running[self._fptr[1:]] - running[self._fptr[:-1]]
+
+    def min_reduction_gains(self, hop_matrix: np.ndarray) -> np.ndarray:
+        """Problem-1 gains as a masked min-reduction over a dense hop
+        matrix (``hop_matrix`` from
+        :meth:`~repro.walks.index.FlatWalkIndex.dense_hop_matrix`):
+        ``gain[u] = sum_s (d[s] - min(d[s], H[u, s]))``.  Memory-hungry
+        (``n * S`` cells) — an oracle for small instances, not a hot path.
+        """
+        if self.objective != "f1":
+            raise ParameterError("min_reduction_gains is defined for f1 only")
+        if hop_matrix.shape != (self.num_nodes, self.num_states):
+            raise ParameterError("hop matrix shape must be (n, n * R)")
+        d = self._d.astype(np.int64)
+        d_total = int(d.sum())
+        out = np.empty(self.num_nodes, dtype=np.int64)
+        chunk = 256
+        for lo in range(0, self.num_nodes, chunk):
+            hi = min(lo + chunk, self.num_nodes)
+            relaxed = np.minimum(d[None, :], hop_matrix[lo:hi].astype(np.int64))
+            out[lo:hi] = d_total - relaxed.sum(axis=1, dtype=np.int64)
+        return out
+
+    # ------------------------------------------------------------------
+    def select(self, node: int) -> None:
+        """Fold one selection into the kernel state (Algorithm 5) and
+        propagate the exact gain deltas to the affected candidates."""
+        if not 0 <= node < self.num_nodes:
+            raise ParameterError(f"node {node} out of range")
+        lo, hi = self._fptr[node], self._fptr[node + 1]
+        states = self._fstate[lo:hi]
+        hops = self._fhop[lo:hi]
+        if self.objective == "f2":
+            fresh = ~self._covered_bool[states]
+            new_states = states[fresh]
+            if new_states.size == 0:
+                return
+            self._covered_bool[new_states] = True
+            bits = np.left_shift(
+                np.uint64(1), (new_states & 63).astype(np.uint64)
+            )
+            np.bitwise_or.at(self.covered, new_states >> 6, bits)
+            positions, _ = _gather_ranges(self._rptr, new_states)
+            touched = self._rcand[positions]
+            self.gains -= np.bincount(touched, minlength=self.num_nodes)
+        else:
+            current = self._d[states].astype(np.int64)
+            improving = hops < current
+            new_states = states[improving]
+            if new_states.size == 0:
+                return
+            new_hops = hops[improving]
+            old_d = current[improving]
+            self._d[new_states] = new_hops.astype(np.int32)
+            positions, lengths = _gather_ranges(self._rptr, new_states)
+            touched = self._rcand[positions]
+            touched_hop = self._rhop[positions]
+            seg_old = np.repeat(old_d, lengths)
+            seg_new = np.repeat(new_hops, lengths)
+            delta = np.maximum(seg_old - touched_hop, 0) - np.maximum(
+                seg_new - touched_hop, 0
+            )
+            # Weighted bincount is float64 but the weights are small
+            # integers, so the sums are exact.
+            self.gains -= np.bincount(
+                touched, weights=delta, minlength=self.num_nodes
+            ).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    def distance_matrix(self) -> np.ndarray:
+        """Current ``D`` as an ``(R, n)`` array — identical to the entry
+        engine's :meth:`~repro.core.approx_fast.FastApproxEngine.distance_matrix`."""
+        if self.objective == "f1":
+            return (
+                self._d.reshape(self.num_replicates, self.num_nodes)
+                .astype(np.int32)
+                .copy()
+            )
+        return (
+            self._covered_bool.astype(np.int32)
+            .reshape(self.num_replicates, self.num_nodes)
+            .copy()
+        )
+
+    def covered_count(self) -> int:
+        """Number of covered states — ``popcount(covered)`` (f2 only)."""
+        if self.objective != "f2":
+            raise ParameterError("covered_count is defined for f2 only")
+        return popcount(self.covered)

@@ -324,3 +324,93 @@ class FlatWalkIndex:
         reps = state.astype(np.int64) // self.num_nodes
         walkers = state.astype(np.int64) % self.num_nodes
         return sorted(zip(reps.tolist(), walkers.tolist(), hop.tolist()))
+
+    # ------------------------------------------------------------------
+    # Packed exports — the substrate of the bit-packed coverage kernel
+    # (:mod:`repro.core.coverage_kernel`, DESIGN.md §8).
+    @property
+    def num_states(self) -> int:
+        """Number of ``(replicate, walker)`` states — cells of ``D``."""
+        return self.num_nodes * self.num_replicates
+
+    def packed_hit_rows(
+        self,
+        include_self: bool = True,
+        max_bytes: "int | None" = None,
+    ) -> np.ndarray:
+        """Per-candidate first-hit state sets as packed ``uint64`` rows.
+
+        Row ``v`` has bit ``s = replicate * n + walker`` set iff that
+        walk first-visits ``v`` (an index entry) or — with
+        ``include_self`` — iff ``walker == v`` (the hop-0 self hit that
+        Algorithm 5 realizes by zeroing the candidate's ``D`` column).
+        Shape ``(n, ceil(n R / 64))``; padding bits are zero, so
+        ``popcount`` over rows is exact.
+
+        ``max_bytes`` guards the dense allocation (``n^2 R / 8`` bytes
+        plus padding); exceeding it raises :class:`ParameterError` with
+        sizing guidance instead of attempting the allocation.
+        """
+        n = self.num_nodes
+        words = (self.num_states + 63) >> 6
+        needed = n * words * 8
+        if max_bytes is not None and needed > max_bytes:
+            raise ParameterError(
+                f"packed hit rows need {needed} bytes "
+                f"({n} rows x {words} words) which exceeds the "
+                f"max_bytes={max_bytes} cap; use the 'entries' gain "
+                "backend for graphs this large or raise the cap"
+            )
+        rows = np.zeros((n, words), dtype=np.uint64)
+        states = self.state.astype(np.int64)
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        if include_self:
+            self_states = np.arange(self.num_states, dtype=np.int64)
+            states = np.concatenate([states, self_states])
+            owners = np.concatenate(
+                [owners, np.tile(np.arange(n, dtype=np.int64),
+                                 self.num_replicates)]
+            )
+        if states.size:
+            # Scatter-OR via sort + reduceat (much faster than ufunc.at):
+            # group the (row, word) cells, OR each group's bits, write once.
+            flat = owners * words + (states >> 6)
+            order = np.argsort(flat, kind="stable")
+            sorted_cells = flat[order]
+            sorted_bits = np.left_shift(
+                np.uint64(1), (states[order] & 63).astype(np.uint64)
+            )
+            starts = np.flatnonzero(
+                np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
+            )
+            merged = np.bitwise_or.reduceat(sorted_bits, starts)
+            rows.reshape(-1)[sorted_cells[starts]] = merged
+        return rows
+
+    def dense_hop_matrix(
+        self, max_bytes: "int | None" = 1 << 28
+    ) -> np.ndarray:
+        """Dense per-candidate first-visit hops for the Problem-1 masked
+        min-reduction (:meth:`~repro.core.coverage_kernel.CoverageKernel.min_reduction_gains`).
+
+        ``H[v, s]`` is the first-visit hop of state ``s`` at candidate
+        ``v`` — ``0`` on ``v``'s own self states, the index entry hop
+        elsewhere, and the sentinel ``L`` where the walk never visits
+        ``v`` (``min(d, L) == d``, so the sentinel never relaxes ``D``).
+        ``int16``, shape ``(n, n R)`` — ``2 n^2 R`` bytes, guarded by
+        ``max_bytes`` (default 256 MiB).
+        """
+        n = self.num_nodes
+        needed = 2 * n * self.num_states
+        if max_bytes is not None and needed > max_bytes:
+            raise ParameterError(
+                f"dense hop matrix needs {needed} bytes which exceeds the "
+                f"max_bytes={max_bytes} cap; it is an oracle for small "
+                "instances — use the CSR entry arrays at scale"
+            )
+        matrix = np.full((n, self.num_states), self.length, dtype=np.int16)
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        matrix[owners, self.state.astype(np.int64)] = self.hop
+        self_cols = np.arange(self.num_states, dtype=np.int64)
+        matrix[self_cols % n, self_cols] = 0
+        return matrix

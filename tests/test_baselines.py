@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import ParameterError
-from repro.graphs.adjacency import Graph
 from repro.graphs.generators import (
     path_graph,
     star_graph,

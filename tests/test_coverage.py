@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ParameterError
-from repro.graphs.generators import complete_graph, star_graph, two_cluster_graph
+from repro.graphs.generators import complete_graph, star_graph
 from repro.metrics.evaluation import expected_hit_nodes
 from repro.core.coverage import (
     min_targets_for_coverage,
@@ -43,11 +43,46 @@ class TestFastCoverage:
         )
         assert len(high.selected) >= len(low.selected)
 
-    def test_max_size_cap(self, small_power_law):
+    def test_max_size_cap_with_reachable_target(self, small_power_law):
         result = min_targets_for_coverage(
-            small_power_law, 1.0, 1, num_replicates=10, seed=5, max_size=3
+            small_power_law, 0.3, 5, num_replicates=60, seed=5, max_size=30
         )
-        assert len(result.selected) == 3
+        assert len(result.selected) <= 30
+
+    def test_unreachable_target_raises(self, small_power_law):
+        # Regression: alpha * n beyond what max_size selections can cover
+        # used to return an under-covering set silently.
+        with pytest.raises(ParameterError, match="unreachable"):
+            min_targets_for_coverage(
+                small_power_law, 1.0, 1, num_replicates=10, seed=5, max_size=3
+            )
+
+    def test_mismatched_index_rejected(self, small_power_law):
+        # Regression: an index for a different graph used to drive the
+        # greedy into nonsense (wrong candidate universe) instead of
+        # failing loudly.
+        from repro.graphs.generators import power_law_graph
+        from repro.walks.index import FlatWalkIndex
+
+        other = power_law_graph(20, 60, seed=3)
+        index = FlatWalkIndex.build(other, 3, 5, seed=4)
+        with pytest.raises(ParameterError, match="different graph"):
+            min_targets_for_coverage(small_power_law, 0.5, 3, index=index)
+
+    def test_bitset_backend_matches_entries(self, small_power_law):
+        from repro.walks.index import FlatWalkIndex
+
+        index = FlatWalkIndex.build(small_power_law, 5, 40, seed=9)
+        entries = min_targets_for_coverage(
+            small_power_law, 0.6, 5, index=index
+        )
+        bitset = min_targets_for_coverage(
+            small_power_law, 0.6, 5, index=index, gain_backend="bitset"
+        )
+        assert entries.selected == bitset.selected
+        assert entries.gains == bitset.gains
+        assert (entries.params["achieved_estimate"]
+                == bitset.params["achieved_estimate"])
 
     def test_alpha_validated(self, small_power_law):
         with pytest.raises(ParameterError):
@@ -84,3 +119,9 @@ class TestExactCoverage:
     def test_alpha_validated(self, small_power_law):
         with pytest.raises(ParameterError):
             min_targets_for_coverage_exact(small_power_law, -0.1, 3)
+
+    def test_unreachable_target_raises(self, small_power_law):
+        with pytest.raises(ParameterError, match="unreachable"):
+            min_targets_for_coverage_exact(
+                small_power_law, 0.9, 2, max_size=1
+            )

@@ -1,0 +1,345 @@
+"""Tests for the bit-packed coverage kernel (``gain_backend="bitset"``).
+
+The binding contract (DESIGN.md §8): the bitset kernel is *bit-identical*
+to the entry-list gain path — same gain values, same selections, same
+``D`` state — on every driver that accepts ``gain_backend``, and its packed
+popcount coverage always agrees with the paper-faithful
+:class:`~repro.walks.index.InvertedIndex` oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.graphs.generators import paper_example_graph, power_law_graph
+from repro.walks.engine import batch_walks
+from repro.walks.estimators import estimate_objectives
+from repro.walks.index import FlatWalkIndex, InvertedIndex, walker_major_starts
+from repro.core.approx_fast import FastApproxEngine, approx_greedy_fast
+from repro.core.combined import approx_combined
+from repro.core.coverage import min_targets_for_coverage
+from repro.core.coverage_kernel import (
+    GAIN_BACKENDS,
+    CoverageKernel,
+    pack_states,
+    popcount,
+    validate_gain_backend,
+)
+from repro.core.sampling_greedy import sampling_greedy_f2
+from repro.core.stochastic import stochastic_approx_greedy
+from tests.conftest import EXAMPLE31_ROUND1_GAINS
+
+
+# ----------------------------------------------------------------------
+# Packing primitives
+# ----------------------------------------------------------------------
+class TestPacking:
+    def test_pack_states_roundtrip(self):
+        states = np.asarray([0, 1, 63, 64, 65, 199])
+        packed = pack_states(states, 200)
+        assert packed.size == 4  # ceil(200 / 64)
+        assert popcount(packed) == states.size
+        for s in range(200):
+            bit = (int(packed[s >> 6]) >> (s & 63)) & 1
+            assert bit == int(s in set(states.tolist()))
+
+    def test_pack_states_empty_and_bounds(self):
+        assert popcount(pack_states(np.asarray([], dtype=np.int64), 10)) == 0
+        with pytest.raises(ParameterError):
+            pack_states(np.asarray([10]), 10)
+
+    def test_validate_gain_backend(self):
+        assert validate_gain_backend(None) == "entries"
+        for name in GAIN_BACKENDS:
+            assert validate_gain_backend(name) == name
+        with pytest.raises(ParameterError):
+            validate_gain_backend("gpu")
+
+    def test_packed_rows_padding_bits_zero(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 3, seed=2)
+        rows = index.packed_hit_rows()
+        pad = 64 * rows.shape[1] - index.num_states
+        if pad:
+            tail = rows[:, -1] >> np.uint64(64 - pad)
+            assert not tail.any()
+
+    def test_packed_rows_memory_guard(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 3, seed=2)
+        with pytest.raises(ParameterError, match="max_bytes"):
+            index.packed_hit_rows(max_bytes=8)
+
+    def test_dense_hop_matrix_guard(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 3, seed=2)
+        with pytest.raises(ParameterError, match="max_bytes"):
+            index.dense_hop_matrix(max_bytes=8)
+
+
+# ----------------------------------------------------------------------
+# Example 3.1 — the paper's own walks
+# ----------------------------------------------------------------------
+class TestExample31:
+    def test_f1_gains_match_paper(self, example_walks):
+        flat = FlatWalkIndex.from_walks(example_walks, 8, 1)
+        kernel = CoverageKernel.from_index(flat, "f1")
+        assert kernel.gains_all().tolist() == EXAMPLE31_ROUND1_GAINS
+
+    @pytest.mark.parametrize("objective", ["f1", "f2"])
+    def test_gains_match_entry_backend(self, example_walks, objective):
+        flat = FlatWalkIndex.from_walks(example_walks, 8, 1)
+        entry = FastApproxEngine(flat, objective)
+        kernel = CoverageKernel.from_index(flat, objective)
+        assert np.array_equal(entry.gains_all(), kernel.gains_all())
+
+    def test_selects_v2_v7(self, example_walks):
+        graph = paper_example_graph()
+        flat = FlatWalkIndex.from_walks(example_walks, 8, 1)
+        result = approx_greedy_fast(
+            graph, 2, 2, index=flat, objective="f1", gain_backend="bitset"
+        )
+        assert result.selected == (1, 6)
+        assert result.params["gain_backend"] == "bitset"
+
+
+# ----------------------------------------------------------------------
+# Entry-for-entry parity across walk engines and drivers
+# ----------------------------------------------------------------------
+class TestBackendParity:
+    @pytest.mark.parametrize("walk_engine", ["numpy", "csr", "sharded"])
+    @pytest.mark.parametrize("objective", ["f1", "f2"])
+    def test_greedy_parity_across_walk_engines(self, walk_engine, objective):
+        graph = power_law_graph(50, 150, seed=11)
+        index = FlatWalkIndex.build(graph, 5, 6, seed=7, engine=walk_engine)
+        for lazy in (False, True):
+            entries = approx_greedy_fast(
+                graph, 8, 5, index=index, objective=objective, lazy=lazy
+            )
+            bitset = approx_greedy_fast(
+                graph, 8, 5, index=index, objective=objective, lazy=lazy,
+                gain_backend="bitset",
+            )
+            assert entries.selected == bitset.selected
+            assert entries.gains == bitset.gains
+
+    @pytest.mark.parametrize("objective", ["f1", "f2"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gain_sequences_during_selection(self, objective, seed):
+        graph = power_law_graph(40, 120, seed=seed)
+        index = FlatWalkIndex.build(graph, 4, 5, seed=seed)
+        entry = FastApproxEngine(index, objective)
+        kernel = FastApproxEngine(index, objective, gain_backend="bitset")
+        rng = np.random.default_rng(seed)
+        for node in rng.choice(40, size=6, replace=False):
+            assert np.array_equal(entry.gains_all(), kernel.gains_all())
+            assert entry.gain_of(int(node)) == kernel.gain_of(int(node))
+            entry.select(int(node))
+            kernel.select(int(node))
+            assert np.array_equal(
+                entry.distance_matrix(), kernel.distance_matrix()
+            )
+
+    def test_stochastic_parity(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 8, seed=5)
+        a = stochastic_approx_greedy(
+            small_power_law, 6, 4, seed=21, index=index
+        )
+        b = stochastic_approx_greedy(
+            small_power_law, 6, 4, seed=21, index=index, gain_backend="bitset"
+        )
+        assert a.selected == b.selected
+        assert a.gains == b.gains
+
+    def test_combined_parity(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 6, seed=6)
+        a = approx_combined(small_power_law, 5, 4, 0.25, 0.75, index=index)
+        b = approx_combined(
+            small_power_law, 5, 4, 0.25, 0.75, index=index,
+            gain_backend="bitset",
+        )
+        assert a.selected == b.selected
+        assert a.gains == b.gains
+
+    def test_sampling_estimator_parity(self, small_power_law):
+        scatter = estimate_objectives(
+            small_power_law, {3, 11}, 4, 30, seed=13
+        )
+        packed = estimate_objectives(
+            small_power_law, {3, 11}, 4, 30, seed=13, gain_backend="bitset"
+        )
+        assert scatter.f1 == packed.f1
+        assert scatter.f2 == packed.f2
+
+    def test_sampling_greedy_parity(self):
+        graph = power_law_graph(25, 75, seed=8)
+        a = sampling_greedy_f2(graph, 3, 3, num_replicates=12, seed=31)
+        b = sampling_greedy_f2(
+            graph, 3, 3, num_replicates=12, seed=31, gain_backend="bitset"
+        )
+        assert a.selected == b.selected
+        assert a.gains == b.gains
+
+    def test_min_targets_parity(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 5, 30, seed=14)
+        a = min_targets_for_coverage(small_power_law, 0.5, 5, index=index)
+        b = min_targets_for_coverage(
+            small_power_law, 0.5, 5, index=index, gain_backend="bitset"
+        )
+        assert a.selected == b.selected
+
+
+# ----------------------------------------------------------------------
+# Kernel invariants
+# ----------------------------------------------------------------------
+class TestKernelInvariants:
+    def test_popcount_gain_equals_maintained(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 5, 4, seed=9)
+        kernel = CoverageKernel.from_index(index, "f2")
+        rng = np.random.default_rng(0)
+        for node in rng.choice(index.num_nodes, size=8, replace=False):
+            kernel.select(int(node))
+            for probe in range(index.num_nodes):
+                assert kernel.popcount_gain(probe) == kernel.gain_of(probe)
+
+    @pytest.mark.parametrize("objective", ["f1", "f2"])
+    def test_refresh_matches_maintained(self, small_power_law, objective):
+        index = FlatWalkIndex.build(small_power_law, 5, 4, seed=10)
+        kernel = CoverageKernel.from_index(index, objective)
+        for node in (0, 7, 33, 59):
+            kernel.select(node)
+            assert np.array_equal(kernel.refresh_gains(), kernel.gains)
+
+    def test_min_reduction_oracle(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 5, 3, seed=12)
+        kernel = CoverageKernel.from_index(index, "f1")
+        hop_matrix = index.dense_hop_matrix()
+        assert np.array_equal(
+            kernel.min_reduction_gains(hop_matrix), kernel.gains
+        )
+        kernel.select(17)
+        kernel.select(2)
+        assert np.array_equal(
+            kernel.min_reduction_gains(hop_matrix), kernel.gains
+        )
+
+    def test_covered_count_telescopes(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 5, seed=15)
+        kernel = CoverageKernel.from_index(index, "f2")
+        total = 0
+        for node in (4, 18, 40):
+            total += kernel.gain_of(node)
+            kernel.select(node)
+            assert kernel.covered_count() == total
+
+    def test_objective_guards(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 2, seed=1)
+        with pytest.raises(ParameterError):
+            CoverageKernel.from_index(index, "f9")
+        f1 = CoverageKernel.from_index(index, "f1")
+        with pytest.raises(ParameterError):
+            f1.popcount_gain(0)
+        with pytest.raises(ParameterError):
+            f1.covered_count()
+        f2 = CoverageKernel.from_index(index, "f2")
+        with pytest.raises(ParameterError):
+            f2.min_reduction_gains(index.dense_hop_matrix())
+        with pytest.raises(ParameterError):
+            f2.gain_of(10**6)
+
+    def test_memory_guard_fires_on_rows_access_only(self, small_power_law):
+        # The cap guards the dense packed rows, which only popcount
+        # queries materialize — construction and the maintained-gain hot
+        # path must work even when the rows would not fit.
+        index = FlatWalkIndex.build(small_power_law, 4, 2, seed=1)
+        kernel = CoverageKernel(index, "f2", max_packed_bytes=8)
+        kernel.select(0)
+        assert kernel.gain_of(1) >= 0
+        with pytest.raises(ParameterError, match="max_bytes"):
+            kernel.popcount_gain(1)
+
+
+# ----------------------------------------------------------------------
+# Property: packed popcount coverage == InvertedIndex oracle
+# ----------------------------------------------------------------------
+NODE_COUNT = 6
+
+
+def _oracle_covered_pairs(inverted, targets):
+    """Count (replicate, walker) pairs dominated by ``targets`` per the
+    paper-faithful index: walker in targets, or any first visit of a
+    target node by that walker's replicate walk."""
+    covered = set()
+    for replicate in range(inverted.num_replicates):
+        for walker in range(inverted.num_nodes):
+            if walker in targets:
+                covered.add((replicate, walker))
+    for replicate in range(inverted.num_replicates):
+        for node in targets:
+            for entry in inverted.entries(replicate, node):
+                covered.add((replicate, entry.walker))
+    return len(covered)
+
+
+def _walk_matrix(num_replicates: int, length: int):
+    walk = st.lists(
+        st.integers(min_value=0, max_value=NODE_COUNT - 1),
+        min_size=length,
+        max_size=length,
+    )
+
+    def assemble(tails):
+        return [
+            [b // num_replicates] + tail for b, tail in enumerate(tails)
+        ]
+
+    return st.lists(
+        walk,
+        min_size=NODE_COUNT * num_replicates,
+        max_size=NODE_COUNT * num_replicates,
+    ).map(assemble)
+
+
+class TestPopcountOracleProperty:
+    @given(
+        walks=st.integers(min_value=1, max_value=3).flatmap(
+            lambda reps: st.tuples(
+                st.just(reps),
+                _walk_matrix(reps, 3),
+            )
+        ),
+        targets=st.sets(
+            st.integers(min_value=0, max_value=NODE_COUNT - 1), max_size=4
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_packed_coverage_matches_inverted_oracle(self, walks, targets):
+        reps, matrix = walks
+        inverted = InvertedIndex.from_walks(matrix, NODE_COUNT, reps)
+        flat = FlatWalkIndex.from_walks(matrix, NODE_COUNT, reps)
+        kernel = CoverageKernel.from_index(flat, "f2")
+        for node in sorted(targets):
+            kernel.select(node)
+        assert kernel.covered_count() == _oracle_covered_pairs(
+            inverted, targets
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared-walk agreement with the reference engine (three walk engines)
+# ----------------------------------------------------------------------
+class TestSharedWalks:
+    @pytest.mark.parametrize("objective", ["f1", "f2"])
+    def test_injected_walks_agree(self, objective):
+        graph = power_law_graph(30, 90, seed=4)
+        starts = walker_major_starts(graph.num_nodes, 3)
+        walks = batch_walks(graph, starts, 4, seed=44)
+        flat = FlatWalkIndex.from_walks(walks, graph.num_nodes, 3)
+        entries = approx_greedy_fast(
+            graph, 6, 4, index=flat, objective=objective, lazy=False
+        )
+        bitset = approx_greedy_fast(
+            graph, 6, 4, index=flat, objective=objective, lazy=False,
+            gain_backend="bitset",
+        )
+        assert entries.selected == bitset.selected
+        assert entries.gains == bitset.gains

@@ -1,6 +1,5 @@
 """Tests for structural graph statistics."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError

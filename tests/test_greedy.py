@@ -1,6 +1,5 @@
 """Tests for the generic greedy kernel (Algorithm 1 + CELF)."""
 
-import itertools
 
 import pytest
 

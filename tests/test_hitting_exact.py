@@ -6,7 +6,6 @@ Pr[hit] directly from Eq. (1)/(3), then require the DP to match to machine
 precision.
 """
 
-import itertools
 
 import numpy as np
 import pytest

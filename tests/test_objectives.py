@@ -5,7 +5,7 @@ import itertools
 import pytest
 
 from repro.errors import ParameterError
-from repro.graphs.generators import complete_graph, paper_example_graph, star_graph
+from repro.graphs.generators import paper_example_graph, star_graph
 from repro.core.objectives import F1Objective, F2Objective, SampledF1, SampledF2
 
 

@@ -18,7 +18,7 @@ from repro.graphs.builder import GraphBuilder
 from repro.graphs.adjacency import Graph
 from repro.hitting.exact import hit_probability_vector, hitting_time_vector
 from repro.walks.engine import batch_walks, first_hit_time, random_walk, walk_is_valid
-from repro.walks.index import FlatWalkIndex, InvertedIndex, walker_major_starts
+from repro.walks.index import FlatWalkIndex, InvertedIndex
 from repro.core.approx_fast import FastApproxEngine
 from repro.core.approx_greedy import (
     approx_gain,

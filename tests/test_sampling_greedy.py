@@ -1,6 +1,5 @@
 """Tests for the sampling-based greedy (Algorithm 1 + Algorithm 2 gains)."""
 
-import pytest
 
 from repro.graphs.generators import star_graph
 from repro.core.dp_greedy import dpf1, dpf2

@@ -1,6 +1,5 @@
 """Stochastic greedy and its interaction with objectives and engines."""
 
-import numpy as np
 import pytest
 
 import repro

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
-from repro.graphs.generators import path_graph, power_law_graph, ring_graph
+from repro.graphs.generators import path_graph
 from repro.walks.engine import (
     batch_first_hits,
     batch_walks,

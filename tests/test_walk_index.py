@@ -5,11 +5,10 @@ inverted index produced by the Example 3.1 walks, and we assert our builders
 reproduce it entry-for-entry.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.graphs.generators import power_law_graph, ring_graph
+from repro.graphs.generators import power_law_graph
 from repro.walks.engine import batch_walks
 from repro.walks.index import (
     FlatWalkIndex,

@@ -1,6 +1,5 @@
 """Tests for the directed, weighted graph container."""
 
-import numpy as np
 import pytest
 
 from repro.errors import GraphFormatError, ParameterError

@@ -1,10 +1,9 @@
 """Tests for the weighted/directed domination solvers."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.graphs.generators import power_law_graph, star_graph
+from repro.graphs.generators import power_law_graph
 from repro.graphs.weighted import WeightedDiGraph
 from repro.core.approx_fast import approx_greedy_fast
 from repro.core.dp_greedy import dpf1, dpf2

@@ -4,7 +4,8 @@
 Verifies that the documentation layer cannot silently drift from the code:
 
 1. README.md documents every `repro` CLI subcommand (as a `### <name>`
-   heading) and the `--engine` flag with every registered backend name.
+   heading), the `--engine` flag with every registered backend name, and
+   the `--gain-backend` flag with every gain backend name.
 2. Every `DESIGN.md §N[.M]` reference in the source tree points at a
    numbered section that actually exists in DESIGN.md.
 3. Every documentation file mentioned from package docstrings
@@ -40,6 +41,13 @@ def _engine_names() -> list[str]:
     from repro.walks.backends import available_engines
 
     return list(available_engines())
+
+
+def _gain_backend_names() -> list[str]:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core.coverage_kernel import GAIN_BACKENDS
+
+    return list(GAIN_BACKENDS)
 
 
 def _design_sections(design_text: str) -> set[str]:
@@ -85,6 +93,13 @@ def check_docs() -> list[str]:
     for engine in _engine_names():
         if engine not in readme:
             problems.append(f"README.md does not mention engine {engine!r}")
+    if "--gain-backend" not in readme:
+        problems.append("README.md does not document the --gain-backend flag")
+    for backend in _gain_backend_names():
+        if backend not in readme:
+            problems.append(
+                f"README.md does not mention gain backend {backend!r}"
+            )
 
     # 2. DESIGN.md section references from the source tree.
     sections = _design_sections(design)

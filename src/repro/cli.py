@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the library's everyday workflows::
+Eight subcommands cover the library's everyday workflows::
 
     repro select    # run a solver on a graph and print/serialize targets
     repro metrics   # evaluate AHT/EHN for a given target set
@@ -9,18 +9,21 @@ Seven subcommands cover the library's everyday workflows::
     repro simulate  # run an application simulation against a placement
     repro index     # materialize Algorithm 3's walk index to a .npz file
     repro analyze   # horizon (L) recommendation for a target set
+    repro dynamic   # edge-churn workloads: trace replay with incremental
+                    # index maintenance, robust selection, bondage attack
 
-The graph for ``select``/``metrics``/``simulate``/``index``/``analyze``
-comes from exactly one of ``--edge-list FILE``, ``--dataset NAME`` (Table 2
-replica), or ``--synthetic N,M`` (power-law).  Exit status is 0 on success,
-2 on usage errors (argparse convention), and 1 when the library rejects a
-parameter.
+The graph for ``select``/``metrics``/``simulate``/``index``/``analyze``/
+``dynamic`` comes from exactly one of ``--edge-list FILE``, ``--dataset
+NAME`` (Table 2 replica), or ``--synthetic N,M`` (power-law).  Exit status
+is 0 on success, 2 on usage errors (argparse convention), and 1 when the
+library rejects a parameter.
 
 Sampling-based subcommands (``select`` with a walk-based method,
-``metrics --sampled``, ``simulate``, ``index``) accept ``--engine`` to pick
-the walk backend (see :mod:`repro.walks.backends`): ``numpy`` (default),
-``csr`` (fastest single-threaded), or ``sharded`` (thread-pool shards).
-``select`` with the ``approx-fast`` or ``sampling`` method additionally
+``metrics --sampled``, ``simulate``, ``index``, ``dynamic``) accept
+``--engine`` to pick the walk backend (see :mod:`repro.walks.backends`):
+``numpy`` (default), ``csr`` (fastest single-threaded), or ``sharded``
+(thread-pool shards).  ``select`` with the ``approx-fast`` or ``sampling``
+method — and ``dynamic``, for its replay (re-)solves — additionally
 accepts ``--gain-backend`` (``entries`` or ``bitset``, see
 :mod:`repro.core.coverage_kernel`) to pick the marginal-gain machinery;
 both backends produce identical selections.
@@ -43,7 +46,7 @@ import sys
 from dataclasses import asdict
 from typing import Sequence
 
-from repro.errors import RwdomError
+from repro.errors import ParameterError, RwdomError
 from repro.graphs.adjacency import Graph
 from repro.core.coverage_kernel import DEFAULT_GAIN_BACKEND, GAIN_BACKENDS
 from repro.walks.backends import DEFAULT_ENGINE, available_engines
@@ -210,6 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--seed", type=int, default=None)
     _add_engine_flag(simulate)
+    simulate.add_argument(
+        "--churn-trace", metavar="FILE", default=None,
+        help="p2p only: churn trace (leave/rejoin/add/del/step lines, see "
+        "repro.dynamic.churn.parse_trace); peers leave and rejoin "
+        "mid-simulation, one query phase per 'step'",
+    )
 
     index = sub.add_parser(
         "index", help="materialize the walk index (Algorithm 3) to a file"
@@ -232,6 +241,61 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--tolerance", type=float, default=0.05,
         help="relative mean truncation gap to tolerate (default 0.05)",
+    )
+
+    dynamic = sub.add_parser(
+        "dynamic",
+        help="edge-churn workloads on the incremental walk index",
+    )
+    _add_graph_source(dynamic)
+    mode = dynamic.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--churn-trace", metavar="FILE",
+        help="replay an edit trace (add/del/leave/rejoin/step lines): "
+        "incremental index maintenance, coverage/AHT decay, re-solve "
+        "points",
+    )
+    mode.add_argument(
+        "--robust", type=int, metavar="Q",
+        help="select k targets whose coverage survives a greedy "
+        "Q-edge-deletion adversary (robust_greedy; Q=0 equals ApproxF2)",
+    )
+    mode.add_argument(
+        "--attack", type=float, metavar="FRAC",
+        help="bondage-style adversary: delete few edges until certified "
+        "coverage of the placement drops below FRAC",
+    )
+    dynamic.add_argument("-k", type=int, default=10, help="placement size")
+    dynamic.add_argument(
+        "-L", "--length", type=int, default=6, help="walk length"
+    )
+    dynamic.add_argument(
+        "-R", "--replicates", type=int, default=100,
+        help="walks per node for the maintained index",
+    )
+    dynamic.add_argument("--seed", type=int, default=None)
+    _add_engine_flag(dynamic)
+    dynamic.add_argument(
+        "--gain-backend", choices=GAIN_BACKENDS, default=DEFAULT_GAIN_BACKEND,
+        help="marginal-gain machinery for the replay's (re-)solves",
+    )
+    dynamic.add_argument(
+        "--resolve-threshold", type=float, default=0.9,
+        help="replay re-solves when coverage falls below this fraction of "
+        "the last solve's coverage (default 0.9)",
+    )
+    dynamic.add_argument(
+        "--targets", default=None,
+        help="--attack only: explicit placement to attack as "
+        "comma-separated ids (default: solve with -k first)",
+    )
+    dynamic.add_argument(
+        "--max-edges", type=int, default=None,
+        help="--attack only: deletion budget cap",
+    )
+    dynamic.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the report as JSON ('-' for stdout)",
     )
     return parser
 
@@ -291,7 +355,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
         from repro.core.approx_fast import approx_greedy_fast
         from repro.walks.persistence import load_index
 
-        index = load_index(args.index)
+        index = load_index(args.index, graph=graph)
         objective = "f1" if args.problem == "1" else "f2"
         result = approx_greedy_fast(
             graph, args.k, index.length, index=index, objective=objective,
@@ -397,7 +461,33 @@ def _placement(args: argparse.Namespace, graph: Graph) -> tuple[int, ...]:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
+    if args.churn_trace is not None and args.app != "p2p":
+        raise ParameterError("--churn-trace is only supported for --app p2p")
     hosts = _placement(args, graph)
+    if args.churn_trace is not None:
+        from repro.simulate import simulate_p2p_churn
+
+        with open(args.churn_trace) as handle:
+            trace_text = handle.read()
+        churn = simulate_p2p_churn(
+            graph, hosts, trace_text, num_queries=args.sessions,
+            ttl=args.length, walkers_per_query=args.walkers,
+            seed=args.seed, engine=args.engine,
+        )
+        print(
+            f"p2p churn: {len(churn.phases)} phases, "
+            f"{churn.num_hosts} hosts, ttl={churn.ttl}"
+        )
+        print("phase  present  hosts  success  mean_hops  msgs/query")
+        for row in churn.phases:
+            print(
+                f"{row.phase:>5}  {row.num_present:>7}  "
+                f"{row.num_active_hosts:>5}  {row.success_rate:>7.3f}  "
+                f"{row.mean_hops_to_hit:>9.3f}  "
+                f"{row.mean_messages_per_query:>10.3f}"
+            )
+        print(f"overall_success_rate: {churn.overall_success_rate:.4f}")
+        return 0
     if args.app == "social":
         report = simulate_social_browsing(
             graph, hosts, num_sessions=args.sessions, length=args.length,
@@ -428,7 +518,9 @@ def _cmd_index(args: argparse.Namespace) -> int:
         graph, args.length, args.replicates, seed=args.seed,
         engine=args.engine,
     )
-    save_index(index, args.out)
+    save_index(
+        index, args.out, graph=graph, engine=args.engine, seed=args.seed,
+    )
     print(
         f"indexed {graph.num_nodes} nodes x {args.replicates} walks "
         f"(L={args.length}, {index.total_entries} entries) -> {args.out}"
@@ -452,6 +544,104 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_json(payload: str, destination: str) -> None:
+    if destination == "-":
+        print(payload)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(payload + "\n")
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    graph = _load_graph(args)
+    if args.robust is not None:
+        from repro.dynamic import robust_greedy
+
+        result = robust_greedy(
+            graph, args.k, args.length, q=args.robust,
+            num_replicates=args.replicates, seed=args.seed,
+            engine=args.engine,
+        )
+        print(result.summary())
+        print("selected:", ",".join(str(v) for v in result.selected))
+        if args.json:
+            _write_json(result.to_json(), args.json)
+        return 0
+
+    if args.attack is not None:
+        from repro.dynamic import DynamicWalkIndex, min_breaking_edges
+
+        dyn = DynamicWalkIndex.build(
+            graph, args.length, args.replicates, seed=args.seed,
+            engine=args.engine,
+        )
+        if args.targets is not None:
+            targets = tuple(_parse_targets(args.targets))
+        else:
+            from repro.core.approx_fast import approx_greedy_fast
+
+            solved = approx_greedy_fast(
+                graph, args.k, args.length, index=dyn.flat, objective="f2",
+                gain_backend=args.gain_backend,
+            )
+            targets = solved.selected
+            print(f"placement ({solved.algorithm}):",
+                  ",".join(str(v) for v in targets))
+        report = min_breaking_edges(
+            graph, targets, args.length, threshold=args.attack,
+            max_edges=args.max_edges, index=dyn,
+        )
+        print(
+            f"baseline coverage {report.baseline_fraction:.4f}, "
+            f"threshold {report.threshold:.4f}"
+        )
+        for edge, fraction in zip(report.edges, report.coverage_fractions):
+            print(f"delete {edge[0]} {edge[1]} -> coverage {fraction:.4f}")
+        verdict = "broken" if report.succeeded else "NOT broken"
+        print(
+            f"placement {verdict} with {report.num_edges} edge deletions"
+        )
+        if args.json:
+            _write_json(
+                json.dumps(dataclasses.asdict(report), indent=2), args.json
+            )
+        return 0
+
+    from repro.dynamic import churn_replay
+
+    with open(args.churn_trace) as handle:
+        trace_text = handle.read()
+    report = churn_replay(
+        graph, trace_text, k=args.k, length=args.length,
+        num_replicates=args.replicates, seed=args.seed, engine=args.engine,
+        gain_backend=args.gain_backend,
+        resolve_threshold=args.resolve_threshold,
+    )
+    print(
+        f"churn replay: {len(report.steps)} batches, k={report.k}, "
+        f"L={report.length}, R={report.num_replicates}, "
+        f"baseline coverage {report.baseline_coverage_fraction:.4f}"
+    )
+    print("epoch  +ins  -del  resampled  coverage     aht  resolved")
+    for step in report.steps:
+        print(
+            f"{step.epoch:>5}  {step.num_inserts:>4}  {step.num_deletes:>4}  "
+            f"{step.resampled_fraction:>9.3f}  {step.coverage_fraction:>8.4f}  "
+            f"{step.aht:>6.3f}  {'yes' if step.resolved else 'no':>8}"
+        )
+    print(f"re-solves: {report.num_resolves}")
+    final = report.selections[-1][1]
+    print("final selection:", ",".join(str(v) for v in final))
+    if args.json:
+        _write_json(
+            json.dumps(dataclasses.asdict(report), indent=2), args.json
+        )
+    return 0
+
+
 _COMMANDS = {
     "select": _cmd_select,
     "metrics": _cmd_metrics,
@@ -460,6 +650,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "index": _cmd_index,
     "analyze": _cmd_analyze,
+    "dynamic": _cmd_dynamic,
 }
 
 

@@ -51,7 +51,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.walks.index import FlatWalkIndex
+from repro.walks.index import FlatWalkIndex, scatter_or_bits
 
 __all__ = [
     "GAIN_BACKENDS",
@@ -60,6 +60,7 @@ __all__ = [
     "pack_states",
     "popcount",
     "popcount_rows",
+    "patch_packed_rows",
     "CoverageKernel",
 ]
 
@@ -149,6 +150,51 @@ def _gather_ranges(
     segment_base = np.repeat(np.cumsum(lengths) - lengths, lengths)
     positions = starts + (np.arange(total, dtype=np.int64) - segment_base)
     return positions, lengths
+
+
+def patch_packed_rows(
+    rows: np.ndarray,
+    index: FlatWalkIndex,
+    nodes: np.ndarray,
+    include_self: bool = True,
+) -> np.ndarray:
+    """Recompute selected candidates' packed coverage rows **in place**.
+
+    The row-patch counterpart of
+    :meth:`~repro.walks.index.FlatWalkIndex.packed_hit_rows`: after an
+    incremental index update (:mod:`repro.dynamic`, DESIGN.md §9) only the
+    hit nodes whose entry lists changed need their bitset rows refreshed.
+    ``rows`` must be the full ``(n, ceil(nR/64))`` packed matrix; the rows
+    of ``nodes`` are zeroed and rebuilt from the *current* entry arrays of
+    ``index`` (plus the hop-0 self states when ``include_self``), leaving
+    every other row untouched.  Patching is bit-identical to a full
+    ``packed_hit_rows`` recompute — the dynamic test suite pins this.
+
+    Returns ``rows`` for convenience.
+    """
+    n = index.num_nodes
+    words = (index.num_states + 63) >> 6
+    if rows.shape != (n, words) or rows.dtype != np.uint64:
+        raise ParameterError(
+            f"rows must be the full uint64 packed matrix of shape "
+            f"({n}, {words}), got {rows.dtype} {rows.shape}"
+        )
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    if nodes.size == 0:
+        return rows
+    if nodes.min() < 0 or nodes.max() >= n:
+        raise ParameterError("patch nodes out of range")
+    rows[nodes] = 0
+    positions, lengths = _gather_ranges(index.indptr, nodes)
+    states = index.state[positions].astype(np.int64)
+    owners = np.repeat(nodes, lengths)
+    if include_self:
+        reps = np.arange(index.num_replicates, dtype=np.int64)
+        self_states = (reps[:, None] * n + nodes[None, :]).ravel()
+        states = np.concatenate([states, self_states])
+        owners = np.concatenate([owners, np.tile(nodes, index.num_replicates)])
+    scatter_or_bits(rows, owners, states)
+    return rows
 
 
 class CoverageKernel:

@@ -1,0 +1,59 @@
+"""Dynamic-graph subsystem: edge churn as a first-class workload.
+
+The reproduction's solvers are static end-to-end — graph built once,
+walk index materialized once, selection judged on that frozen snapshot —
+but the paper's three scenarios (item placement, P2P search, ad posting)
+all live on graphs that churn.  This package makes small edits cheap and
+robustness measurable (DESIGN.md §9):
+
+* :class:`~repro.dynamic.graph.DynamicGraph` — batched edge
+  insert/delete over immutable CSR snapshots, with a change journal.
+* :class:`~repro.dynamic.index.DynamicWalkIndex` — incremental walk-index
+  maintenance under frozen per-walk uniforms: resample only trajectories
+  that visited a modified node, bit-identical to a full rebuild.
+* :mod:`~repro.dynamic.robust` — ``robust_greedy`` selection under a
+  q-edge-deletion adversary and the bondage-style
+  ``min_breaking_edges`` attack.
+* :mod:`~repro.dynamic.churn` — edit-trace replay with coverage/AHT
+  decay tracking and re-solve points (the CLI ``repro dynamic``).
+"""
+
+from repro.dynamic.graph import DynamicGraph, EditBatch, edit_graph
+from repro.dynamic.index import (
+    DynamicUpdateStats,
+    DynamicWalkIndex,
+    engine_uniforms,
+    replay_walks,
+)
+from repro.dynamic.robust import (
+    BreakingReport,
+    min_breaking_edges,
+    robust_greedy,
+)
+from repro.dynamic.churn import (
+    ChurnReport,
+    ChurnStep,
+    TraceOp,
+    churn_replay,
+    expand_membership,
+    parse_trace,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "EditBatch",
+    "edit_graph",
+    "DynamicWalkIndex",
+    "DynamicUpdateStats",
+    "engine_uniforms",
+    "replay_walks",
+    "BreakingReport",
+    "min_breaking_edges",
+    "robust_greedy",
+    "ChurnReport",
+    "ChurnStep",
+    "TraceOp",
+    "churn_replay",
+    "expand_membership",
+    "parse_trace",
+]

@@ -1,0 +1,215 @@
+"""Mutable graph façade with a change journal (DESIGN.md §9.1).
+
+Every algorithm in this package runs on the immutable CSR
+:class:`~repro.graphs.adjacency.Graph`.  :class:`DynamicGraph` keeps that
+contract — each edit batch produces a *new* immutable snapshot — while
+recording the batches themselves in a journal, so downstream structures
+(most importantly the incremental walk index,
+:class:`repro.dynamic.index.DynamicWalkIndex`) can replay exactly the
+edits they have not yet absorbed instead of rebuilding from scratch.
+
+The unit of change is the :class:`EditBatch`: a validated, canonicalized
+set of edge insertions and deletions applied atomically.  Batches are
+strict — inserting an edge that already exists, deleting one that does
+not, self-loops, out-of-range endpoints, and insert/delete overlap all
+raise :class:`~repro.errors.ParameterError` — because a silent no-op edit
+would desynchronize any consumer that derives its dirty set from the
+journal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+
+__all__ = ["EditBatch", "DynamicGraph", "edit_graph"]
+
+
+def _canonical_edges(
+    edges: "Iterable[tuple[int, int]] | np.ndarray", num_nodes: int, label: str
+) -> tuple[tuple[int, int], ...]:
+    """Validate and canonicalize an edge list to sorted ``u < v`` tuples."""
+    pairs: list[tuple[int, int]] = []
+    for edge in edges:
+        try:
+            u, v = (int(edge[0]), int(edge[1]))
+        except (TypeError, ValueError, IndexError):
+            raise ParameterError(f"{label} must be (u, v) pairs, got {edge!r}")
+        if u == v:
+            raise ParameterError(f"{label}: self-loop on node {u}")
+        if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+            raise ParameterError(
+                f"{label}: edge ({u}, {v}) out of range [0, {num_nodes})"
+            )
+        pairs.append((min(u, v), max(u, v)))
+    if len(set(pairs)) != len(pairs):
+        raise ParameterError(f"{label} contains duplicate edges")
+    return tuple(sorted(pairs))
+
+
+@dataclass(frozen=True)
+class EditBatch:
+    """One atomic, validated set of edge edits.
+
+    ``inserts`` and ``deletes`` are canonical (``u < v``, sorted, no
+    duplicates, disjoint).  ``epoch`` is the journal position *after*
+    applying this batch: the graph at epoch ``e`` is the initial graph
+    with journal batches ``0..e-1`` applied.
+    """
+
+    inserts: tuple[tuple[int, int], ...]
+    deletes: tuple[tuple[int, int], ...]
+    epoch: int = field(default=0)
+
+    @property
+    def num_edits(self) -> int:
+        """Total number of edge operations in the batch."""
+        return len(self.inserts) + len(self.deletes)
+
+    def modified_nodes(self) -> np.ndarray:
+        """Sorted unique endpoints whose adjacency this batch changes.
+
+        This is the seed of the walk-index dirty set: a materialized walk
+        can only change if its trajectory visits one of these nodes with
+        hops still left to take.
+        """
+        flat = [u for edge in self.inserts + self.deletes for u in edge]
+        return np.unique(np.asarray(flat, dtype=np.int64))
+
+
+def edit_graph(
+    graph: Graph,
+    inserts: "Sequence[tuple[int, int]]" = (),
+    deletes: "Sequence[tuple[int, int]]" = (),
+) -> Graph:
+    """A new :class:`Graph` with ``deletes`` removed and ``inserts`` added.
+
+    Pure CSR surgery — ``O((m + b) log(m + b))`` for ``b`` edits — and the
+    result is canonical (rows sorted), so it is array-equal to building
+    the edited edge set from scratch with
+    :class:`~repro.graphs.builder.GraphBuilder`.  Inputs are trusted to be
+    canonical and applicable; :meth:`DynamicGraph.apply_batch` is the
+    validating entry point.
+    """
+    if not inserts and not deletes:
+        return graph
+    n = graph.num_nodes
+    src = np.repeat(np.arange(n, dtype=np.int64), graph.degrees)
+    dst = graph.indices.astype(np.int64)
+    if deletes:
+        dels = np.asarray(deletes, dtype=np.int64)
+        # Both orientations of each undirected edge are stored.
+        del_keys = np.concatenate(
+            (dels[:, 0] * n + dels[:, 1], dels[:, 1] * n + dels[:, 0])
+        )
+        keep = ~np.isin(src * n + dst, del_keys)
+        src, dst = src[keep], dst[keep]
+    if inserts:
+        ins = np.asarray(inserts, dtype=np.int64)
+        src = np.concatenate((src, ins[:, 0], ins[:, 1]))
+        dst = np.concatenate((dst, ins[:, 1], ins[:, 0]))
+    order = np.lexsort((dst, src))
+    counts = np.bincount(src, minlength=n) if src.size else np.zeros(n, np.int64)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return Graph(indptr, dst[order].astype(np.int32))
+
+
+class DynamicGraph:
+    """A sequence of immutable :class:`Graph` snapshots under edge churn.
+
+    The node set is fixed at construction (peers that "leave" simply lose
+    all their edges); only edges change.  ``graph`` is always the current
+    snapshot; ``journal`` is the full batch history, and ``epoch`` equals
+    ``len(journal)``.  Consumers that cache per-snapshot state record the
+    epoch they were computed at and catch up by replaying
+    ``journal[their_epoch:]`` — see
+    :meth:`repro.dynamic.index.DynamicWalkIndex.sync`.
+    """
+
+    def __init__(self, graph: Graph):
+        self._graph = graph
+        self._journal: list[EditBatch] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The current immutable snapshot."""
+        return self._graph
+
+    @property
+    def num_nodes(self) -> int:
+        return self._graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    @property
+    def journal(self) -> tuple[EditBatch, ...]:
+        """All batches applied so far, in order."""
+        return tuple(self._journal)
+
+    @property
+    def epoch(self) -> int:
+        """Number of batches applied (the current journal position)."""
+        return len(self._journal)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+    # ------------------------------------------------------------------
+    def apply_batch(
+        self,
+        inserts: "Sequence[tuple[int, int]]" = (),
+        deletes: "Sequence[tuple[int, int]]" = (),
+    ) -> EditBatch:
+        """Validate, apply, and journal one batch of edge edits.
+
+        Returns the canonical :class:`EditBatch`.  The batch semantics are
+        "delete then insert" against the *current* snapshot: every delete
+        must name an existing edge, every insert a missing one, and the
+        two lists must be disjoint (an edit trace that removes and re-adds
+        the same edge should carry it in two batches).
+        """
+        n = self.num_nodes
+        ins = _canonical_edges(inserts, n, "inserts")
+        dels = _canonical_edges(deletes, n, "deletes")
+        overlap = set(ins) & set(dels)
+        if overlap:
+            raise ParameterError(
+                f"edges {sorted(overlap)} appear in both inserts and deletes"
+            )
+        for u, v in dels:
+            if not self._graph.has_edge(u, v):
+                raise ParameterError(f"cannot delete missing edge ({u}, {v})")
+        for u, v in ins:
+            if self._graph.has_edge(u, v):
+                raise ParameterError(f"cannot insert existing edge ({u}, {v})")
+        batch = EditBatch(inserts=ins, deletes=dels, epoch=self.epoch + 1)
+        self._graph = edit_graph(self._graph, ins, dels)
+        self._journal.append(batch)
+        return batch
+
+    def remove_node_edges(self, node: int) -> EditBatch:
+        """Journal a batch deleting every current edge of ``node``.
+
+        The churn model for a peer leaving a P2P overlay: the node stays
+        in the id space (so indexes keep their shape) but becomes
+        isolated.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ParameterError(f"node {node} out of range")
+        deletes = [(node, int(v)) for v in self._graph.neighbors(node)]
+        return self.apply_batch(deletes=deletes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicGraph(n={self.num_nodes}, m={self.num_edges}, "
+            f"epoch={self.epoch})"
+        )

@@ -1,0 +1,712 @@
+"""Incrementally maintained walk index (DESIGN.md §9.2).
+
+The static :meth:`~repro.walks.index.FlatWalkIndex.build` threads one RNG
+stream through all ``n * R`` walks, so a single edge edit perturbs every
+walk sampled after it — nothing short of a full rebuild reproduces the
+same index.  :class:`DynamicWalkIndex` removes that coupling with *frozen
+uniforms*: at build time it records the exact per-``(walk, hop)`` uniform
+draws the selected walk engine consumes, making every trajectory a pure
+deterministic function of ``(uniforms[row], graph)``.
+
+That functional form yields the two properties this module is built on:
+
+* **Locality.**  A walk can only change if it *visits a modified node with
+  hops still left to take* — everywhere else the frozen uniforms map onto
+  unchanged neighbor lists and reproduce the old trajectory step for step.
+  The dirty set of an edit batch is therefore derivable from the cached
+  trajectories alone.
+* **Bit-identity.**  Re-walking exactly the dirty rows against the edited
+  graph produces the same walk matrix — and, after patching the CSR-by-hit
+  entry arrays, the same index — as a from-scratch
+  :meth:`DynamicWalkIndex.build` on the edited graph with the same seed
+  material.  ``tests/test_dynamic.py`` pins this with a hypothesis
+  property over all three walk engines, and
+  ``benchmarks/bench_dynamic_updates.py`` gates it (plus a >= 5x
+  end-to-end speedup) in CI.
+
+Entries are kept in a *canonical* order — grouped by hit node, sorted by
+state within each group — rather than the insertion order of the static
+builder.  Canonical order is stable under edits (remove + merge instead of
+re-sort), and since every gain in Algorithms 4-6 is a sum over a hit
+node's entry slice, the two orders are interchangeable everywhere an index
+is consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.graphs.adjacency import Graph
+from repro.walks.backends import ShardedWalkEngine, WalkEngine, get_engine
+from repro.walks.engine import batch_first_hits
+from repro.walks.index import FlatWalkIndex, walker_major_starts
+from repro.dynamic.graph import DynamicGraph, EditBatch, edit_graph
+
+__all__ = [
+    "DynamicWalkIndex",
+    "DynamicUpdateStats",
+    "replay_walks",
+    "engine_uniforms",
+]
+
+
+def _check_build_params(num_nodes: int, length: int, num_replicates: int) -> None:
+    if num_nodes < 0:
+        raise ParameterError("num_nodes must be >= 0")
+    if length < 0:
+        raise ParameterError("walk length L must be >= 0")
+    if num_replicates < 1:
+        raise ParameterError("number of replicates R must be >= 1")
+
+
+def _resolve_entropy(seed: "int | None") -> int:
+    """Seed material for the frozen uniform stream.
+
+    The dynamic index must be able to *regenerate* its uniforms (e.g.
+    after a journal-aware snapshot reload), so only replayable seeds are
+    accepted: an ``int``, or ``None`` for one fresh entropy draw that is
+    then recorded.  A caller-managed ``Generator`` has hidden state and is
+    rejected.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().generate_state(1, np.uint64)[0])
+    if isinstance(seed, (int, np.integer)):
+        if seed < 0:
+            raise ParameterError("integer seeds must be non-negative")
+        return int(seed)
+    raise ParameterError(
+        "DynamicWalkIndex needs a replayable seed (int or None); a "
+        "Generator instance cannot be re-derived for incremental updates"
+    )
+
+
+def engine_uniforms(
+    entropy: int,
+    batch: int,
+    length: int,
+    num_shards: int = 0,
+) -> np.ndarray:
+    """The uniform draws a walk engine consumes for one full batch call.
+
+    Returns a walk-major ``(B, L)`` array: ``out[b, t - 1]`` is the
+    uniform that decides walk ``b``'s hop ``t`` — walk-major so the
+    incremental path can slice a dirty-row subset with contiguous reads.
+    The ``"numpy"`` and ``"csr"`` backends both burn exactly one
+    ``rng.random(batch)`` per hop from a single PCG64 stream (that shared
+    discipline is their documented bit-parity), which is precisely
+    ``default_rng(entropy).random((L, B))`` read row by row.  The
+    ``"sharded"`` backend splits the batch into ``num_shards`` contiguous
+    chunks with one spawned child stream each (pass ``num_shards > 0``);
+    its draws are the per-chunk blocks concatenated back in shard order.
+    """
+    if num_shards > 0:
+        rng = np.random.default_rng(entropy)
+        shards = max(1, min(num_shards, batch))
+        children = rng.spawn(shards)
+        base, rem = divmod(batch, shards)
+        sizes = [base + 1] * rem + [base] * (shards - rem)
+        parts = [
+            child.random((length, size))
+            for child, size in zip(children, sizes)
+        ]
+        return np.ascontiguousarray(np.concatenate(parts, axis=1).T)
+    return np.ascontiguousarray(
+        np.random.default_rng(entropy).random((length, batch)).T
+    )
+
+
+def replay_walks(
+    graph: Graph, starts: np.ndarray, uniforms: np.ndarray
+) -> np.ndarray:
+    """Deterministic walk kernel: trajectories from frozen uniforms.
+
+    Mirrors :func:`repro.walks.engine.batch_walks` exactly — same
+    ``floor(u * deg)`` neighbor choice, same stay-put dangling convention,
+    one uniform consumed per walk per hop — but reads the uniforms from
+    ``uniforms[:, t - 1]`` (walk-major, see :func:`engine_uniforms`)
+    instead of an RNG, so any subset of rows can be recomputed
+    independently of the rest of the batch.  Returns the ``(B, L + 1)``
+    walk matrix.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    batch = starts.size
+    if uniforms.ndim != 2 or uniforms.shape[0] != batch:
+        raise ParameterError("uniforms must have shape (len(starts), L)")
+    length = uniforms.shape[1]
+    if batch and (starts.min() < 0 or starts.max() >= graph.num_nodes):
+        raise ParameterError("start nodes out of range")
+    walks = np.empty((batch, length + 1), dtype=np.int32)
+    walks[:, 0] = starts
+    if length == 0 or batch == 0:
+        return walks
+    indptr = graph.indptr
+    indices = graph.indices
+    degrees = graph.degrees
+    current = starts.copy()
+    for t in range(1, length + 1):
+        deg = degrees[current]
+        movable = deg > 0
+        offsets = (uniforms[:, t - 1] * deg).astype(np.int64)
+        nxt = current.copy()
+        rows = current[movable]
+        nxt[movable] = indices[indptr[rows] + offsets[movable]]
+        walks[:, t] = nxt
+        current = nxt
+    return walks
+
+
+def _first_visit_records(
+    walks: np.ndarray, states: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """First-visit ``(hit, state, hop)`` records of a block of walks.
+
+    Same column-sweep extraction as the static builder: a position is a
+    record iff its node differs from every earlier position of the walk.
+    ``states`` carries the per-row flattened ``D`` index.
+    """
+    batch = walks.shape[0]
+    length = walks.shape[1] - 1
+    hit_parts: list[np.ndarray] = []
+    state_parts: list[np.ndarray] = []
+    hop_parts: list[np.ndarray] = []
+    for hop in range(1, length + 1):
+        col = walks[:, hop].astype(np.int64)
+        fresh = np.ones(batch, dtype=bool)
+        for prev in range(hop):
+            np.logical_and(fresh, col != walks[:, prev], out=fresh)
+        if not fresh.any():
+            continue
+        hit_parts.append(col[fresh])
+        state_parts.append(states[fresh])
+        hop_parts.append(np.full(int(fresh.sum()), hop, dtype=np.int64))
+    if not hit_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(hit_parts),
+        np.concatenate(state_parts),
+        np.concatenate(hop_parts),
+    )
+
+
+@dataclass(frozen=True)
+class DynamicUpdateStats:
+    """What one :meth:`DynamicWalkIndex.sync` (or batch) actually did."""
+
+    batches: int
+    edits: int
+    resampled_rows: int
+    total_rows: int
+    entries_removed: int
+    entries_added: int
+
+    @property
+    def resampled_fraction(self) -> float:
+        """Share of materialized walks that had to be regenerated."""
+        return self.resampled_rows / self.total_rows if self.total_rows else 0.0
+
+
+class DynamicWalkIndex:
+    """A :class:`~repro.walks.index.FlatWalkIndex` that survives edge churn.
+
+    Attributes
+    ----------
+    graph:
+        The snapshot the index currently describes.
+    flat:
+        The maintained index in canonical ``(hit, state)`` order — feed it
+        anywhere a :class:`FlatWalkIndex` is accepted (``approx_greedy_fast
+        (index=...)``, :class:`~repro.core.coverage_kernel.CoverageKernel`,
+        ...).
+    walks:
+        The materialized ``(n * R, L + 1)`` trajectories in walker-major
+        row order (row ``b`` is replicate ``b % R`` of walker ``b // R``).
+    epoch:
+        Journal position: how many edit batches have been folded in.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        flat: FlatWalkIndex,
+        walks: np.ndarray,
+        seed_entropy: int,
+        engine_name: str,
+        num_shards: int = 0,
+        epoch: int = 0,
+        uniforms: "np.ndarray | None" = None,
+        keys: "np.ndarray | None" = None,
+    ):
+        self.graph = graph
+        self.flat = flat
+        self.walks = walks
+        self.seed_entropy = int(seed_entropy)
+        self.engine_name = engine_name
+        self.num_shards = int(num_shards)
+        self.epoch = int(epoch)
+        self._uniforms = uniforms
+        # Canonical sort keys `hit * num_states + state`, maintained in
+        # lock-step with the entry arrays so a patch can locate removals
+        # by binary search instead of recomputing or re-sorting.
+        self._keys = keys
+        self._rows: "np.ndarray | None" = None
+        # Reusable splice buffers (internal arrays only — never aliased
+        # into the exposed FlatWalkIndex), so steady-state syncs do not
+        # re-fault fresh pages every batch.  `_spare_keys` ping-pongs
+        # with the live keys backing.
+        self._scratch: dict = {}
+        self._spare_keys: "np.ndarray | None" = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        length: int,
+        num_replicates: int,
+        seed: "int | None" = None,
+        engine: "str | WalkEngine | None" = None,
+    ) -> "DynamicWalkIndex":
+        """Materialize walks and index under frozen per-walk uniforms.
+
+        The trajectories are bit-identical to what
+        ``engine.batch_walks(graph, starts, L, seed=default_rng(seed))``
+        produces for the full walker-major batch — the frozen-uniform
+        replay consumes the same stream the engine would — so switching an
+        existing workload to the dynamic builder changes nothing but the
+        entry order inside each hit-node group.
+        """
+        _check_build_params(graph.num_nodes, length, num_replicates)
+        walk_engine = get_engine(engine)
+        num_shards = (
+            walk_engine.num_shards
+            if isinstance(walk_engine, ShardedWalkEngine)
+            else 0
+        )
+        entropy = _resolve_entropy(seed)
+        n = graph.num_nodes
+        starts = walker_major_starts(n, num_replicates)
+        uniforms = engine_uniforms(entropy, starts.size, length, num_shards)
+        walks = replay_walks(graph, starts, uniforms)
+        states = _states_of_rows(np.arange(starts.size), n, num_replicates)
+        hits, state_vals, hops = _first_visit_records(walks, states)
+        flat, keys = _canonical_flat(
+            hits, state_vals, hops, n, length, num_replicates
+        )
+        return cls(
+            graph=graph,
+            flat=flat,
+            walks=walks,
+            seed_entropy=entropy,
+            engine_name=walk_engine.name,
+            num_shards=num_shards,
+            uniforms=uniforms,
+            keys=keys,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.flat.num_nodes
+
+    @property
+    def length(self) -> int:
+        return self.flat.length
+
+    @property
+    def num_replicates(self) -> int:
+        return self.flat.num_replicates
+
+    @property
+    def num_states(self) -> int:
+        return self.flat.num_states
+
+    @property
+    def total_entries(self) -> int:
+        return self.flat.total_entries
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Maintained canonical sort keys ``hit * num_states + state``.
+
+        Rebuilt once from the entry arrays after a snapshot reload; kept
+        in lock-step with them by every patch.
+        """
+        if self._keys is None:
+            owners = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64),
+                np.diff(self.flat.indptr),
+            )
+            self._keys = owners * self.num_states + self.flat.state
+        return self._keys
+
+    def _buffer(self, name: str, size: int, dtype) -> np.ndarray:
+        """A pooled scratch array of at least ``size`` (grown 1.25x)."""
+        cached = self._scratch.get(name)
+        if cached is None or cached.size < size or cached.dtype != dtype:
+            cached = np.empty(max(size, int(size * 1.25)), dtype=dtype)
+            self._scratch[name] = cached
+        return cached[:size]
+
+    @property
+    def uniforms(self) -> np.ndarray:
+        """The frozen ``(n R, L)`` uniform stream (regenerated on demand).
+
+        Journal-aware snapshots persist only the seed material, not the
+        14-bytes-per-hop stream itself; the first incremental update after
+        a reload regenerates it from ``(entropy, engine, num_shards)``.
+        """
+        if self._uniforms is None:
+            self._uniforms = engine_uniforms(
+                self.seed_entropy,
+                self.walks.shape[0],
+                self.length,
+                self.num_shards,
+            )
+        return self._uniforms
+
+    # ------------------------------------------------------------------
+    def sync(self, dynamic_graph: DynamicGraph) -> DynamicUpdateStats:
+        """Fold in every journal batch this index has not yet absorbed.
+
+        The index may lag the journal by any number of batches; each is
+        replayed in order against the matching intermediate snapshot, so
+        after ``sync`` the index is exactly what :meth:`build` would
+        produce on ``dynamic_graph.graph``.
+        """
+        if dynamic_graph.num_nodes != self.num_nodes:
+            raise ParameterError(
+                "dynamic graph and index disagree on the node count"
+            )
+        journal = dynamic_graph.journal
+        if self.epoch > len(journal):
+            raise ParameterError(
+                f"index is at epoch {self.epoch} but the journal only has "
+                f"{len(journal)} batches — wrong DynamicGraph?"
+            )
+        totals = [0, 0, 0, 0, 0]
+        last_epoch = len(journal)
+        for batch in journal[self.epoch :]:
+            # The final snapshot is already materialized on the journal
+            # owner; intermediate snapshots are re-derived per batch.
+            known = dynamic_graph.graph if batch.epoch == last_epoch else None
+            stats = self.apply_batch(batch, graph=known)
+            totals[0] += stats.batches
+            totals[1] += stats.edits
+            totals[2] += stats.resampled_rows
+            totals[3] += stats.entries_removed
+            totals[4] += stats.entries_added
+        return DynamicUpdateStats(
+            batches=totals[0],
+            edits=totals[1],
+            resampled_rows=totals[2],
+            total_rows=self.walks.shape[0],
+            entries_removed=totals[3],
+            entries_added=totals[4],
+        )
+
+    def apply_batch(
+        self, batch: EditBatch, graph: "Graph | None" = None
+    ) -> DynamicUpdateStats:
+        """Apply one canonical :class:`EditBatch` (delete + insert edges).
+
+        Derives the dirty set from the cached trajectories, re-walks only
+        those rows under their frozen uniforms, and patches the entry
+        arrays (and the packed bitset rows, when materialized) in place.
+        ``graph`` may supply the already-edited snapshot (trusted to equal
+        ``edit_graph(self.graph, batch...)``) to skip re-deriving it.
+        """
+        new_graph = (
+            graph
+            if graph is not None
+            else edit_graph(self.graph, batch.inserts, batch.deletes)
+        )
+        rows = self._dirty_rows(batch.modified_nodes())
+        removed = added = 0
+        if rows.size:
+            replicates = self.num_replicates
+            new_walks = replay_walks(
+                new_graph, rows // replicates, self.uniforms[rows]
+            )
+            if rows.size * 4 > self.walks.shape[0]:
+                # Past ~25% dirty, the sorted-merge splice moves more
+                # memory than simply re-extracting and re-sorting all
+                # records from the (mostly cached) walk matrix.
+                dirty_states = _states_of_rows(
+                    rows, self.num_nodes, replicates
+                )
+                removed = _first_visit_records(
+                    self.walks[rows], dirty_states
+                )[0].size
+                before = self.flat.total_entries
+                self.walks[rows] = new_walks
+                self._rebuild_entries_from_walks()
+                added = self.flat.total_entries - before + removed
+            else:
+                removed, added = self._patch_entries(rows, new_walks)
+                self.walks[rows] = new_walks
+        self.graph = new_graph
+        self.epoch += 1
+        return DynamicUpdateStats(
+            batches=1,
+            edits=batch.num_edits,
+            resampled_rows=int(rows.size),
+            total_rows=self.walks.shape[0],
+            entries_removed=removed,
+            entries_added=added,
+        )
+
+    # ------------------------------------------------------------------
+    def _rebuild_entries_from_walks(self) -> None:
+        """Re-derive the entry arrays from the (updated) walk matrix.
+
+        The large-batch path: same canonical result as the merge splice,
+        reached by the same extraction + sort the from-scratch build uses
+        — minus the walk generation, which is the part incremental
+        maintenance always avoids.  Caches that patching would have
+        updated in place are invalidated instead.
+        """
+        states = _states_of_rows(
+            np.arange(self.walks.shape[0]), self.num_nodes,
+            self.num_replicates,
+        )
+        hits, state_vals, hops = _first_visit_records(self.walks, states)
+        self.flat, self._keys = _canonical_flat(
+            hits, state_vals, hops, self.num_nodes, self.length,
+            self.num_replicates,
+        )
+        self._spare_keys = None
+        self._rows = None
+
+    def _dirty_rows(self, touched: np.ndarray) -> np.ndarray:
+        """Walk rows whose trajectory must be resampled for an edit.
+
+        A walk changes only if it stands on a modified node with at least
+        one hop left (positions ``0 .. L-1``).  The index itself answers
+        that without scanning the walk matrix: a walk visits node ``v``
+        iff ``v`` is its walker (position 0) or the walk first-visits
+        ``v`` (an entry — later revisits imply an earlier first visit).
+        Only a first visit *at hop L exactly* is a visit with no hops
+        left, so the dirty set is the touched nodes' entry states with
+        ``hop < L`` plus all rows of the touched walkers — ``O(entries of
+        touched nodes)`` instead of ``O(n R L)``.
+        """
+        n = self.num_nodes
+        replicates = self.num_replicates
+        length = self.length
+        if length == 0 or touched.size == 0 or self.walks.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        parts = []
+        for v in touched:
+            states, hops = self.flat.entries_for(int(v))
+            states = states[hops < length].astype(np.int64)
+            parts.append((states % n) * replicates + states // n)
+        walker_rows = (
+            touched[:, None] * replicates
+            + np.arange(replicates, dtype=np.int64)[None, :]
+        ).ravel()
+        parts.append(walker_rows)
+        return np.unique(np.concatenate(parts))
+
+    # ------------------------------------------------------------------
+    def _patch_entries(
+        self, rows: np.ndarray, new_walks: np.ndarray
+    ) -> tuple[int, int]:
+        """Splice the resampled rows' records into the canonical arrays.
+
+        Drops every entry owned by a dirty state, extracts the fresh
+        records, and merges them back with one ``searchsorted`` over the
+        maintained canonical keys — ``O(E + C log E)`` for ``C`` changed
+        records, never a full re-sort.  The removed records' hit counts
+        come from the dirty rows' *old* trajectories (their first visits
+        are exactly the entries being dropped), so no full-length pass
+        beyond the keep/merge splice itself is needed.
+        """
+        n = self.num_nodes
+        replicates = self.num_replicates
+        num_states = self.num_states
+        flat = self.flat
+        keys = self.keys
+        dirty_states = _states_of_rows(rows, n, replicates)
+
+        # The entries to drop are exactly the first visits of the dirty
+        # rows' *old* trajectories, so their positions come from binary
+        # search over the maintained keys — no full-length gather.
+        old_hits, old_states, _ = _first_visit_records(
+            self.walks[rows], dirty_states
+        )
+        old_keys = np.sort(old_hits * num_states + old_states)
+        removed_pos = np.searchsorted(keys, old_keys)
+        if old_keys.size and (
+            removed_pos[-1] >= keys.size
+            or not np.array_equal(keys[removed_pos], old_keys)
+        ):
+            raise ParameterError(
+                "walk index is inconsistent with its cached trajectories "
+                "(was the walks matrix mutated externally?)"
+            )
+        keep = self._buffer("keep", keys.size, bool)
+        keep[:] = True
+        keep[removed_pos] = False
+        kept_keys = keys[keep]
+        kept_state = flat.state[keep]
+        kept_hop = flat.hop[keep]
+
+        hits, states, hops = _first_visit_records(new_walks, dirty_states)
+        new_keys = hits * num_states + states
+        order = np.argsort(new_keys)
+        new_keys = new_keys[order]
+
+        positions = np.searchsorted(kept_keys, new_keys)
+        total = kept_keys.size + new_keys.size
+        new_slots = positions + np.arange(new_keys.size, dtype=np.int64)
+        kept_mask = self._buffer("kept_mask", total, bool)
+        kept_mask[:] = True
+        kept_mask[new_slots] = False
+        # The merged keys land in the spare backing; the current keys'
+        # backing becomes next batch's spare (ping-pong, zero copies).
+        # The exposed entry arrays are allocated fresh — consumers may
+        # hold references to the previous ones; only scratch is pooled.
+        spare = self._spare_keys
+        if spare is None or spare.size < total:
+            spare = np.empty(max(total, int(total * 1.25)), dtype=np.int64)
+        merged_keys = spare[:total]
+        merged_keys[kept_mask] = kept_keys
+        merged_keys[new_slots] = new_keys
+        merged_state = np.empty(total, dtype=flat.state.dtype)
+        merged_state[kept_mask] = kept_state
+        merged_state[new_slots] = states[order].astype(flat.state.dtype)
+        merged_hop = np.empty(total, dtype=np.int16)
+        merged_hop[kept_mask] = kept_hop
+        merged_hop[new_slots] = hops[order].astype(np.int16)
+        counts = (
+            np.diff(flat.indptr)
+            - np.bincount(old_hits, minlength=n)
+            + np.bincount(hits, minlength=n)
+        )
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self.flat = FlatWalkIndex(
+            indptr=indptr,
+            state=merged_state,
+            hop=merged_hop,
+            num_nodes=n,
+            length=self.length,
+            num_replicates=replicates,
+        )
+        retiring = self._keys
+        self._spare_keys = (
+            retiring.base if retiring.base is not None else retiring
+        )
+        self._keys = merged_keys
+        if self._rows is not None:
+            from repro.core.coverage_kernel import patch_packed_rows
+
+            changed = np.union1d(old_hits, hits)
+            patch_packed_rows(self._rows, self.flat, changed)
+        return int(old_hits.size), int(hits.size)
+
+    # ------------------------------------------------------------------
+    def packed_hit_rows(self, max_bytes: "int | None" = None) -> np.ndarray:
+        """Packed per-candidate coverage rows, patched across edits.
+
+        First call materializes them via
+        :meth:`FlatWalkIndex.packed_hit_rows`; later edit batches patch
+        only the rows of hit nodes whose entry lists changed
+        (:func:`repro.core.coverage_kernel.patch_packed_rows`).  The
+        returned array is the live cache — treat it as read-only.
+        """
+        if self._rows is None:
+            self._rows = self.flat.packed_hit_rows(
+                include_self=True, max_bytes=max_bytes
+            )
+        return self._rows
+
+    def selection_metrics(self, targets) -> dict:
+        """Sampled coverage and AHT of a target set on the current index.
+
+        ``coverage`` counts states whose walk hits the targets within
+        ``L`` hops (hop 0 included — the F2 estimator's convention), and
+        ``aht`` is the mean truncated first-hit hop (misses count ``L``,
+        the F1 estimator's convention).
+        """
+        mask = np.zeros(self.num_nodes, dtype=bool)
+        targets = np.asarray(list(targets), dtype=np.int64)
+        if targets.size and (
+            targets.min() < 0 or targets.max() >= self.num_nodes
+        ):
+            raise ParameterError("targets out of range")
+        mask[targets] = True
+        total = self.walks.shape[0]
+        first = batch_first_hits(self.walks, mask)
+        covered = int((first >= 0).sum())
+        truncated = np.where(first >= 0, first, self.length)
+        return {
+            "coverage": covered,
+            "coverage_fraction": covered / total if total else 0.0,
+            "aht": float(truncated.mean()) if total else float("nan"),
+            "num_states": total,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicWalkIndex(n={self.num_nodes}, R={self.num_replicates}, "
+            f"L={self.length}, entries={self.total_entries}, "
+            f"epoch={self.epoch}, engine={self.engine_name!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+def _states_of_rows(
+    rows: np.ndarray, num_nodes: int, num_replicates: int
+) -> np.ndarray:
+    """Flattened ``D`` state ids of walker-major walk rows.
+
+    Row ``b`` is replicate ``b % R`` of walker ``b // R``; its state is
+    ``(b % R) * n + b // R``.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    return (rows % num_replicates) * num_nodes + rows // num_replicates
+
+
+def _canonical_flat(
+    hits: np.ndarray,
+    states: np.ndarray,
+    hops: np.ndarray,
+    num_nodes: int,
+    length: int,
+    num_replicates: int,
+) -> tuple[FlatWalkIndex, np.ndarray]:
+    """Assemble records into canonical ``(hit, state)`` order.
+
+    States are unique within a hit node (first-visit dedup), so the key
+    ``hit * num_states + state`` is a strict total order and the layout is
+    independent of record generation order — the property that lets
+    incremental patches merge instead of re-sorting.  Returns the index
+    and its sorted key array (maintained by the patches).
+    """
+    num_states = num_nodes * num_replicates
+    keys = hits * num_states + states
+    order = np.argsort(keys)
+    counts = (
+        np.bincount(hits, minlength=num_nodes)
+        if hits.size
+        else np.zeros(num_nodes, dtype=np.int64)
+    )
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    state_dtype = (
+        np.int32 if num_states < np.iinfo(np.int32).max else np.int64
+    )
+    flat = FlatWalkIndex(
+        indptr=indptr,
+        state=states[order].astype(state_dtype),
+        hop=hops[order].astype(np.int16),
+        num_nodes=num_nodes,
+        length=length,
+        num_replicates=num_replicates,
+    )
+    return flat, keys[order]

@@ -19,7 +19,13 @@ any node set as the placement, and return small frozen report dataclasses.
 """
 
 from repro.simulate.ads import AdCampaignReport, simulate_ad_campaign
-from repro.simulate.p2p import P2PSearchReport, simulate_p2p_search
+from repro.simulate.p2p import (
+    P2PChurnPhase,
+    P2PChurnReport,
+    P2PSearchReport,
+    simulate_p2p_churn,
+    simulate_p2p_search,
+)
 from repro.simulate.social import (
     SocialBrowsingReport,
     simulate_social_browsing,
@@ -28,7 +34,10 @@ from repro.simulate.social import (
 __all__ = [
     "AdCampaignReport",
     "simulate_ad_campaign",
+    "P2PChurnPhase",
+    "P2PChurnReport",
     "P2PSearchReport",
+    "simulate_p2p_churn",
     "simulate_p2p_search",
     "SocialBrowsingReport",
     "simulate_social_browsing",

@@ -34,7 +34,36 @@ from repro.simulate._walks import run_first_hits
 from repro.walks.backends import WalkEngine
 from repro.walks.rng import resolve_rng
 
-__all__ = ["P2PSearchReport", "simulate_p2p_search"]
+__all__ = [
+    "P2PSearchReport",
+    "simulate_p2p_search",
+    "P2PChurnPhase",
+    "P2PChurnReport",
+    "simulate_p2p_churn",
+]
+
+
+def _query_stats(
+    first: np.ndarray, num_queries: int, walkers_per_query: int, ttl: int
+) -> tuple[int, float, int]:
+    """``(num_successes, mean_hops_to_hit, total_messages)`` of a batch.
+
+    The per-query accounting shared by the static search and the churn
+    simulation (one call per phase there), so the two reports can never
+    drift onto different success/latency/message conventions: a query
+    succeeds when any of its walkers hits within the TTL, its latency is
+    the minimum walker first-hit hop, and each walker sends one message
+    per hop until its own hit or the TTL (hop 0 costs nothing).
+    """
+    per_query = first.reshape(num_queries, walkers_per_query)
+    hit_hops = np.where(per_query >= 0, per_query, ttl + 1)
+    best = hit_hops.min(axis=1)
+    success = best <= ttl
+    num_successes = int(success.sum())
+    walker_cost = np.where(first >= 0, first, ttl)
+    total_messages = int(walker_cost.sum())
+    mean_hops = float(best[success].mean()) if num_successes else float("nan")
+    return num_successes, mean_hops, total_messages
 
 
 @dataclass(frozen=True)
@@ -126,16 +155,9 @@ def simulate_p2p_search(
     queries = origins.size
     starts = np.repeat(origins, walkers_per_query)
     first = run_first_hits(graph, starts, ttl, mask, rng, engine=engine)  # -1 on miss
-    per_query = first.reshape(queries, walkers_per_query)
-    hit_hops = np.where(per_query >= 0, per_query, ttl + 1)
-    best = hit_hops.min(axis=1)
-    success = best <= ttl
-    num_successes = int(success.sum())
-    # Each walker sends one message per hop until min(its own hit, TTL);
-    # hop 0 (origin already hosts) costs nothing.
-    walker_cost = np.where(first >= 0, first, ttl)
-    total_messages = int(walker_cost.sum())
-    mean_hops = float(best[success].mean()) if num_successes else float("nan")
+    num_successes, mean_hops, total_messages = _query_stats(
+        first, queries, walkers_per_query, ttl
+    )
     return P2PSearchReport(
         num_queries=int(queries),
         num_successes=num_successes,
@@ -146,4 +168,131 @@ def simulate_p2p_search(
         ttl=ttl,
         walkers_per_query=walkers_per_query,
         num_hosts=int(mask.sum()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Churn: peers leave and rejoin mid-simulation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class P2PChurnPhase:
+    """Per-phase outcome of a churn simulation (one row per ``step``).
+
+    A departed peer is isolated (all its overlay links are gone), cannot
+    originate queries, and — if it hosted the resource — cannot serve it.
+    """
+
+    phase: int
+    num_present: int
+    num_active_hosts: int
+    num_queries: int
+    success_rate: float
+    mean_hops_to_hit: float
+    mean_messages_per_query: float
+
+
+@dataclass(frozen=True)
+class P2PChurnReport:
+    """Outcome of :func:`simulate_p2p_churn` across all phases."""
+
+    phases: tuple[P2PChurnPhase, ...]
+    overall_success_rate: float
+    ttl: int
+    walkers_per_query: int
+    num_hosts: int
+
+
+def simulate_p2p_churn(
+    graph: Graph,
+    hosts: Collection[int],
+    events,
+    num_queries: int = 1_000,
+    ttl: int = 6,
+    walkers_per_query: int = 1,
+    seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
+) -> P2PChurnReport:
+    """TTL-bounded search while peers leave and rejoin the overlay.
+
+    ``events`` is a sequence of *phases*; each phase is a batch of
+    membership/edge changes applied through a
+    :class:`~repro.dynamic.graph.DynamicGraph` before ``num_queries``
+    queries run on the resulting snapshot.  Accepted forms: parsed trace
+    batches (lists of :class:`~repro.dynamic.churn.TraceOp`) or raw trace
+    text in the ``leave``/``rejoin``/``add``/``del``/``step`` format of
+    :func:`~repro.dynamic.churn.parse_trace`.
+
+    Membership semantics: a leaving peer loses all current overlay links
+    but keeps its id (indexes keep their shape); a rejoining peer
+    re-links to its *original* neighbors that are currently present.
+    Query origins are sampled among present peers only, and a departed
+    host does not serve the resource.
+    """
+    from repro.dynamic.churn import TraceOp, expand_membership, parse_trace
+    from repro.dynamic.graph import DynamicGraph
+
+    if isinstance(graph, WeightedDiGraph):
+        raise ParameterError(
+            "churn simulation runs on the undirected overlay Graph"
+        )
+    if ttl < 0:
+        raise ParameterError("ttl must be >= 0")
+    if walkers_per_query < 1:
+        raise ParameterError("walkers_per_query must be >= 1")
+    if num_queries < 1:
+        raise ParameterError("num_queries must be >= 1")
+    if isinstance(events, str):
+        events = parse_trace(events)
+    host_mask = target_mask(graph.num_nodes, hosts)
+    rng = resolve_rng(seed)
+    dgraph = DynamicGraph(graph)
+    present = np.ones(graph.num_nodes, dtype=bool)
+    phases: list[P2PChurnPhase] = []
+    total_queries = 0
+    total_successes = 0
+    for phase_no, ops in enumerate(events):
+        ops = list(ops)
+        if not all(isinstance(op, TraceOp) for op in ops):
+            raise ParameterError(
+                "events must be batches of TraceOp (or raw trace text)"
+            )
+        inserts, deletes = expand_membership(ops, dgraph, graph, present)
+        if inserts or deletes:
+            dgraph.apply_batch(inserts, deletes)
+        snapshot = dgraph.graph
+        present_ids = np.flatnonzero(present)
+        if present_ids.size == 0:
+            raise ParameterError(
+                f"phase {phase_no}: every peer has left the overlay"
+            )
+        active_mask = host_mask & present
+        origins = rng.choice(present_ids, size=num_queries, replace=True)
+        starts = np.repeat(origins, walkers_per_query)
+        first = run_first_hits(
+            snapshot, starts, ttl, active_mask, rng, engine=engine
+        )
+        num_successes, mean_hops, total_messages = _query_stats(
+            first, num_queries, walkers_per_query, ttl
+        )
+        phases.append(
+            P2PChurnPhase(
+                phase=phase_no,
+                num_present=int(present_ids.size),
+                num_active_hosts=int(active_mask.sum()),
+                num_queries=num_queries,
+                success_rate=num_successes / num_queries,
+                mean_hops_to_hit=mean_hops,
+                mean_messages_per_query=total_messages / num_queries,
+            )
+        )
+        total_queries += num_queries
+        total_successes += num_successes
+    return P2PChurnReport(
+        phases=tuple(phases),
+        overall_success_rate=(
+            total_successes / total_queries if total_queries else float("nan")
+        ),
+        ttl=ttl,
+        walkers_per_query=walkers_per_query,
+        num_hosts=int(host_mask.sum()),
     )

@@ -35,7 +35,43 @@ from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.engine import random_walk
 from repro.walks.rng import resolve_rng
 
-__all__ = ["IndexEntry", "InvertedIndex", "FlatWalkIndex", "walker_major_starts"]
+__all__ = [
+    "IndexEntry",
+    "InvertedIndex",
+    "FlatWalkIndex",
+    "walker_major_starts",
+    "scatter_or_bits",
+]
+
+
+def scatter_or_bits(
+    rows: np.ndarray, owners: np.ndarray, states: np.ndarray
+) -> None:
+    """OR state bits into packed ``uint64`` rows, in place.
+
+    Sets bit ``states[j] & 63`` of word ``states[j] >> 6`` in row
+    ``owners[j]`` for every ``j`` — the one packed-bit layout shared by
+    :meth:`FlatWalkIndex.packed_hit_rows` and the incremental row patch
+    (:func:`repro.core.coverage_kernel.patch_packed_rows`), kept in one
+    place so the two can never drift apart.  Implemented as a sort +
+    ``reduceat`` scatter-OR (much faster than ``ufunc.at``): group the
+    ``(row, word)`` cells, OR each group's bits, write each cell once.
+    """
+    if states.size == 0:
+        return
+    words = rows.shape[1]
+    cells = owners * words + (states >> 6)
+    order = np.argsort(cells, kind="stable")
+    sorted_cells = cells[order]
+    sorted_bits = np.left_shift(
+        np.uint64(1), (states[order] & 63).astype(np.uint64)
+    )
+    group_starts = np.flatnonzero(
+        np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
+    )
+    merged = np.bitwise_or.reduceat(sorted_bits, group_starts)
+    target = sorted_cells[group_starts]
+    rows[target // words, target % words] |= merged
 
 
 @dataclass(frozen=True)
@@ -325,6 +361,38 @@ class FlatWalkIndex:
         walkers = state.astype(np.int64) % self.num_nodes
         return sorted(zip(reps.tolist(), walkers.tolist(), hop.tolist()))
 
+    def same_entries(self, other: "FlatWalkIndex") -> bool:
+        """Whether two indexes hold the same records, order-insensitively.
+
+        Entry order *within* a hit node's slice is a builder detail — the
+        static builder keeps insertion order, the dynamic builder
+        (:mod:`repro.dynamic.index`) keeps canonical state order — and no
+        consumer depends on it (every gain is a sum over a slice).  This
+        compares the grouped record *sets*, which is the equality that
+        actually matters across builders.
+        """
+        if (
+            self.num_nodes != other.num_nodes
+            or self.length != other.length
+            or self.num_replicates != other.num_replicates
+            or not np.array_equal(self.indptr, other.indptr)
+        ):
+            return False
+        span = self.num_states  # hops fit far below this, keys cannot collide
+        owners = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+
+        def keys(index: "FlatWalkIndex") -> np.ndarray:
+            raw = (
+                owners * (span * (self.length + 1))
+                + index.state.astype(np.int64) * (self.length + 1)
+                + index.hop.astype(np.int64)
+            )
+            return np.sort(raw)
+
+        return np.array_equal(keys(self), keys(other))
+
     # ------------------------------------------------------------------
     # Packed exports — the substrate of the bit-packed coverage kernel
     # (:mod:`repro.core.coverage_kernel`, DESIGN.md §8).
@@ -371,20 +439,7 @@ class FlatWalkIndex:
                 [owners, np.tile(np.arange(n, dtype=np.int64),
                                  self.num_replicates)]
             )
-        if states.size:
-            # Scatter-OR via sort + reduceat (much faster than ufunc.at):
-            # group the (row, word) cells, OR each group's bits, write once.
-            flat = owners * words + (states >> 6)
-            order = np.argsort(flat, kind="stable")
-            sorted_cells = flat[order]
-            sorted_bits = np.left_shift(
-                np.uint64(1), (states[order] & 63).astype(np.uint64)
-            )
-            starts = np.flatnonzero(
-                np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
-            )
-            merged = np.bitwise_or.reduceat(sorted_bits, starts)
-            rows.reshape(-1)[sorted_cells[starts]] = merged
+        scatter_or_bits(rows, owners, states)
         return rows
 
     def dense_hop_matrix(

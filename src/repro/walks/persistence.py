@@ -7,47 +7,163 @@ re-ranking after a business-rule change, the paper's own Figs. 6-7 protocol
 of reading one greedy run at several budgets — pay that cost once.
 
 The format is a single ``.npz`` (numpy archive): the three flat arrays plus
-a small integer header.  Version-stamped so later layout changes can keep
-reading old files.
+a small integer header.  Version 2 adds provenance metadata (walk-engine
+name, seed material, gain-backend) and a fingerprint of the graph the index
+was built on, so :func:`load_index` can refuse a *stale* index — one whose
+graph has since been edited — instead of silently producing selections for
+a topology that no longer exists.  Version-stamped; version-1 archives
+(no metadata) still load.
+
+:func:`save_dynamic_index` / :func:`load_dynamic_index` persist the richer
+:class:`~repro.dynamic.index.DynamicWalkIndex` as a *journal-aware
+snapshot*: the graph CSR, the trajectories, the entry arrays, the seed
+material, and the journal epoch.  A reloaded snapshot resumes incremental
+maintenance exactly where it left off — ``sync`` against the owning
+:class:`~repro.dynamic.graph.DynamicGraph` replays only the journal suffix
+after the stored epoch (the frozen uniform stream is regenerated from the
+seed material on first use, so snapshots stay small).
 """
 
 from __future__ import annotations
 
 import zipfile
+import zlib
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import GraphFormatError, ParameterError
+from repro.graphs.adjacency import Graph
 from repro.walks.index import FlatWalkIndex
 
-__all__ = ["save_index", "load_index"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.dynamic.index import DynamicWalkIndex
 
-_FORMAT_VERSION = 1
+__all__ = [
+    "save_index",
+    "load_index",
+    "index_provenance",
+    "graph_fingerprint",
+    "save_dynamic_index",
+    "load_dynamic_index",
+]
+
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
+_DYNAMIC_FORMAT_VERSION = 1
 
 
-def save_index(index: FlatWalkIndex, path: "str | Path") -> None:
-    """Write a :class:`FlatWalkIndex` to ``path`` as an ``.npz`` archive."""
+def graph_fingerprint(graph: Graph) -> int:
+    """CRC of the exact CSR arrays — changes on any edge edit.
+
+    Cheap (one pass over the adjacency) and order-sensitive by
+    construction: two graphs fingerprint equal iff their canonical CSR
+    arrays are byte-identical, which for this package's builders means
+    the graphs are equal.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(graph.indptr).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(graph.indices).tobytes(), crc)
+    return crc
+
+
+def _check_graph_match(
+    path: Path,
+    graph: Graph,
+    num_nodes: int,
+    meta: "dict | None",
+) -> None:
+    """Raise :class:`ParameterError` when an index is stale for ``graph``."""
+    if graph.num_nodes != num_nodes:
+        raise ParameterError(
+            f"{path}: index was built for {num_nodes} nodes but the graph "
+            f"has {graph.num_nodes}"
+        )
+    if meta is None:
+        return
+    if meta["graph_num_edges"] != graph.num_edges:
+        raise ParameterError(
+            f"{path}: stale index — built on a graph with "
+            f"{meta['graph_num_edges']} edges, this graph has "
+            f"{graph.num_edges}; rebuild the index (or use "
+            "repro.dynamic to maintain it incrementally)"
+        )
+    if meta["graph_fingerprint"] != graph_fingerprint(graph):
+        raise ParameterError(
+            f"{path}: stale index — the graph's adjacency no longer "
+            "matches the one the index was built on; rebuild the index "
+            "(or use repro.dynamic to maintain it incrementally)"
+        )
+
+
+def save_index(
+    index: FlatWalkIndex,
+    path: "str | Path",
+    graph: "Graph | None" = None,
+    engine: "str | None" = None,
+    seed: "int | str | None" = None,
+    gain_backend: "str | None" = None,
+) -> None:
+    """Write a :class:`FlatWalkIndex` to ``path`` as an ``.npz`` archive.
+
+    The optional keyword metadata is provenance for the version-2 header:
+    ``engine`` (walk backend that generated the walks), ``seed`` (seed
+    material, stored as text so arbitrary-precision entropy survives),
+    ``gain_backend`` (gain machinery the index was validated with), and
+    ``graph`` — when given, the graph's shape and CSR fingerprint are
+    stored and enforced at load time.
+    """
     path = Path(path)
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        header=np.asarray(
+    payload: dict = {
+        "version": np.int64(_FORMAT_VERSION),
+        "header": np.asarray(
             [index.num_nodes, index.length, index.num_replicates],
             dtype=np.int64,
         ),
-        indptr=index.indptr,
-        state=index.state,
-        hop=index.hop,
-    )
+        "indptr": index.indptr,
+        "state": index.state,
+        "hop": index.hop,
+        "meta_engine": np.str_(engine or ""),
+        "meta_seed": np.str_("" if seed is None else str(seed)),
+        "meta_gain_backend": np.str_(gain_backend or ""),
+    }
+    if graph is not None:
+        if graph.num_nodes != index.num_nodes:
+            raise ParameterError(
+                "provenance graph does not match the index node count"
+            )
+        payload["graph_meta"] = np.asarray(
+            [graph.num_nodes, graph.num_edges, graph_fingerprint(graph)],
+            dtype=np.int64,
+        )
+    np.savez_compressed(path, **payload)
 
 
-def load_index(path: "str | Path") -> FlatWalkIndex:
+def _read_graph_meta(archive) -> "dict | None":
+    if "graph_meta" not in archive.files:
+        return None
+    raw = archive["graph_meta"]
+    return {
+        "graph_num_nodes": int(raw[0]),
+        "graph_num_edges": int(raw[1]),
+        "graph_fingerprint": int(raw[2]),
+    }
+
+
+def load_index(
+    path: "str | Path", graph: "Graph | None" = None
+) -> FlatWalkIndex:
     """Read a :class:`FlatWalkIndex` written by :func:`save_index`.
 
     Validates the version stamp and the structural invariants (indptr
     monotone and consistent with the entry arrays) so a truncated or
     foreign file fails loudly instead of corrupting a selection run.
+
+    Pass the ``graph`` the index is about to be used with to also enforce
+    freshness: a node-count mismatch always raises
+    :class:`ParameterError`, and for version-2 archives carrying graph
+    provenance, an edge-count or adjacency-fingerprint mismatch (a stale
+    index for an edited graph) raises too.
     """
     path = Path(path)
     try:
@@ -60,7 +176,7 @@ def load_index(path: "str | Path") -> FlatWalkIndex:
                     f"{path}: not a walk-index archive (missing {sorted(missing)})"
                 )
             version = int(archive["version"])
-            if version != _FORMAT_VERSION:
+            if version not in _READABLE_VERSIONS:
                 raise GraphFormatError(
                     f"{path}: unsupported index format version {version}"
                 )
@@ -69,8 +185,11 @@ def load_index(path: "str | Path") -> FlatWalkIndex:
             indptr = archive["indptr"]
             state = archive["state"]
             hop = archive["hop"]
+            graph_meta = _read_graph_meta(archive)
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise GraphFormatError(f"{path}: unreadable index archive") from exc
+    if graph is not None:
+        _check_graph_match(path, graph, num_nodes, graph_meta)
     try:
         return FlatWalkIndex(
             indptr=indptr,
@@ -82,3 +201,151 @@ def load_index(path: "str | Path") -> FlatWalkIndex:
         )
     except ParameterError as exc:
         raise GraphFormatError(f"{path}: inconsistent index arrays") from exc
+
+
+def index_provenance(path: "str | Path") -> dict:
+    """Provenance metadata of a saved index (empty strings when absent).
+
+    Returns ``engine``, ``seed`` (text), ``gain_backend``, and — when the
+    archive carries graph provenance — ``graph_num_nodes`` /
+    ``graph_num_edges`` / ``graph_fingerprint``.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as archive:
+            if "version" not in archive.files:
+                raise GraphFormatError(f"{path}: not a walk-index archive")
+            info = {
+                "version": int(archive["version"]),
+                "engine": str(archive["meta_engine"])
+                if "meta_engine" in archive.files
+                else "",
+                "seed": str(archive["meta_seed"])
+                if "meta_seed" in archive.files
+                else "",
+                "gain_backend": str(archive["meta_gain_backend"])
+                if "meta_gain_backend" in archive.files
+                else "",
+            }
+            meta = _read_graph_meta(archive)
+            if meta is not None:
+                info.update(meta)
+            return info
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise GraphFormatError(f"{path}: unreadable index archive") from exc
+
+
+# ----------------------------------------------------------------------
+# Journal-aware dynamic snapshots
+# ----------------------------------------------------------------------
+def save_dynamic_index(index: "DynamicWalkIndex", path: "str | Path") -> None:
+    """Persist a :class:`~repro.dynamic.index.DynamicWalkIndex` snapshot.
+
+    Stores everything incremental maintenance needs to resume: the graph
+    CSR at the index's epoch, the trajectories, the canonical entry
+    arrays, the seed material / engine provenance, and the epoch itself.
+    The frozen uniform stream is *not* stored — it regenerates
+    deterministically from the seed material.
+    """
+    path = Path(path)
+    graph = index.graph
+    np.savez_compressed(
+        path,
+        dynamic_version=np.int64(_DYNAMIC_FORMAT_VERSION),
+        header=np.asarray(
+            [
+                index.num_nodes,
+                index.length,
+                index.num_replicates,
+                index.epoch,
+                index.num_shards,
+            ],
+            dtype=np.int64,
+        ),
+        indptr=index.flat.indptr,
+        state=index.flat.state,
+        hop=index.flat.hop,
+        walks=index.walks,
+        graph_indptr=graph.indptr,
+        graph_indices=graph.indices,
+        meta_engine=np.str_(index.engine_name),
+        meta_seed=np.str_(str(index.seed_entropy)),
+    )
+
+
+def load_dynamic_index(
+    path: "str | Path", graph: "Graph | None" = None
+) -> "DynamicWalkIndex":
+    """Reload a snapshot written by :func:`save_dynamic_index`.
+
+    The snapshot carries its own graph (the snapshot-epoch topology);
+    pass ``graph`` to additionally assert it matches — a mismatch raises
+    :class:`ParameterError`, the stale-index guard for callers that load
+    a snapshot against what they believe is the same graph.
+    """
+    from repro.dynamic.index import DynamicWalkIndex
+
+    path = Path(path)
+    required = {
+        "dynamic_version", "header", "indptr", "state", "hop",
+        "walks", "graph_indptr", "graph_indices", "meta_engine", "meta_seed",
+    }
+    try:
+        with np.load(path) as archive:
+            missing = required - set(archive.files)
+            if missing:
+                raise GraphFormatError(
+                    f"{path}: not a dynamic-index snapshot "
+                    f"(missing {sorted(missing)})"
+                )
+            version = int(archive["dynamic_version"])
+            if version != _DYNAMIC_FORMAT_VERSION:
+                raise GraphFormatError(
+                    f"{path}: unsupported dynamic snapshot version {version}"
+                )
+            header = archive["header"]
+            num_nodes, length, num_replicates, epoch, num_shards = (
+                int(v) for v in header
+            )
+            indptr = archive["indptr"]
+            state = archive["state"]
+            hop = archive["hop"]
+            walks = archive["walks"]
+            snapshot_graph = Graph(
+                archive["graph_indptr"], archive["graph_indices"]
+            )
+            engine_name = str(archive["meta_engine"])
+            entropy = int(str(archive["meta_seed"]))
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise GraphFormatError(f"{path}: unreadable dynamic snapshot") from exc
+    if graph is not None and (
+        graph.num_nodes != snapshot_graph.num_nodes
+        or graph_fingerprint(graph) != graph_fingerprint(snapshot_graph)
+    ):
+        raise ParameterError(
+            f"{path}: snapshot graph does not match the supplied graph "
+            "(the snapshot was taken at a different epoch or on a "
+            "different graph)"
+        )
+    try:
+        flat = FlatWalkIndex(
+            indptr=indptr,
+            state=state,
+            hop=hop,
+            num_nodes=num_nodes,
+            length=length,
+            num_replicates=num_replicates,
+        )
+        if walks.shape != (num_nodes * num_replicates, length + 1):
+            raise ParameterError("walk matrix shape mismatch")
+    except ParameterError as exc:
+        raise GraphFormatError(f"{path}: inconsistent snapshot arrays") from exc
+    return DynamicWalkIndex(
+        graph=snapshot_graph,
+        flat=flat,
+        walks=np.ascontiguousarray(walks),
+        seed_entropy=entropy,
+        engine_name=engine_name,
+        num_shards=num_shards,
+        epoch=epoch,
+    )

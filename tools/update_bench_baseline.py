@@ -33,6 +33,7 @@ BASELINE = REPO_ROOT / "benchmarks" / "baselines.json"
 BENCH_FILES = [
     "benchmarks/bench_micro_kernels.py",
     "benchmarks/bench_coverage_kernel.py",
+    "benchmarks/bench_dynamic_updates.py",
 ]
 
 

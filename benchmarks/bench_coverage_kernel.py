@@ -27,6 +27,8 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks.conftest import best_of
+
 from repro.graphs.generators import power_law_graph
 from repro.walks.index import FlatWalkIndex
 from repro.core.approx_fast import FastApproxEngine, approx_greedy_fast
@@ -50,23 +52,14 @@ def index(graph):
     return FlatWalkIndex.build(graph, LENGTH, REPLICATES, seed=1)
 
 
-def _best_of(repeats, fn):
-    best_elapsed, result = float("inf"), None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        result = fn()
-        best_elapsed = min(best_elapsed, time.perf_counter() - started)
-    return best_elapsed, result
-
-
 def test_algorithm6_full_sweep_head_to_head(
     graph, index, bench_record, timing_gate
 ):
     """The standing claim: bitset >= 2x on full-sweep Algorithm 6, R=100."""
-    entries_s, entries = _best_of(2, lambda: approx_greedy_fast(
+    entries_s, entries = best_of(2, lambda: approx_greedy_fast(
         graph, BUDGET, LENGTH, index=index, objective="f2", lazy=False,
     ))
-    bitset_s, bitset = _best_of(2, lambda: approx_greedy_fast(
+    bitset_s, bitset = best_of(2, lambda: approx_greedy_fast(
         graph, BUDGET, LENGTH, index=index, objective="f2", lazy=False,
         gain_backend="bitset",
     ))
@@ -101,10 +94,10 @@ def test_algorithm6_celf_head_to_head(graph, index, bench_record):
     queries, so the kernel's construction cost dominates at this scale;
     the numbers are recorded to keep that trade-off visible.
     """
-    entries_s, entries = _best_of(2, lambda: approx_greedy_fast(
+    entries_s, entries = best_of(2, lambda: approx_greedy_fast(
         graph, BUDGET, LENGTH, index=index, objective="f2", lazy=True,
     ))
-    bitset_s, bitset = _best_of(2, lambda: approx_greedy_fast(
+    bitset_s, bitset = best_of(2, lambda: approx_greedy_fast(
         graph, BUDGET, LENGTH, index=index, objective="f2", lazy=True,
         gain_backend="bitset",
     ))
@@ -123,7 +116,7 @@ def test_algorithm6_celf_head_to_head(graph, index, bench_record):
 
 def test_construction_and_run_split(graph, index, bench_record):
     """Where the end-to-end number comes from: build once, run fast."""
-    build_s, _ = _best_of(2, lambda: CoverageKernel.from_index(index, "f2"))
+    build_s, _ = best_of(2, lambda: CoverageKernel.from_index(index, "f2"))
 
     def run(backend):
         # Time only the greedy loop on a pre-built engine.

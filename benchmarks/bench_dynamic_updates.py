@@ -42,6 +42,8 @@ import time
 import numpy as np
 import pytest
 
+from benchmarks.conftest import best_of
+
 from repro.graphs.generators import erdos_renyi_graph
 from repro.core.approx_fast import approx_greedy_fast
 from repro.walks.index import FlatWalkIndex
@@ -70,15 +72,6 @@ def baseline_index(graph):
     return DynamicWalkIndex.build(
         graph, LENGTH, REPLICATES, seed=SEED, engine="csr"
     )
-
-
-def _best_of(repeats, fn):
-    best_elapsed, result = float("inf"), None
-    for _ in range(repeats):
-        started = time.perf_counter()
-        result = fn()
-        best_elapsed = min(best_elapsed, time.perf_counter() - started)
-    return best_elapsed, result
 
 
 def _clone(index: DynamicWalkIndex) -> DynamicWalkIndex:
@@ -149,10 +142,10 @@ def _head_to_head(graph, baseline_index, num_each, seed, repeats=3):
         stats = dyn.sync(dgraph)
         incremental_s = min(incremental_s, time.perf_counter() - started)
 
-    replay_rebuild_s, rebuilt = _best_of(repeats, lambda: DynamicWalkIndex.build(
+    replay_rebuild_s, rebuilt = best_of(repeats, lambda: DynamicWalkIndex.build(
         dgraph.graph, LENGTH, REPLICATES, seed=SEED, engine="csr"
     ))
-    static_rebuild_s, static = _best_of(repeats, lambda: FlatWalkIndex.build(
+    static_rebuild_s, static = best_of(repeats, lambda: FlatWalkIndex.build(
         dgraph.graph, LENGTH, REPLICATES, seed=SEED, engine="csr"
     ))
     return (
@@ -261,7 +254,7 @@ def test_one_percent_batch_report(graph, baseline_index, bench_record):
 
 def test_build_cost_report(graph, bench_record):
     """Context: what one from-scratch dynamic build costs (report-only)."""
-    build_s, dyn = _best_of(2, lambda: DynamicWalkIndex.build(
+    build_s, dyn = best_of(2, lambda: DynamicWalkIndex.build(
         graph, LENGTH, REPLICATES, seed=SEED, engine="csr"
     ))
     bench_record("dynamic.build_s", build_s)

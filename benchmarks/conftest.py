@@ -12,6 +12,7 @@ and ``REPRO_SEED`` before invoking pytest to trade fidelity for wall-clock.
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 
 import pytest
@@ -42,6 +43,21 @@ def report(capsys):
             print(text)
 
     return _report
+
+
+def best_of(repeats, fn):
+    """``(best_elapsed_seconds, last_result)`` over ``repeats`` runs.
+
+    The shared timing discipline of the gated head-to-head benches
+    (coverage kernel, dynamic updates, serving): best-of-N damps shared
+    runner noise without averaging in cold-cache outliers.
+    """
+    best_elapsed, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best_elapsed = min(best_elapsed, time.perf_counter() - started)
+    return best_elapsed, result
 
 
 def shared_fig6_fig7(config):

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the library's everyday workflows::
+Nine subcommands cover the library's everyday workflows::
 
     repro select    # run a solver on a graph and print/serialize targets
     repro metrics   # evaluate AHT/EHN for a given target set
@@ -11,16 +11,19 @@ Eight subcommands cover the library's everyday workflows::
     repro analyze   # horizon (L) recommendation for a target set
     repro dynamic   # edge-churn workloads: trace replay with incremental
                     # index maintenance, robust selection, bondage attack
+    repro serve     # drive a query workload through the concurrent
+                    # serving layer (repro.serve) and report latency
 
 The graph for ``select``/``metrics``/``simulate``/``index``/``analyze``/
-``dynamic`` comes from exactly one of ``--edge-list FILE``, ``--dataset
-NAME`` (Table 2 replica), or ``--synthetic N,M`` (power-law).  Exit status
-is 0 on success, 2 on usage errors (argparse convention), and 1 when the
-library rejects a parameter.
+``dynamic``/``serve`` comes from exactly one of ``--edge-list FILE``,
+``--dataset NAME`` (Table 2 replica), or ``--synthetic N,M`` (power-law).
+Exit status is 0 on success, 2 on usage errors (argparse convention), and
+1 when the library rejects a parameter.
 
 Sampling-based subcommands (``select`` with a walk-based method,
-``metrics --sampled``, ``simulate``, ``index``, ``dynamic``) accept
-``--engine`` to pick the walk backend (see :mod:`repro.walks.backends`):
+``metrics --sampled``, ``simulate``, ``index``, ``dynamic``, ``serve``)
+accept ``--engine`` to pick the walk backend (see
+:mod:`repro.walks.backends`):
 ``numpy`` (default), ``csr`` (fastest single-threaded), or ``sharded``
 (thread-pool shards).  ``select`` with the ``approx-fast`` or ``sampling``
 method — and ``dynamic``, for its replay (re-)solves — additionally
@@ -297,6 +300,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None,
         help="write the report as JSON ('-' for stdout)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive a query workload through the concurrent serving layer",
+    )
+    _add_graph_source(serve)
+    serve.add_argument(
+        "--workload", metavar="FILE", required=True,
+        help="query workload (select/metrics/coverage/min-targets lines, "
+        "see repro.serve.parse_workload)",
+    )
+    serve.add_argument(
+        "--index", metavar="FILE", default=None,
+        help="serve a prebuilt walk index ('repro index' output, "
+        "provenance-checked against the graph); omit to build one "
+        "in-process with -L/-R/--seed/--engine",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=4,
+        help="closed-loop client threads (default 4)",
+    )
+    serve.add_argument(
+        "--repeat", type=int, default=1,
+        help="times each client stream replays the workload (default 1)",
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=2.0,
+        help="select micro-batch window in milliseconds (default 2.0; "
+        "0 batches only simultaneous arrivals)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="LRU result-cache capacity in entries (default 256; 0 "
+        "disables caching)",
+    )
+    serve.add_argument(
+        "-L", "--length", type=int, default=6,
+        help="walk length for the in-process index build",
+    )
+    serve.add_argument(
+        "-R", "--replicates", type=int, default=100,
+        help="walks per node for the in-process index build",
+    )
+    serve.add_argument("--seed", type=int, default=None)
+    _add_engine_flag(serve)
+    serve.add_argument(
+        "--gain-backend", choices=GAIN_BACKENDS, default=DEFAULT_GAIN_BACKEND,
+        help="marginal-gain machinery for select/min-targets kernel passes",
+    )
+    serve.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the load report as JSON ('-' for stdout)",
+    )
     return parser
 
 
@@ -518,12 +574,12 @@ def _cmd_index(args: argparse.Namespace) -> int:
         graph, args.length, args.replicates, seed=args.seed,
         engine=args.engine,
     )
-    save_index(
+    written = save_index(
         index, args.out, graph=graph, engine=args.engine, seed=args.seed,
     )
     print(
         f"indexed {graph.num_nodes} nodes x {args.replicates} walks "
-        f"(L={args.length}, {index.total_entries} entries) -> {args.out}"
+        f"(L={args.length}, {index.total_entries} entries) -> {written}"
     )
     return 0
 
@@ -642,6 +698,83 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import dataclasses
+    import json
+
+    from repro.serve import (
+        DominationService,
+        IndexSnapshot,
+        parse_workload,
+        run_load,
+    )
+
+    graph = _load_graph(args)
+    with open(args.workload) as handle:
+        queries = parse_workload(handle.read())
+    options = {
+        "batch_window": args.batch_window / 1e3,
+        "cache_size": args.cache_size,
+        "gain_backend": args.gain_backend,
+    }
+    if args.index is not None:
+        service = DominationService.from_index_file(
+            args.index, graph, **options
+        )
+    else:
+        from repro.walks.index import FlatWalkIndex
+
+        index = FlatWalkIndex.build(
+            graph, args.length, args.replicates, seed=args.seed,
+            engine=args.engine,
+        )
+        service = DominationService(
+            IndexSnapshot.capture(graph, index), **options
+        )
+    with service:
+        snap = service.snapshot
+        print(
+            f"serving {snap.num_nodes} nodes (L={snap.length}, "
+            f"R={snap.index.num_replicates}, epoch {snap.epoch}): "
+            f"{len(queries)} workload queries x {args.repeat}, "
+            f"{args.clients} closed-loop clients, "
+            f"batch window {args.batch_window:g} ms"
+        )
+        report = run_load(
+            service, queries, num_clients=args.clients, repeat=args.repeat
+        )
+    stats = report.stats
+    print(
+        f"throughput: {report.throughput_qps:.1f} q/s "
+        f"({report.num_queries} queries in {report.elapsed_seconds:.3f} s)"
+    )
+    print(
+        f"latency: mean {report.latency_mean_ms:.2f} ms  "
+        f"p50 {report.latency_p50_ms:.2f} ms  "
+        f"p99 {report.latency_p99_ms:.2f} ms"
+    )
+    print(
+        f"kernel passes: {stats.kernel_passes} "
+        f"({stats.batched_queries} select queries in "
+        f"{stats.select_batches} batches), "
+        f"cache hits: {stats.cache_hits}, errors: {report.errors}"
+    )
+    if args.json:
+        payload = dataclasses.asdict(report)
+        for key in ("latency_mean_ms", "latency_p50_ms", "latency_p99_ms"):
+            if payload[key] != payload[key]:  # NaN: no answered queries
+                payload[key] = None  # bare NaN is not valid strict JSON
+        _write_json(json.dumps(payload, indent=2), args.json)
+    if report.errors:
+        print(
+            f"error: {report.errors} workload queries were rejected by "
+            "the library (see the errors count above)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "select": _cmd_select,
     "metrics": _cmd_metrics,
@@ -651,6 +784,7 @@ _COMMANDS = {
     "index": _cmd_index,
     "analyze": _cmd_analyze,
     "dynamic": _cmd_dynamic,
+    "serve": _cmd_serve,
 }
 
 

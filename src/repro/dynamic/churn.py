@@ -52,11 +52,21 @@ __all__ = [
 
 @dataclass(frozen=True)
 class TraceOp:
-    """One parsed trace directive (``kind`` in add/del/leave/rejoin)."""
+    """One parsed trace directive (``kind`` in add/del/leave/rejoin).
+
+    ``line`` is the 1-based trace line the op came from (0 for ops built
+    programmatically) — validation errors quote it so a bad id in a
+    million-line trace is findable.
+    """
 
     kind: str
     u: int
     v: int = -1
+    line: int = 0
+
+
+def _op_context(op: TraceOp) -> str:
+    return f"churn trace line {op.line}: " if op.line else ""
 
 
 def parse_trace(text: str) -> list[list[TraceOp]]:
@@ -64,7 +74,10 @@ def parse_trace(text: str) -> list[list[TraceOp]]:
 
     Each ``step`` line closes a batch; empty batches (consecutive
     ``step`` lines) are preserved so a trace can express "time passes,
-    nothing changed" phases for the simulators.
+    nothing changed" phases for the simulators.  Node ids must be
+    non-negative here (negative ids would silently wrap around numpy
+    membership arrays); the upper bound depends on the graph and is
+    enforced by :func:`expand_membership`.
     """
     batches: list[list[TraceOp]] = []
     current: list[TraceOp] = []
@@ -77,10 +90,15 @@ def parse_trace(text: str) -> list[list[TraceOp]]:
         try:
             if kind in ("add", "del") and len(parts) == 3:
                 current.append(
-                    TraceOp(kind=kind, u=int(parts[1]), v=int(parts[2]))
+                    TraceOp(
+                        kind=kind, u=int(parts[1]), v=int(parts[2]),
+                        line=lineno,
+                    )
                 )
             elif kind in ("leave", "rejoin") and len(parts) == 2:
-                current.append(TraceOp(kind=kind, u=int(parts[1])))
+                current.append(
+                    TraceOp(kind=kind, u=int(parts[1]), line=lineno)
+                )
             elif kind == "step" and len(parts) == 1:
                 batches.append(current)
                 current = []
@@ -92,9 +110,37 @@ def parse_trace(text: str) -> list[list[TraceOp]]:
                 "(expected 'add U V', 'del U V', 'leave U', 'rejoin U', "
                 "or 'step')"
             )
+        op = current[-1] if kind != "step" else None
+        if op is not None:
+            ids = (op.u,) if op.kind in ("leave", "rejoin") else (op.u, op.v)
+            for node in ids:
+                if node < 0:
+                    raise ParameterError(
+                        f"churn trace line {lineno}: negative node id "
+                        f"{node} in {raw.strip()!r}"
+                    )
     if current:
         batches.append(current)
     return batches
+
+
+def _check_op_ids(op: TraceOp, num_nodes: int) -> None:
+    """Reject ids outside ``[0, num_nodes)`` with the op's line context.
+
+    Negative ids are re-checked here (not just in :func:`parse_trace`)
+    because ops can be constructed programmatically, and numpy would
+    silently wrap ``present[-1]`` instead of failing.
+    """
+    if op.kind in ("leave", "rejoin"):
+        ids, text = (op.u,), f"{op.kind} {op.u}"
+    else:
+        ids, text = (op.u, op.v), f"{op.kind} {op.u} {op.v}"
+    for node in ids:
+        if not 0 <= node < num_nodes:
+            raise ParameterError(
+                f"{_op_context(op)}node id {node} out of range for a "
+                f"{num_nodes}-node graph in op {text!r}"
+            )
 
 
 def expand_membership(
@@ -109,9 +155,13 @@ def expand_membership(
     links and edges added during the replay alike); ``rejoin U`` re-adds
     U's *original* edges to neighbors that are present (including peers
     that rejoined earlier in the same batch — ops apply in order).
-    ``present`` is updated in place.  Explicit ``add``/``del`` ops must
-    be consistent with membership (editing edges of a departed peer is
-    rejected — it would silently desynchronize a later rejoin).
+    ``present`` is updated in place.  Every node id is validated against
+    the graph before any membership state is touched — an out-of-range
+    (or negative) id raises :class:`~repro.errors.ParameterError` with
+    the offending trace line instead of crashing on the membership
+    array.  Explicit ``add``/``del`` ops must be consistent with
+    membership (editing edges of a departed peer is rejected — it would
+    silently desynchronize a later rejoin).
 
     Ops within one batch compose as set edits against the pre-batch
     snapshot: deleting an edge and re-adding it in the same batch (e.g.
@@ -146,10 +196,18 @@ def expand_membership(
         else:
             pending_del.add(edge)
 
+    ops = list(ops)
+    num_nodes = dynamic_graph.num_nodes
+    # Validate every id up front so a bad op later in the batch cannot
+    # leave `present` (mutated in place below) half-updated.
+    for op in ops:
+        _check_op_ids(op, num_nodes)
     for op in ops:
         if op.kind == "leave":
             if not present[op.u]:
-                raise ParameterError(f"peer {op.u} left twice in the trace")
+                raise ParameterError(
+                    f"{_op_context(op)}peer {op.u} left twice in the trace"
+                )
             current = {int(v) for v in dynamic_graph.graph.neighbors(op.u)}
             current.update(
                 u if v == op.u else v
@@ -163,7 +221,8 @@ def expand_membership(
         elif op.kind == "rejoin":
             if present[op.u]:
                 raise ParameterError(
-                    f"peer {op.u} rejoined while still present"
+                    f"{_op_context(op)}peer {op.u} rejoined while still "
+                    "present"
                 )
             present[op.u] = True
             for v in original.neighbors(op.u):
@@ -172,7 +231,8 @@ def expand_membership(
         elif op.kind in ("add", "del"):
             if not (present[op.u] and present[op.v]):
                 raise ParameterError(
-                    f"edge op on departed peer: {op.kind} {op.u} {op.v}"
+                    f"{_op_context(op)}edge op on departed peer: "
+                    f"{op.kind} {op.u} {op.v}"
                 )
             if op.kind == "add":
                 _insert(op.u, op.v)

@@ -1,0 +1,44 @@
+"""Query-serving subsystem: the online read path over walk indexes.
+
+The paper's three application scenarios — P2P keyword search, ad
+placement, social-network influence — are all *online query workloads*:
+many concurrent users asking selection and coverage questions against a
+precomputed walk index.  This package is that read path (DESIGN.md §10):
+
+* :class:`~repro.serve.snapshot.IndexSnapshot` — an immutable
+  ``(graph, index, epoch, fingerprint)`` unit, loaded from persistence
+  (provenance-checked) or captured from a maintained
+  :class:`~repro.dynamic.index.DynamicWalkIndex`.
+* :class:`~repro.serve.service.DominationService` — thread-safe typed
+  queries (``select`` / ``metrics`` / ``coverage`` / ``min_targets``)
+  with request micro-batching, an epoch-keyed LRU result cache, and an
+  atomic swap-on-churn publish path; every answer bit-identical to the
+  direct solver call on the same snapshot.
+* :mod:`~repro.serve.loadgen` — workload parsing and the closed-loop
+  load generator behind ``repro serve`` and
+  ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serve.snapshot import IndexSnapshot
+from repro.serve.service import (
+    QUERY_KINDS,
+    DominationService,
+    ServiceStats,
+)
+from repro.serve.loadgen import (
+    LoadReport,
+    WorkloadQuery,
+    parse_workload,
+    run_load,
+)
+
+__all__ = [
+    "IndexSnapshot",
+    "DominationService",
+    "ServiceStats",
+    "QUERY_KINDS",
+    "LoadReport",
+    "WorkloadQuery",
+    "parse_workload",
+    "run_load",
+]

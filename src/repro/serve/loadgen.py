@@ -1,0 +1,218 @@
+"""Closed-loop load generation against a :class:`DominationService`.
+
+Workload files are plain text, one query per line (``#`` comments and
+blank lines ignored)::
+
+    select 25            # best-25 placement (ApproxF2 on the snapshot)
+    select 25 f1         # same budget under the Problem-1 objective
+    metrics 3,17,42      # sampled coverage/AHT of an explicit placement
+    coverage 3,17,42     # covered fraction only
+    min-targets 0.4      # smallest set reaching 40% expected coverage
+
+:func:`run_load` replays a workload through ``num_clients`` *closed-loop*
+clients — each issues one query, waits for the answer, then issues its
+next, the arrival model of the paper's online scenarios — and reports
+throughput, latency percentiles, and the service's batching/cache
+counters.  The same harness drives ``repro serve`` and the gated
+``benchmarks/bench_serving.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError, RwdomError
+from repro.serve.service import ServiceStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.service import DominationService
+
+__all__ = ["WorkloadQuery", "parse_workload", "LoadReport", "run_load"]
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One parsed workload directive.
+
+    ``kind`` is ``select``/``metrics``/``coverage``/``min-targets``;
+    only the fields that kind uses are meaningful.  ``line`` is the
+    1-based workload line for error context (0 when built
+    programmatically).
+    """
+
+    kind: str
+    k: int = 0
+    objective: str = "f2"
+    targets: tuple[int, ...] = ()
+    fraction: float = 0.0
+    line: int = 0
+
+    def issue(self, service: "DominationService"):
+        """Run this query synchronously against ``service``."""
+        if self.kind == "select":
+            return service.select(self.k, objective=self.objective)
+        if self.kind == "metrics":
+            return service.metrics(self.targets)
+        if self.kind == "coverage":
+            return service.coverage(self.targets)
+        if self.kind == "min-targets":
+            return service.min_targets(self.fraction)
+        raise ParameterError(f"unknown workload query kind {self.kind!r}")
+
+
+def parse_workload(text: str) -> list[WorkloadQuery]:
+    """Parse a workload file into :class:`WorkloadQuery` records.
+
+    Malformed lines raise :class:`~repro.errors.ParameterError` with the
+    offending line number (same discipline as
+    :func:`repro.dynamic.churn.parse_trace`); range checks against the
+    served graph happen at issue time, inside the service.
+    """
+    queries: list[WorkloadQuery] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        kind = parts[0].lower()
+        try:
+            if kind == "select" and len(parts) in (2, 3):
+                objective = parts[2].lower() if len(parts) == 3 else "f2"
+                if objective not in ("f1", "f2"):
+                    raise ValueError
+                queries.append(
+                    WorkloadQuery(
+                        kind="select", k=int(parts[1]),
+                        objective=objective, line=lineno,
+                    )
+                )
+            elif kind in ("metrics", "coverage") and len(parts) == 2:
+                targets = tuple(
+                    int(part) for part in parts[1].split(",") if part.strip()
+                )
+                queries.append(
+                    WorkloadQuery(kind=kind, targets=targets, line=lineno)
+                )
+            elif kind == "min-targets" and len(parts) == 2:
+                queries.append(
+                    WorkloadQuery(
+                        kind="min-targets", fraction=float(parts[1]),
+                        line=lineno,
+                    )
+                )
+            else:
+                raise ValueError
+        except ValueError:
+            raise ParameterError(
+                f"workload line {lineno}: cannot parse {raw!r} (expected "
+                "'select K [f1|f2]', 'metrics U,V,...', "
+                "'coverage U,V,...', or 'min-targets FRAC')"
+            )
+    return queries
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one closed-loop load run.
+
+    ``throughput_qps`` counts every issued query (a rejection is still a
+    served response); the latency fields describe *answered* queries
+    only, so a fast-failing workload line cannot drag the percentiles
+    toward its near-zero rejection time (``nan`` when nothing was
+    answered).
+    """
+
+    num_queries: int
+    num_clients: int
+    elapsed_seconds: float
+    throughput_qps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    errors: int
+    stats: ServiceStats
+
+
+def run_load(
+    service: "DominationService",
+    queries: Sequence[WorkloadQuery],
+    num_clients: int = 4,
+    repeat: int = 1,
+) -> LoadReport:
+    """Drive ``queries`` through closed-loop clients; measure the service.
+
+    The stream is the workload repeated ``repeat`` times, dealt
+    round-robin to ``num_clients`` threads that all start on a barrier.
+    Per-query latency is wall-clock from issue to answer on the client
+    thread — batching shows up as slightly higher latency (the window)
+    traded for much higher throughput.  Library-level query failures
+    (:class:`~repro.errors.RwdomError`, e.g. an unreachable
+    ``min-targets`` fraction) are counted in ``errors``, not raised —
+    one bad workload line must not tear down a load run.  Anything else
+    (a genuine bug or resource failure) aborts the client and re-raises
+    after the run drains, rather than being silently swallowed into a
+    plausible-looking report.
+    """
+    if num_clients < 1:
+        raise ParameterError("num_clients must be >= 1")
+    if repeat < 1:
+        raise ParameterError("repeat must be >= 1")
+    stream = list(queries) * repeat
+    if not stream:
+        raise ParameterError("the workload contains no queries")
+    num_clients = min(num_clients, len(stream))
+    latencies: list[list[float]] = [[] for _ in range(num_clients)]
+    errors = [0] * num_clients
+    fatal: list[BaseException] = []
+    barrier = threading.Barrier(num_clients + 1)
+
+    def client(i: int) -> None:
+        barrier.wait()
+        for query in stream[i::num_clients]:
+            started = time.perf_counter()
+            try:
+                query.issue(service)
+            except RwdomError:
+                errors[i] += 1
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                fatal.append(exc)
+                return
+            else:
+                latencies[i].append(time.perf_counter() - started)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(num_clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    if fatal:
+        raise fatal[0]
+    flat = np.asarray([lat for per in latencies for lat in per])
+    if flat.size:
+        mean_ms = float(flat.mean()) * 1e3
+        p50_ms = float(np.percentile(flat, 50)) * 1e3
+        p99_ms = float(np.percentile(flat, 99)) * 1e3
+    else:  # every query was rejected — there is no answer latency
+        mean_ms = p50_ms = p99_ms = float("nan")
+    return LoadReport(
+        num_queries=len(stream),
+        num_clients=num_clients,
+        elapsed_seconds=elapsed,
+        throughput_qps=len(stream) / elapsed if elapsed > 0 else float("inf"),
+        latency_mean_ms=mean_ms,
+        latency_p50_ms=p50_ms,
+        latency_p99_ms=p99_ms,
+        errors=int(sum(errors)),
+        stats=service.stats,
+    )

@@ -1,0 +1,504 @@
+"""Concurrent query serving over index snapshots (DESIGN.md §10).
+
+:class:`DominationService` is the online read path the paper's three
+scenarios need: many clients concurrently asking selection and coverage
+questions against a precomputed walk index.  Three mechanisms make the
+concurrent path cheap without changing a single answer:
+
+* **Immutable snapshots, atomic swap.**  Readers resolve the current
+  :class:`~repro.serve.snapshot.IndexSnapshot` with one reference read
+  and compute on it to completion; churn maintenance runs against the
+  service's *private* :class:`~repro.dynamic.index.DynamicWalkIndex` and
+  publishes a fresh snapshot only when the new epoch is fully patched.
+  Readers never block on writers and can never observe a half-updated
+  index.
+* **Request micro-batching.**  ``select`` queries that arrive within the
+  batch window share one kernel pass: greedy selections are prefixes of
+  each other (the documented :class:`~repro.core.result.SelectionResult`
+  contract), so one :func:`~repro.core.approx_fast.approx_greedy_fast`
+  run at the window's largest budget answers every budget in the window
+  bit-identically to a dedicated run.
+* **LRU result cache** keyed by ``(graph_fingerprint, epoch, query
+  kind, params)`` plus a per-service publish generation — two different
+  indexes can legitimately be published for the same graph at the same
+  epoch (a reseeded rebuild loaded at epoch 0), and the generation keeps
+  their answers apart.  Publishing changes the key prefix and evicts
+  every entry from earlier publishes, so a stale answer can never be
+  served after a swap.
+
+Every answer is bit-identical to the corresponding direct solver call on
+the same snapshot (``benchmarks/bench_serving.py`` gates this in CI):
+``select`` ↔ :func:`~repro.core.approx_fast.approx_greedy_fast`,
+``metrics``/``coverage`` ↔
+:meth:`~repro.walks.index.FlatWalkIndex.selection_metrics`, and
+``min_targets`` ↔ :func:`~repro.core.coverage.min_targets_for_coverage`.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ParameterError
+from repro.core.approx_fast import approx_greedy_fast
+from repro.core.coverage import min_targets_for_coverage
+from repro.core.coverage_kernel import validate_gain_backend
+from repro.core.result import SelectionResult
+from repro.serve.snapshot import IndexSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from pathlib import Path
+
+    from repro.dynamic.graph import DynamicGraph
+    from repro.dynamic.index import DynamicUpdateStats, DynamicWalkIndex
+    from repro.graphs.adjacency import Graph
+
+__all__ = ["DominationService", "ServiceStats", "QUERY_KINDS"]
+
+#: Query kinds accepted by :meth:`DominationService.submit`.
+QUERY_KINDS = ("select", "metrics", "coverage", "min_targets")
+
+_OBJECTIVES = ("f1", "f2")
+
+
+def _fresh_result(result: SelectionResult) -> SelectionResult:
+    """A caller-owned copy of a cached result.
+
+    ``SelectionResult`` is frozen but its ``params`` dict is not; handing
+    out the cached instance would let one client's mutation poison every
+    later cache hit (``metrics`` dicts get the same treatment via
+    ``dict(...)`` copies).
+    """
+    return replace(result, params=dict(result.params))
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Point-in-time service counters (one consistent reading)."""
+
+    queries: int
+    cache_hits: int
+    kernel_passes: int
+    select_batches: int
+    batched_queries: int
+    publishes: int
+    epoch: int
+
+
+class _SelectBatch:
+    """One micro-batch window of compatible ``select`` queries.
+
+    The first query to open the window is the *leader*: it sleeps the
+    window out, closes the batch, runs the shared kernel pass, and wakes
+    the followers.  ``snapshot`` is pinned at window-open time so every
+    query in the batch is answered from the same epoch even if a publish
+    lands mid-window.
+    """
+
+    __slots__ = ("snapshot", "ks", "results", "error", "done", "closed")
+
+    def __init__(self, snapshot: IndexSnapshot):
+        self.snapshot = snapshot
+        self.ks: list[int] = []
+        self.results: dict[int, SelectionResult] = {}
+        self.error: "BaseException | None" = None
+        self.done = threading.Event()
+        self.closed = False
+
+
+class DominationService:
+    """Thread-safe query front end over immutable index snapshots.
+
+    Parameters
+    ----------
+    snapshot:
+        The initial :class:`~repro.serve.snapshot.IndexSnapshot` to
+        serve from (see :meth:`from_index_file` / :meth:`from_dynamic`).
+    max_workers:
+        Thread-pool size for :meth:`submit`; synchronous query methods
+        run on the caller's thread and are safe from any number of
+        threads.
+    batch_window:
+        Micro-batch window in **seconds** for ``select`` queries; ``0``
+        disables the wait (each leader serves whatever joined while it
+        held the window, i.e. only genuinely simultaneous arrivals
+        batch).
+    cache_size:
+        LRU result-cache capacity in entries; ``0`` disables caching.
+    gain_backend:
+        Marginal-gain machinery for ``select``/``min_targets`` kernel
+        passes (``"entries"``/``"bitset"``; both give identical answers).
+    """
+
+    def __init__(
+        self,
+        snapshot: IndexSnapshot,
+        max_workers: int = 4,
+        batch_window: float = 0.002,
+        cache_size: int = 256,
+        gain_backend: "str | None" = None,
+    ):
+        if max_workers < 1:
+            raise ParameterError("max_workers must be >= 1")
+        if batch_window < 0:
+            raise ParameterError("batch_window must be >= 0 seconds")
+        if cache_size < 0:
+            raise ParameterError("cache_size must be >= 0")
+        # The published state is a single (generation, snapshot) pair so
+        # readers resolve both with one atomic reference read.  The
+        # generation increments on every publish and participates in
+        # cache keys: (fingerprint, epoch) alone cannot distinguish two
+        # *different* indexes published for the same graph at the same
+        # epoch (e.g. a reseeded rebuild loaded at epoch 0).
+        self._current: "tuple[int, IndexSnapshot]" = (0, snapshot)
+        self.batch_window = float(batch_window)
+        self.gain_backend = validate_gain_backend(gain_backend)
+        self._cache: "OrderedDict[tuple, object]" = OrderedDict()
+        self._cache_size = int(cache_size)
+        self._cache_lock = threading.Lock()
+        self._batches: dict[tuple, _SelectBatch] = {}
+        self._batch_lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._maintenance_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "queries": 0,
+            "cache_hits": 0,
+            "kernel_passes": 0,
+            "select_batches": 0,
+            "batched_queries": 0,
+            "publishes": 0,
+        }
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="rwdom-serve"
+        )
+        self._dynamic: "DynamicWalkIndex | None" = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index_file(
+        cls, path: "str | Path", graph: "Graph", **kwargs
+    ) -> "DominationService":
+        """Serve a persisted index, provenance-checked against ``graph``.
+
+        A stale archive (edited graph, wrong node count) raises
+        :class:`~repro.errors.ParameterError` at construction instead of
+        quietly serving answers for a topology that no longer exists.
+        """
+        return cls(IndexSnapshot.load(path, graph), **kwargs)
+
+    @classmethod
+    def from_dynamic(
+        cls, dynamic_index: "DynamicWalkIndex", **kwargs
+    ) -> "DominationService":
+        """Serve a maintained index and enable the churn update path.
+
+        The service takes ownership of ``dynamic_index`` as its private
+        maintenance copy — callers must route further edits through
+        :meth:`sync` (or re-:meth:`publish` after mutating it) so
+        publication stays atomic.
+        """
+        service = cls(IndexSnapshot.of_dynamic(dynamic_index), **kwargs)
+        service._dynamic = dynamic_index
+        return service
+
+    # ------------------------------------------------------------------
+    # Snapshot lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def snapshot(self) -> IndexSnapshot:
+        """The currently published snapshot (atomic reference read)."""
+        return self._current[1]
+
+    @property
+    def epoch(self) -> int:
+        return self._current[1].epoch
+
+    @property
+    def stats(self) -> ServiceStats:
+        with self._counter_lock:
+            return ServiceStats(
+                epoch=self._current[1].epoch, **self._counters
+            )
+
+    def publish(self, snapshot: IndexSnapshot) -> None:
+        """Atomically swap the serving snapshot.
+
+        In-flight queries finish on the snapshot they resolved at entry;
+        queries arriving after the swap see only the new one.  Cache
+        entries from other ``(fingerprint, epoch)`` pairs are evicted —
+        their keys could never be served again anyway, and holding them
+        would just crowd out live entries.
+        """
+        with self._publish_lock:
+            generation = self._current[0] + 1
+            self._current = (generation, snapshot)
+            with self._cache_lock:
+                stale = [k for k in self._cache if k[0] != generation]
+                for key in stale:
+                    del self._cache[key]
+        self._count("publishes")
+
+    def sync(self, dynamic_graph: "DynamicGraph") -> "DynamicUpdateStats":
+        """Swap-on-churn: absorb journal batches, publish the new epoch.
+
+        Maintenance mutates only the service's private
+        :class:`~repro.dynamic.index.DynamicWalkIndex` (incremental
+        patches allocate fresh entry arrays, so previously published
+        snapshots are untouched); readers keep answering from the
+        current snapshot throughout and switch only at the atomic
+        :meth:`publish`.  Writers are serialized by a maintenance lock.
+        """
+        if self._dynamic is None:
+            raise ParameterError(
+                "this service has no maintained index — construct it "
+                "with DominationService.from_dynamic to enable churn "
+                "updates"
+            )
+        with self._maintenance_lock:
+            stats = self._dynamic.sync(dynamic_graph)
+            self.publish(IndexSnapshot.of_dynamic(self._dynamic))
+        return stats
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def select(self, k: int, objective: str = "f2") -> SelectionResult:
+        """Best-``k`` placement on the current snapshot (micro-batched).
+
+        Bit-identical (``selected`` and ``gains``) to
+        ``approx_greedy_fast(graph, k, L, index=snapshot.index,
+        objective=objective, gain_backend=...)`` on the snapshot the
+        query resolved; ``params`` additionally records the serving
+        provenance (epoch, the batch's shared budget).
+        """
+        generation, snap = self._current
+        # Counted on arrival, like every other kind — a rejected select
+        # must not make stats.queries disagree with the load report.
+        self._count("queries")
+        if objective not in _OBJECTIVES:
+            raise ParameterError(f"objective must be one of {_OBJECTIVES}")
+        k = int(k)
+        if not 0 <= k <= snap.num_nodes:
+            raise ParameterError(
+                f"k={k} must lie in [0, n={snap.num_nodes}]"
+            )
+        key = (
+            generation, snap.fingerprint, snap.epoch, "select", k,
+            objective, self.gain_backend,
+        )
+        hit, value = self._cache_get(key)
+        if hit:
+            return _fresh_result(value)
+        batch, group, leader = self._join_batch(generation, snap, objective, k)
+        if leader:
+            try:
+                if self.batch_window:
+                    time.sleep(self.batch_window)
+            finally:
+                self._run_batch(group, batch, objective)
+        batch.done.wait()
+        if batch.error is not None:
+            # Every waiter raises its own shallow copy: re-raising one
+            # shared instance from N threads would race on its
+            # __traceback__/__context__, interleaving frames across
+            # clients.  The copy keeps the type (callers still catch
+            # ParameterError) and chains the original for diagnosis.
+            try:
+                clone = copy.copy(batch.error)
+            except Exception:  # pragma: no cover - uncopyable exception
+                clone = batch.error
+            raise clone from batch.error
+        result = batch.results[k]
+        self._cache_put(key, result)
+        return _fresh_result(result)
+
+    def metrics(self, selection) -> dict:
+        """Sampled coverage/AHT of ``selection`` on the current snapshot.
+
+        Bit-identical to
+        :meth:`~repro.walks.index.FlatWalkIndex.selection_metrics` on
+        the snapshot index.  The key canonicalizes the selection (sorted,
+        deduplicated) — the answer is set-valued, so permutations share
+        one cache entry.
+        """
+        self._count("queries")
+        generation, snap = self._current
+        return dict(self._metrics_cached(generation, snap, selection))
+
+    def coverage(self, selection) -> float:
+        """Covered fraction of ``selection`` (shares the metrics pass)."""
+        self._count("queries")
+        generation, snap = self._current
+        return float(
+            self._metrics_cached(generation, snap, selection)[
+                "coverage_fraction"
+            ]
+        )
+
+    def min_targets(
+        self, fraction: float, max_size: "int | None" = None
+    ) -> SelectionResult:
+        """Smallest greedy set reaching ``fraction`` expected coverage.
+
+        Bit-identical to
+        :func:`~repro.core.coverage.min_targets_for_coverage` on the
+        snapshot index; an unreachable target raises
+        :class:`~repro.errors.ParameterError` exactly as the direct call
+        does (failures are never cached).
+        """
+        generation, snap = self._current
+        self._count("queries")
+        key = (
+            generation, snap.fingerprint, snap.epoch, "min_targets",
+            float(fraction), max_size, self.gain_backend,
+        )
+        hit, value = self._cache_get(key)
+        if hit:
+            return _fresh_result(value)
+        result = min_targets_for_coverage(
+            snap.graph, fraction, snap.length, index=snap.index,
+            max_size=max_size, gain_backend=self.gain_backend,
+        )
+        self._count("kernel_passes")
+        self._cache_put(key, result)
+        return _fresh_result(result)
+
+    def submit(self, kind: str, **params) -> Future:
+        """Run one query on the service thread pool; returns a Future.
+
+        ``kind`` is one of :data:`QUERY_KINDS`; ``params`` are forwarded
+        to the matching synchronous method.
+        """
+        if kind not in QUERY_KINDS:
+            raise ParameterError(
+                f"unknown query kind {kind!r} (expected one of "
+                f"{QUERY_KINDS})"
+            )
+        return self._pool.submit(getattr(self, kind), **params)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the submit pool (synchronous queries keep working)."""
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "DominationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self._current[1]
+        return (
+            f"DominationService(n={snap.num_nodes}, L={snap.length}, "
+            f"epoch={snap.epoch}, gain_backend={self.gain_backend!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += amount
+
+    def _cache_get(self, key: tuple) -> tuple[bool, object]:
+        with self._cache_lock:
+            if key in self._cache:
+                self._cache.move_to_end(key)
+                value = self._cache[key]
+            else:
+                return False, None
+        self._count("cache_hits")
+        return True, value
+
+    def _cache_put(self, key: tuple, value) -> None:
+        if self._cache_size == 0:
+            return
+        with self._cache_lock:
+            # Generation check under the cache lock: publish() evicts
+            # under the same lock, so checking outside would let a query
+            # that resolved a superseded snapshot slip its (forever
+            # unreachable) entry in right after the sweep.
+            if key[0] != self._current[0]:
+                return
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+
+    def _metrics_cached(
+        self, generation: int, snap: IndexSnapshot, selection
+    ) -> dict:
+        targets = tuple(sorted({int(v) for v in selection}))
+        key = (generation, snap.fingerprint, snap.epoch, "metrics", targets)
+        hit, value = self._cache_get(key)
+        if hit:
+            return value
+        result = snap.index.selection_metrics(targets)
+        self._count("kernel_passes")
+        self._cache_put(key, result)
+        return result
+
+    def _join_batch(
+        self, generation: int, snap: IndexSnapshot, objective: str, k: int
+    ) -> tuple[_SelectBatch, tuple, bool]:
+        group = (generation, objective, self.gain_backend)
+        with self._batch_lock:
+            batch = self._batches.get(group)
+            if batch is None or batch.closed:
+                batch = _SelectBatch(snap)
+                self._batches[group] = batch
+                leader = True
+            else:
+                leader = False
+            batch.ks.append(k)
+        return batch, group, leader
+
+    def _run_batch(
+        self, group: tuple, batch: _SelectBatch, objective: str
+    ) -> None:
+        with self._batch_lock:
+            batch.closed = True
+            if self._batches.get(group) is batch:
+                del self._batches[group]
+            ks = sorted(set(batch.ks))
+            num_joined = len(batch.ks)
+        try:
+            snap = batch.snapshot
+            shared = approx_greedy_fast(
+                snap.graph, ks[-1], snap.length, index=snap.index,
+                objective=objective, gain_backend=self.gain_backend,
+            )
+            for k in ks:
+                batch.results[k] = SelectionResult(
+                    algorithm=shared.algorithm,
+                    selected=shared.selected[:k],
+                    gains=shared.gains[:k],
+                    elapsed_seconds=shared.elapsed_seconds,
+                    num_gain_evaluations=shared.num_gain_evaluations,
+                    params={
+                        **shared.params,
+                        "k": k,
+                        "served": True,
+                        "epoch": snap.epoch,
+                        "batch_k": ks[-1],
+                        "batch_size": num_joined,
+                    },
+                )
+            self._count("kernel_passes")
+            self._count("select_batches")
+            self._count("batched_queries", num_joined)
+        except BaseException as exc:
+            batch.error = exc
+        finally:
+            batch.done.set()

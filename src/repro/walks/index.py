@@ -393,6 +393,57 @@ class FlatWalkIndex:
 
         return np.array_equal(keys(self), keys(other))
 
+    def selection_metrics(self, targets) -> dict:
+        """Sampled coverage and AHT of a target set, from the entries alone.
+
+        Same quantities and conventions as
+        :meth:`repro.dynamic.index.DynamicWalkIndex.selection_metrics`,
+        which scans the materialized walk matrix — here computed from the
+        inverted entries instead: a walk's first hit of the target *set*
+        is the minimum of its first-visit hops over the targets (an
+        earlier set hit would itself be a first visit of some target),
+        with hop 0 on the targets' own walks.  ``coverage`` counts states
+        whose walk hits the targets within ``L`` hops (hop 0 included —
+        the F2 estimator's convention) and ``aht`` is the mean truncated
+        first-hit hop (misses count ``L``, the F1 estimator's
+        convention).  The two implementations agree exactly on the same
+        underlying walks, which is what lets the serving layer
+        (:mod:`repro.serve`) answer metrics queries from an index
+        snapshot without the walks.
+        """
+        target_ids = np.asarray(
+            sorted({int(v) for v in targets}), dtype=np.int64
+        )
+        if target_ids.size and (
+            target_ids[0] < 0 or target_ids[-1] >= self.num_nodes
+        ):
+            raise ParameterError("targets out of range")
+        total = self.num_states
+        covered = np.zeros(total, dtype=bool)
+        first = np.full(total, self.length, dtype=np.int64)
+        for v in target_ids:
+            state, hop = self.entries_for(int(v))
+            state = state.astype(np.int64)
+            covered[state] = True
+            # States are unique within one hit node's slice (first-visit
+            # dedup), so fancy assignment is race-free per target.
+            first[state] = np.minimum(first[state], hop)
+        if target_ids.size:
+            self_states = (
+                target_ids[None, :]
+                + np.int64(self.num_nodes)
+                * np.arange(self.num_replicates, dtype=np.int64)[:, None]
+            ).ravel()
+            covered[self_states] = True
+            first[self_states] = 0
+        num_covered = int(covered.sum())
+        return {
+            "coverage": num_covered,
+            "coverage_fraction": num_covered / total if total else 0.0,
+            "aht": float(first.mean()) if total else float("nan"),
+            "num_states": total,
+        }
+
     # ------------------------------------------------------------------
     # Packed exports — the substrate of the bit-packed coverage kernel
     # (:mod:`repro.core.coverage_kernel`, DESIGN.md §8).

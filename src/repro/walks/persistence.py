@@ -26,6 +26,7 @@ seed material on first use, so snapshots stay small).
 
 from __future__ import annotations
 
+import os
 import zipfile
 import zlib
 from pathlib import Path
@@ -52,6 +53,77 @@ __all__ = [
 _FORMAT_VERSION = 2
 _READABLE_VERSIONS = (1, 2)
 _DYNAMIC_FORMAT_VERSION = 1
+
+
+def _resolve_archive_path(path: "str | Path") -> Path:
+    """The path an index archive actually lives at.
+
+    ``np.savez`` silently appends ``.npz`` to any filename that lacks it,
+    so ``save_index(idx, "myindex")`` used to write ``myindex.npz`` while
+    ``load_index("myindex")`` looked for the literal name and failed.
+    Both sides now resolve identically: a literal path that already
+    exists as a file is honored as-is (so a genuinely suffixless archive
+    can be overwritten and re-read, never shadowed by a fresh
+    ``.npz``-suffixed sibling); otherwise the ``.npz`` suffix is
+    appended when missing.  The atomic writer never hands the resolved
+    name to numpy (the temp file carries the suffix), so no second
+    normalization can sneak in.
+    """
+    path = Path(path)
+    if path.suffix == ".npz" or path.is_file():
+        return path
+    return path.with_name(path.name + ".npz")
+
+
+def _atomic_savez(path: Path, payload: dict) -> None:
+    """``np.savez_compressed`` through a same-directory temp + rename.
+
+    Writing straight to the destination would truncate the previous good
+    archive before the new one is complete, so a crash mid-write loses
+    both.  The temp file keeps the ``.npz`` suffix (otherwise numpy would
+    append one and the rename would miss it) and ``os.replace`` makes the
+    swap atomic on POSIX — the snapshot-publish contract the serving
+    layer (:mod:`repro.serve`) relies on.
+
+    The temp file is created with mode ``0o666`` and the kernel applies
+    the process umask (what a plain ``open()`` would have produced —
+    ``tempfile.mkstemp``'s 0600 would make a maintenance job's archives
+    unreadable by a separately-running serving process, and probing the
+    umask via ``os.umask`` would briefly mutate process-global state
+    under concurrent saver threads); overwrites then adopt the
+    destination's existing mode.
+    """
+    tmp_name = None
+    for attempt in range(100):
+        candidate = path.with_name(
+            f"{path.name}.tmp-{os.getpid()}-{attempt}.npz"
+        )
+        try:
+            fd = os.open(
+                candidate, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666
+            )
+        except FileExistsError:  # pragma: no cover - concurrent saver
+            continue
+        os.close(fd)
+        tmp_name = str(candidate)
+        break
+    if tmp_name is None:  # pragma: no cover - 100 stale temp files
+        raise GraphFormatError(
+            f"{path}: cannot create a temporary sibling for atomic save"
+        )
+    try:
+        try:
+            os.chmod(tmp_name, os.stat(path).st_mode & 0o777)
+        except OSError:
+            pass  # fresh destination: keep the umask-derived mode
+        np.savez_compressed(tmp_name, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
 
 
 def graph_fingerprint(graph: Graph) -> int:
@@ -103,7 +175,7 @@ def save_index(
     engine: "str | None" = None,
     seed: "int | str | None" = None,
     gain_backend: "str | None" = None,
-) -> None:
+) -> Path:
     """Write a :class:`FlatWalkIndex` to ``path`` as an ``.npz`` archive.
 
     The optional keyword metadata is provenance for the version-2 header:
@@ -112,8 +184,16 @@ def save_index(
     ``gain_backend`` (gain machinery the index was validated with), and
     ``graph`` — when given, the graph's shape and CSR fingerprint are
     stored and enforced at load time.
+
+    The destination resolves exactly as :func:`load_index` resolves it
+    (an existing literal file is overwritten in place; otherwise a
+    missing ``.npz`` suffix is appended — numpy's own convention), so
+    save/load round-trips for any path.  The write is atomic: a temp
+    file in the destination directory, renamed into place, so a crash
+    mid-write never destroys a previous good archive.  Returns the path
+    actually written.
     """
-    path = Path(path)
+    path = _resolve_archive_path(path)
     payload: dict = {
         "version": np.int64(_FORMAT_VERSION),
         "header": np.asarray(
@@ -136,7 +216,8 @@ def save_index(
             [graph.num_nodes, graph.num_edges, graph_fingerprint(graph)],
             dtype=np.int64,
         )
-    np.savez_compressed(path, **payload)
+    _atomic_savez(path, payload)
+    return path
 
 
 def _read_graph_meta(archive) -> "dict | None":
@@ -164,8 +245,11 @@ def load_index(
     :class:`ParameterError`, and for version-2 archives carrying graph
     provenance, an edge-count or adjacency-fingerprint mismatch (a stale
     index for an edited graph) raises too.
+
+    Accepts the same suffixless paths :func:`save_index` does: when the
+    literal path does not exist, the ``.npz``-suffixed name is tried.
     """
-    path = Path(path)
+    path = _resolve_archive_path(path)
     try:
         with np.load(path) as archive:
             missing = {"version", "header", "indptr", "state", "hop"} - set(
@@ -210,7 +294,7 @@ def index_provenance(path: "str | Path") -> dict:
     archive carries graph provenance — ``graph_num_nodes`` /
     ``graph_num_edges`` / ``graph_fingerprint``.
     """
-    path = Path(path)
+    path = _resolve_archive_path(path)
     try:
         with np.load(path) as archive:
             if "version" not in archive.files:
@@ -238,21 +322,23 @@ def index_provenance(path: "str | Path") -> dict:
 # ----------------------------------------------------------------------
 # Journal-aware dynamic snapshots
 # ----------------------------------------------------------------------
-def save_dynamic_index(index: "DynamicWalkIndex", path: "str | Path") -> None:
+def save_dynamic_index(index: "DynamicWalkIndex", path: "str | Path") -> Path:
     """Persist a :class:`~repro.dynamic.index.DynamicWalkIndex` snapshot.
 
     Stores everything incremental maintenance needs to resume: the graph
     CSR at the index's epoch, the trajectories, the canonical entry
     arrays, the seed material / engine provenance, and the epoch itself.
     The frozen uniform stream is *not* stored — it regenerates
-    deterministically from the seed material.
+    deterministically from the seed material.  Suffix handling and
+    atomicity follow :func:`save_index`: the snapshot lands at a
+    ``*.npz`` path (returned) via a same-directory temp file and
+    ``os.replace``.
     """
-    path = Path(path)
+    path = _resolve_archive_path(path)
     graph = index.graph
-    np.savez_compressed(
-        path,
-        dynamic_version=np.int64(_DYNAMIC_FORMAT_VERSION),
-        header=np.asarray(
+    _atomic_savez(path, {
+        "dynamic_version": np.int64(_DYNAMIC_FORMAT_VERSION),
+        "header": np.asarray(
             [
                 index.num_nodes,
                 index.length,
@@ -262,15 +348,16 @@ def save_dynamic_index(index: "DynamicWalkIndex", path: "str | Path") -> None:
             ],
             dtype=np.int64,
         ),
-        indptr=index.flat.indptr,
-        state=index.flat.state,
-        hop=index.flat.hop,
-        walks=index.walks,
-        graph_indptr=graph.indptr,
-        graph_indices=graph.indices,
-        meta_engine=np.str_(index.engine_name),
-        meta_seed=np.str_(str(index.seed_entropy)),
-    )
+        "indptr": index.flat.indptr,
+        "state": index.flat.state,
+        "hop": index.flat.hop,
+        "walks": index.walks,
+        "graph_indptr": graph.indptr,
+        "graph_indices": graph.indices,
+        "meta_engine": np.str_(index.engine_name),
+        "meta_seed": np.str_(str(index.seed_entropy)),
+    })
+    return path
 
 
 def load_dynamic_index(
@@ -285,7 +372,7 @@ def load_dynamic_index(
     """
     from repro.dynamic.index import DynamicWalkIndex
 
-    path = Path(path)
+    path = _resolve_archive_path(path)
     required = {
         "dynamic_version", "header", "indptr", "state", "hop",
         "walks", "graph_indptr", "graph_indices", "meta_engine", "meta_seed",

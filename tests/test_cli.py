@@ -345,3 +345,148 @@ class TestAnalyze:
     def test_bad_targets(self, edge_list):
         with pytest.raises(SystemExit):
             main(["analyze", "--edge-list", edge_list, "--targets", "x"])
+
+
+class TestDynamicBadTrace:
+    def test_out_of_range_trace_id_exits_1(self, edge_list, tmp_path, capsys):
+        """Regression: an out-of-range trace id used to escape as a raw
+        IndexError traceback; it must exit 1 with a ParameterError
+        message through the CLI's RwdomError handler."""
+        trace = tmp_path / "bad.txt"
+        trace.write_text("leave 99999\nstep\n")
+        code = main([
+            "dynamic", "--edge-list", edge_list, "--churn-trace",
+            str(trace), "-k", "2", "-L", "3", "-R", "5", "--seed", "1",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "out of range" in err
+        assert "line 1" in err
+
+    def test_negative_trace_id_exits_1(self, edge_list, tmp_path, capsys):
+        trace = tmp_path / "neg.txt"
+        trace.write_text("add 0 -2\nstep\n")
+        code = main([
+            "dynamic", "--edge-list", edge_list, "--churn-trace",
+            str(trace), "-k", "2", "-L", "3", "-R", "5", "--seed", "1",
+        ])
+        assert code == 1
+        assert "negative" in capsys.readouterr().err
+
+
+class TestServe:
+    @pytest.fixture
+    def workload(self, tmp_path):
+        path = tmp_path / "workload.txt"
+        path.write_text(
+            "select 3\nselect 6\nmetrics 1,2,3\ncoverage 4,5\n"
+            "min-targets 0.3\n"
+        )
+        return str(path)
+
+    def test_serve_in_process_index(self, edge_list, workload, capsys):
+        code = main([
+            "serve", "--edge-list", edge_list, "--workload", workload,
+            "-L", "3", "-R", "10", "--seed", "1", "--clients", "2",
+            "--repeat", "2", "--batch-window", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "p99" in out
+        assert "kernel passes:" in out
+        assert "errors: 0" in out
+
+    def test_serve_prebuilt_index(self, edge_list, workload, tmp_path,
+                                  capsys):
+        index_path = tmp_path / "served.idx"  # suffixless on purpose
+        code = main([
+            "index", "--edge-list", edge_list, "-L", "3", "-R", "10",
+            "--seed", "1", "--out", str(index_path),
+        ])
+        assert code == 0
+        code = main([
+            "serve", "--edge-list", edge_list, "--workload", workload,
+            "--index", str(index_path), "--clients", "2",
+        ])
+        assert code == 0
+        assert "throughput:" in capsys.readouterr().out
+
+    def test_serve_json_report(self, edge_list, workload, tmp_path):
+        report_path = tmp_path / "report.json"
+        code = main([
+            "serve", "--edge-list", edge_list, "--workload", workload,
+            "-L", "3", "-R", "10", "--seed", "1", "--clients", "2",
+            "--json", str(report_path),
+        ])
+        assert code == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["num_queries"] == 5
+        assert payload["errors"] == 0
+        assert payload["stats"]["queries"] == 5
+
+    def test_serve_stale_index_exits_1(self, edge_list, workload,
+                                       tmp_path, capsys):
+        other = tmp_path / "other.txt"
+        write_edge_list(power_law_graph(80, 241, seed=5), other)
+        index_path = tmp_path / "stale.npz"
+        code = main([
+            "index", "--edge-list", str(other), "-L", "3", "-R", "10",
+            "--seed", "1", "--out", str(index_path),
+        ])
+        assert code == 0
+        capsys.readouterr()
+        code = main([
+            "serve", "--edge-list", edge_list, "--workload", workload,
+            "--index", str(index_path), "--clients", "2",
+        ])
+        assert code == 1
+        assert "stale index" in capsys.readouterr().err
+
+    def test_serve_rejected_queries_exit_1(self, edge_list, tmp_path,
+                                           capsys):
+        """Library rejections inside the run surface as exit 1, not a
+        plausible-looking success report."""
+        path = tmp_path / "oob.txt"
+        path.write_text("select 3\nmetrics 99999\n")
+        code = main([
+            "serve", "--edge-list", edge_list, "--workload", str(path),
+            "-L", "3", "-R", "10", "--seed", "1", "--clients", "2",
+        ])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "errors: 1" in captured.out
+        assert "rejected" in captured.err
+
+    def test_serve_all_rejected_json_is_strict(self, edge_list, tmp_path,
+                                               capsys):
+        """An all-rejected run must still emit spec-valid JSON (NaN
+        latencies become null, not bare NaN literals)."""
+        path = tmp_path / "allbad.txt"
+        path.write_text("metrics 99999\n")
+        report_path = tmp_path / "report.json"
+        code = main([
+            "serve", "--edge-list", edge_list, "--workload", str(path),
+            "-L", "3", "-R", "10", "--seed", "1",
+            "--json", str(report_path),
+        ])
+        assert code == 1
+        payload = json.loads(
+            report_path.read_text(), parse_constant=lambda c: pytest.fail(
+                f"non-strict JSON constant {c!r} in report"
+            ),
+        )
+        assert payload["latency_p50_ms"] is None
+        assert payload["errors"] == 1
+
+    def test_serve_bad_workload_exits_1(self, edge_list, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("select nope\n")
+        code = main([
+            "serve", "--edge-list", edge_list, "--workload", str(path),
+            "-L", "3", "-R", "10",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "workload line 1" in err

@@ -34,8 +34,10 @@ from repro.walks.persistence import (
 from repro.dynamic import (
     DynamicGraph,
     DynamicWalkIndex,
+    TraceOp,
     churn_replay,
     edit_graph,
+    expand_membership,
     min_breaking_edges,
     parse_trace,
     robust_greedy,
@@ -459,6 +461,76 @@ class TestChurnReplay:
         with pytest.raises(ParameterError):
             churn_replay(
                 graph, "leave 0\nadd 0 4\nstep\n", k=2, length=3,
+                num_replicates=4,
+            )
+
+
+class TestTraceIdValidation:
+    """Out-of-range/negative trace ids raise ParameterError with line
+    context instead of crashing on the membership array (regression:
+    ``leave 99`` on a 5-node graph used to escape as a raw IndexError,
+    and negative ids silently wrapped through numpy indexing)."""
+
+    def test_out_of_range_leave_is_parameter_error(self):
+        graph = ring_graph(5)
+        with pytest.raises(ParameterError, match="line 1.*out of range"):
+            churn_replay(
+                graph, "leave 99\nstep\n", k=1, length=2, num_replicates=4
+            )
+
+    def test_out_of_range_ids_all_kinds(self):
+        graph = ring_graph(5)
+        for trace in (
+            "rejoin 5\nstep\n", "add 0 7\nstep\n", "del 9 1\nstep\n"
+        ):
+            with pytest.raises(ParameterError, match="out of range"):
+                churn_replay(
+                    graph, trace, k=1, length=2, num_replicates=4
+                )
+
+    def test_negative_ids_rejected_at_parse_time(self):
+        with pytest.raises(ParameterError, match="line 2.*negative"):
+            parse_trace("step\nleave -1\n")
+        with pytest.raises(ParameterError, match="negative"):
+            parse_trace("add 0 -3\n")
+        # -1 doubles as TraceOp's "no v" default; a literal -1 in the
+        # trace must still be rejected, not mistaken for the sentinel.
+        with pytest.raises(ParameterError, match="negative"):
+            parse_trace("add 3 -1\n")
+        with pytest.raises(ParameterError, match="negative"):
+            parse_trace("del -1 3\n")
+
+    def test_programmatic_negative_id_cannot_wrap(self):
+        """Ops built without parse_trace are validated too — numpy would
+        otherwise silently read present[-1]."""
+        graph = ring_graph(5)
+        dgraph = DynamicGraph(graph)
+        present = np.ones(5, dtype=bool)
+        for op in (
+            TraceOp(kind="leave", u=-1),
+            TraceOp(kind="rejoin", u=-2),
+            TraceOp(kind="add", u=0, v=-1),
+        ):
+            with pytest.raises(ParameterError, match="out of range"):
+                expand_membership([op], dgraph, graph, present)
+        assert present.all()  # validation fired before any state change
+
+    def test_bad_id_later_in_batch_leaves_membership_untouched(self):
+        """Ids are validated for the whole batch up front: a bad op in
+        position 2 must not leave position 1's `present` flip behind."""
+        graph = ring_graph(5)
+        dgraph = DynamicGraph(graph)
+        present = np.ones(5, dtype=bool)
+        batch = [TraceOp(kind="leave", u=0), TraceOp(kind="leave", u=99)]
+        with pytest.raises(ParameterError, match="out of range"):
+            expand_membership(batch, dgraph, graph, present)
+        assert present.all()
+
+    def test_line_context_reaches_membership_errors(self):
+        graph = ring_graph(8)
+        with pytest.raises(ParameterError, match="line 3"):
+            churn_replay(
+                graph, "leave 0\nstep\nleave 0\nstep\n", k=1, length=2,
                 num_replicates=4,
             )
 

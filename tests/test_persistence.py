@@ -94,3 +94,132 @@ class TestFailureModes:
         )
         with pytest.raises(GraphFormatError):
             load_index(path)
+
+
+class TestSuffixNormalization:
+    """Suffixless paths round-trip (regression: ``save_index(idx,
+    "myindex")`` wrote ``myindex.npz`` via numpy's silent suffix append,
+    then ``load_index("myindex")`` failed on the literal name)."""
+
+    def test_static_round_trip_without_suffix(self, tmp_path):
+        graph = power_law_graph(40, 120, seed=6)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=7)
+        written = save_index(index, tmp_path / "myindex")
+        assert written == tmp_path / "myindex.npz"
+        assert written.is_file()
+        back = load_index(tmp_path / "myindex")
+        np.testing.assert_array_equal(back.state, index.state)
+        # The explicit suffixed spelling reaches the same archive.
+        np.testing.assert_array_equal(
+            load_index(tmp_path / "myindex.npz").state, index.state
+        )
+
+    def test_dynamic_round_trip_without_suffix(self, tmp_path):
+        from repro.dynamic import DynamicWalkIndex
+        from repro.walks.persistence import (
+            load_dynamic_index,
+            save_dynamic_index,
+        )
+
+        graph = power_law_graph(30, 90, seed=8)
+        dyn = DynamicWalkIndex.build(graph, 3, 4, seed=9)
+        written = save_dynamic_index(dyn, tmp_path / "snap")
+        assert written == tmp_path / "snap.npz"
+        back = load_dynamic_index(tmp_path / "snap", graph=graph)
+        np.testing.assert_array_equal(back.walks, dyn.walks)
+
+    def test_literal_suffixless_file_is_honored(self, tmp_path):
+        """A file genuinely named without .npz loads as given — and an
+        overwrite updates it in place rather than writing a shadowed
+        .npz sibling that load would never see."""
+        graph = power_law_graph(30, 90, seed=3)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=4)
+        written = save_index(index, tmp_path / "real")
+        written.rename(tmp_path / "real")  # strip the suffix on disk
+        back = load_index(tmp_path / "real")
+        np.testing.assert_array_equal(back.state, index.state)
+        replacement = FlatWalkIndex.build(graph, 3, 4, seed=11)
+        rewritten = save_index(replacement, tmp_path / "real")
+        assert rewritten == tmp_path / "real"
+        assert [p.name for p in tmp_path.iterdir()] == ["real"]
+        np.testing.assert_array_equal(
+            load_index(tmp_path / "real").state, replacement.state
+        )
+
+    def test_provenance_accepts_suffixless(self, tmp_path):
+        from repro.walks.persistence import index_provenance
+
+        graph = power_law_graph(30, 90, seed=3)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=4)
+        save_index(index, tmp_path / "prov", graph=graph, engine="csr")
+        assert index_provenance(tmp_path / "prov")["engine"] == "csr"
+
+
+class TestAtomicSave:
+    """A crash mid-save must leave the previous good archive intact
+    (regression: saves wrote straight to the destination, so an
+    interrupted write destroyed both the old and the new archive)."""
+
+    def _boom(self, monkeypatch):
+        def failing_savez(file, **payload):
+            target = file if isinstance(file, str) else str(file)
+            with open(target, "wb") as handle:
+                handle.write(b"half-written garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", failing_savez)
+
+    def test_interrupted_static_save_keeps_old_archive(
+        self, tmp_path, monkeypatch
+    ):
+        graph = power_law_graph(40, 120, seed=1)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=2)
+        path = save_index(index, tmp_path / "walks.npz")
+        self._boom(monkeypatch)
+        with pytest.raises(OSError):
+            save_index(
+                FlatWalkIndex.build(graph, 3, 4, seed=5), path
+            )
+        monkeypatch.undo()
+        back = load_index(path)
+        np.testing.assert_array_equal(back.state, index.state)
+        assert [p.name for p in tmp_path.iterdir()] == ["walks.npz"]
+
+    def test_interrupted_dynamic_save_keeps_old_archive(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.dynamic import DynamicWalkIndex
+        from repro.walks.persistence import (
+            load_dynamic_index,
+            save_dynamic_index,
+        )
+
+        graph = power_law_graph(30, 90, seed=2)
+        dyn = DynamicWalkIndex.build(graph, 3, 4, seed=3)
+        path = save_dynamic_index(dyn, tmp_path / "snap.npz")
+        self._boom(monkeypatch)
+        with pytest.raises(OSError):
+            save_dynamic_index(
+                DynamicWalkIndex.build(graph, 3, 4, seed=8), path
+            )
+        monkeypatch.undo()
+        back = load_dynamic_index(path, graph=graph)
+        np.testing.assert_array_equal(back.walks, dyn.walks)
+        assert [p.name for p in tmp_path.iterdir()] == ["snap.npz"]
+
+    def test_saves_do_not_inherit_mkstemp_permissions(self, tmp_path):
+        """The temp-file dance must not leave archives 0600 (mkstemp's
+        default) — a saver and a reader are different processes in the
+        serving deployment.  Fresh saves honor the umask; overwrites
+        keep the destination's existing mode."""
+        import os
+
+        graph = power_law_graph(30, 90, seed=1)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=2)
+        path = save_index(index, tmp_path / "perms.npz")
+        umask = os.umask(0)
+        os.umask(umask)
+        assert (path.stat().st_mode & 0o777) == (0o666 & ~umask)
+        os.chmod(path, 0o604)
+        save_index(index, path)
+        assert (path.stat().st_mode & 0o777) == 0o604

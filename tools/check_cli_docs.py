@@ -4,8 +4,9 @@
 Verifies that the documentation layer cannot silently drift from the code:
 
 1. README.md documents every `repro` CLI subcommand (as a `### <name>`
-   heading), the `--engine` flag with every registered backend name, and
-   the `--gain-backend` flag with every gain backend name.
+   heading), the `--engine` flag with every registered backend name, the
+   `--gain-backend` flag with every gain backend name, and every long
+   option of the `serve` subcommand.
 2. Every `DESIGN.md §N[.M]` reference in the source tree points at a
    numbered section that actually exists in DESIGN.md.
 3. Every documentation file mentioned from package docstrings
@@ -48,6 +49,25 @@ def _gain_backend_names() -> list[str]:
     from repro.core.coverage_kernel import GAIN_BACKENDS
 
     return list(GAIN_BACKENDS)
+
+
+def _subcommand_options(name: str) -> list[str]:
+    """All long option strings of one subcommand (minus ``--help``)."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    sub = next(
+        action
+        for action in parser._actions  # noqa: SLF001 - argparse has no public API
+        if getattr(action, "choices", None)
+    )
+    options: set[str] = set()
+    for action in sub.choices[name]._actions:  # noqa: SLF001
+        for option in action.option_strings:
+            if option.startswith("--") and option != "--help":
+                options.add(option)
+    return sorted(options)
 
 
 def _design_sections(design_text: str) -> set[str]:
@@ -99,6 +119,11 @@ def check_docs() -> list[str]:
         if backend not in readme:
             problems.append(
                 f"README.md does not mention gain backend {backend!r}"
+            )
+    for option in _subcommand_options("serve"):
+        if option not in readme:
+            problems.append(
+                f"README.md does not document the serve flag {option}"
             )
 
     # 2. DESIGN.md section references from the source tree.

@@ -34,6 +34,7 @@ BENCH_FILES = [
     "benchmarks/bench_micro_kernels.py",
     "benchmarks/bench_coverage_kernel.py",
     "benchmarks/bench_dynamic_updates.py",
+    "benchmarks/bench_serving.py",
 ]
 
 

@@ -9,7 +9,7 @@ syncing the maintained index must be
   under both gain backends) and record-identical to the *static* builder
   (same grouped entry sets — order within a hit node is a builder
   detail) — hard assertions, never gated off; and
-* **at least 5x faster end-to-end** (CSR re-edit included) than the full
+* **at least 3.5x faster end-to-end** (CSR re-edit included) than the full
   rebuild a pre-dynamic workflow would run, i.e. the static
   ``FlatWalkIndex.build`` with the walk engine (a timing assertion,
   demoted to report-only under ``--no-timing-gate``).  The speedup over
@@ -167,7 +167,7 @@ def _bit_identical(a: DynamicWalkIndex, b: DynamicWalkIndex) -> bool:
 def test_incremental_vs_rebuild_gated(
     graph, baseline_index, bench_record, timing_gate
 ):
-    """The standing claim: <=1% edit batch, bit-identical, >=5x faster."""
+    """The standing claim: <=1% edit batch, bit-identical, >=3.5x faster."""
     (
         incremental_s, static_rebuild_s, replay_rebuild_s,
         synced, rebuilt, static, stats,
@@ -218,13 +218,17 @@ def test_incremental_vs_rebuild_gated(
     assert identical, "incremental sync diverged from the full rebuild"
     assert static_entries, "entry records diverged from the static builder"
     assert selection_parity, "selections diverged after incremental sync"
+    # Floor history: 5x against the pre-canonical-order static builder;
+    # the ISSUE-5 walk_records/canonical-sort refactor made the *static
+    # rebuild* (the competitor) ~30% faster with the incremental path
+    # unchanged, so the honest floor at this batch size is now 3.5x.
     if timing_gate:
-        assert speedup >= 5.0, (
+        assert speedup >= 3.5, (
             f"incremental sync only {speedup:.2f}x faster than a full "
             "rebuild on the <=1% edit-batch benchmark"
         )
-    elif speedup < 5.0:
-        print(f"TIMING (report-only): speedup {speedup:.2f}x < 5.0x floor")
+    elif speedup < 3.5:
+        print(f"TIMING (report-only): speedup {speedup:.2f}x < 3.5x floor")
 
 
 def test_one_percent_batch_report(graph, baseline_index, bench_record):

@@ -24,8 +24,11 @@ Sampling-based subcommands (``select`` with a walk-based method,
 ``metrics --sampled``, ``simulate``, ``index``, ``dynamic``, ``serve``)
 accept ``--engine`` to pick the walk backend (see
 :mod:`repro.walks.backends`):
-``numpy`` (default), ``csr`` (fastest single-threaded), or ``sharded``
-(thread-pool shards).  ``select`` with the ``approx-fast`` or ``sampling``
+``numpy`` (default), ``csr`` (fastest single-threaded), ``sharded``
+(stream-sliced shards on a thread pool), or ``multiproc`` (the same
+shards on a shared-memory process pool — the multi-core path).  All
+four are bit-identical under one seed, so the flag changes wall-clock
+only.  ``select`` with the ``approx-fast`` or ``sampling``
 method — and ``dynamic``, for its replay (re-)solves — additionally
 accepts ``--gain-backend`` (``entries`` or ``bitset``, see
 :mod:`repro.core.coverage_kernel`) to pick the marginal-gain machinery;
@@ -361,7 +364,9 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
         "--engine", choices=available_engines(), default=DEFAULT_ENGINE,
         help="walk-engine backend for sampling-based work (default: "
         f"{DEFAULT_ENGINE}; 'csr' is fastest single-threaded, 'sharded' "
-        "spreads shards over a thread pool)",
+        "spreads stream-sliced shards over a thread pool, 'multiproc' "
+        "over a shared-memory process pool; all backends produce "
+        "bit-identical results under one seed)",
     )
 
 

@@ -24,12 +24,17 @@ That functional form yields the two properties this module is built on:
   ``benchmarks/bench_dynamic_updates.py`` gates it (plus a >= 5x
   end-to-end speedup) in CI.
 
-Entries are kept in a *canonical* order — grouped by hit node, sorted by
-state within each group — rather than the insertion order of the static
-builder.  Canonical order is stable under edits (remove + merge instead of
-re-sort), and since every gain in Algorithms 4-6 is a sum over a hit
-node's entry slice, the two orders are interchangeable everywhere an index
-is consumed.
+Entries are kept in the *canonical* order — grouped by hit node, sorted
+by state within each group — that every builder in the package now emits
+(the static builder canonicalizes in
+:meth:`~repro.walks.index.FlatWalkIndex._from_records`).  A dynamic
+index is therefore byte-identical — not merely set-equivalent — to a
+static rebuild whenever the ``n · R`` batch fits one static-build chunk
+(``chunk_rows``, default ``2**19``); past that the static builder's
+chunked stream consumption legitimately produces different *walks*, so
+only the full-batch frozen-uniform discipline here is authoritative.
+Canonical order is also what keeps edits cheap: a patch removes and
+merges instead of re-sorting.
 """
 
 from __future__ import annotations
@@ -40,9 +45,10 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
-from repro.walks.backends import ShardedWalkEngine, WalkEngine, get_engine
+from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.engine import batch_first_hits
 from repro.walks.index import FlatWalkIndex, walker_major_starts
+from repro.walks.parallel import first_visit_records as _first_visit_records
 from repro.dynamic.graph import DynamicGraph, EditBatch, edit_graph
 
 __all__ = [
@@ -94,15 +100,22 @@ def engine_uniforms(
     Returns a walk-major ``(B, L)`` array: ``out[b, t - 1]`` is the
     uniform that decides walk ``b``'s hop ``t`` — walk-major so the
     incremental path can slice a dirty-row subset with contiguous reads.
-    The ``"numpy"`` and ``"csr"`` backends both burn exactly one
-    ``rng.random(batch)`` per hop from a single PCG64 stream (that shared
-    discipline is their documented bit-parity), which is precisely
-    ``default_rng(entropy).random((L, B))`` read row by row.  The
-    ``"sharded"`` backend splits the batch into ``num_shards`` contiguous
-    chunks with one spawned child stream each (pass ``num_shards > 0``);
-    its draws are the per-chunk blocks concatenated back in shard order.
+    Every registered backend burns exactly one ``rng.random(batch)`` per
+    hop from a single PCG64 stream — the sequential engines draw it
+    outright, the sharded/multiproc engines slice it per shard
+    (:mod:`repro.walks.parallel`) — which is precisely
+    ``default_rng(entropy).random((L, B))`` read row by row, so one
+    frozen-uniform discipline reproduces all of them.  ``num_shards > 0``
+    selects the *legacy* per-shard ``SeedSequence`` discipline of
+    pre-unification sharded snapshots, kept so their reloaded journals
+    keep replaying bit-identically.
     """
     if num_shards > 0:
+        # Legacy replay path: snapshots written before the walk backends
+        # were unified onto one sliceable stream stored the sharded
+        # engine's old per-shard SeedSequence discipline; regenerating
+        # their uniforms must keep matching the cached trajectories.
+        # New builds always record ``num_shards == 0``.
         rng = np.random.default_rng(entropy)
         shards = max(1, min(num_shards, batch))
         children = rng.spawn(shards)
@@ -156,40 +169,6 @@ def replay_walks(
         walks[:, t] = nxt
         current = nxt
     return walks
-
-
-def _first_visit_records(
-    walks: np.ndarray, states: np.ndarray
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """First-visit ``(hit, state, hop)`` records of a block of walks.
-
-    Same column-sweep extraction as the static builder: a position is a
-    record iff its node differs from every earlier position of the walk.
-    ``states`` carries the per-row flattened ``D`` index.
-    """
-    batch = walks.shape[0]
-    length = walks.shape[1] - 1
-    hit_parts: list[np.ndarray] = []
-    state_parts: list[np.ndarray] = []
-    hop_parts: list[np.ndarray] = []
-    for hop in range(1, length + 1):
-        col = walks[:, hop].astype(np.int64)
-        fresh = np.ones(batch, dtype=bool)
-        for prev in range(hop):
-            np.logical_and(fresh, col != walks[:, prev], out=fresh)
-        if not fresh.any():
-            continue
-        hit_parts.append(col[fresh])
-        state_parts.append(states[fresh])
-        hop_parts.append(np.full(int(fresh.sum()), hop, dtype=np.int64))
-    if not hit_parts:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty.copy(), empty.copy()
-    return (
-        np.concatenate(hit_parts),
-        np.concatenate(state_parts),
-        np.concatenate(hop_parts),
-    )
 
 
 @dataclass(frozen=True)
@@ -275,21 +254,24 @@ class DynamicWalkIndex:
         The trajectories are bit-identical to what
         ``engine.batch_walks(graph, starts, L, seed=default_rng(seed))``
         produces for the full walker-major batch — the frozen-uniform
-        replay consumes the same stream the engine would — so switching an
-        existing workload to the dynamic builder changes nothing but the
-        entry order inside each hit-node group.
+        replay consumes the same stream the engine would.  Both builders
+        emit canonical ``(hit, state)`` order, so when the batch fits
+        one static-build chunk (``n · R <= chunk_rows``) the entry
+        arrays are byte-identical to the static builder's too; for
+        larger batches the static builder's per-chunk stream consumption
+        yields different walks, and this full-batch discipline is the
+        one the incremental machinery reproduces.
         """
         _check_build_params(graph.num_nodes, length, num_replicates)
         walk_engine = get_engine(engine)
-        num_shards = (
-            walk_engine.num_shards
-            if isinstance(walk_engine, ShardedWalkEngine)
-            else 0
-        )
+        # Every registered backend consumes (or slices) the same logical
+        # stream, so one frozen-uniform discipline reproduces them all;
+        # num_shards stays 0 except when reloading pre-unification
+        # snapshots (see engine_uniforms).
         entropy = _resolve_entropy(seed)
         n = graph.num_nodes
         starts = walker_major_starts(n, num_replicates)
-        uniforms = engine_uniforms(entropy, starts.size, length, num_shards)
+        uniforms = engine_uniforms(entropy, starts.size, length)
         walks = replay_walks(graph, starts, uniforms)
         states = _states_of_rows(np.arange(starts.size), n, num_replicates)
         hits, state_vals, hops = _first_visit_records(walks, states)
@@ -302,7 +284,6 @@ class DynamicWalkIndex:
             walks=walks,
             seed_entropy=entropy,
             engine_name=walk_engine.name,
-            num_shards=num_shards,
             uniforms=uniforms,
             keys=keys,
         )

@@ -31,6 +31,7 @@ from repro.walks.alias import (
 from repro.walks.backends import (
     CSRWalkEngine,
     DEFAULT_ENGINE,
+    MultiprocWalkEngine,
     NumpyWalkEngine,
     ShardedWalkEngine,
     WalkEngine,
@@ -69,6 +70,7 @@ __all__ = [
     "NumpyWalkEngine",
     "CSRWalkEngine",
     "ShardedWalkEngine",
+    "MultiprocWalkEngine",
     "DEFAULT_ENGINE",
     "available_engines",
     "get_engine",

@@ -7,7 +7,12 @@ kernel directly.  Engines are looked up by name in a process-wide registry,
 so alternative execution strategies (GPU, distributed, cached) can be
 slotted in by registering a new backend without touching any solver.
 
-Three backends ship with the package:
+Four backends ship with the package, and **all four are bit-identical
+under one seed**: they consume (or slice) the same logical PCG64 stream
+— one batch of uniforms per hop — so any engine can replace any other
+mid-experiment, mid-index, or mid-serving-epoch without changing a
+single answer.  Differential tests (``tests/test_differential.py``)
+enforce this across index builds, solvers, dynamic replay, and serving.
 
 ``"numpy"``
     The original gather-loop kernels, :func:`repro.walks.engine.batch_walks`
@@ -20,16 +25,24 @@ Three backends ship with the package:
     ``np.take`` gathers into preallocated scratch buffers — no boolean
     indexing, no copies, no bounds-check passes.  Weighted graphs reuse a
     cached :class:`~repro.walks.alias.AliasSampler` (alias tables are
-    built once per graph, not once per call).  Walks are **bit-identical**
-    to the ``"numpy"`` backend under the same seed — both consume the
-    PCG64 stream one batch of uniforms per hop in the same order — so the
-    two backends are interchangeable mid-experiment.
+    built once per graph, not once per call).
 ``"sharded"``
-    Splits a replicate batch into a fixed number of shards, derives one
-    child :class:`~numpy.random.SeedSequence` stream per shard, and runs
-    the shards on a ``concurrent.futures`` thread pool.  Results depend
-    only on ``(seed, num_shards)`` — never on worker count or scheduling —
-    so sharded runs are reproducible across machines.
+    Cuts the batch into row shards and computes each shard's *slice of
+    the same logical stream* on a thread pool — workers jump to their
+    rows' offset inside every per-hop uniform block with ``PCG64.advance``
+    (:mod:`repro.walks.parallel`), so the assembled result equals the
+    sequential backends bit for bit, independent of ``num_shards`` *and*
+    worker count.  The hot kernels are numpy gathers, which release the
+    GIL; one in-process address space, no serialization.
+``"multiproc"``
+    The same stream-sliced shards fanned out to a *process* pool: the
+    augmented CSR is placed in :mod:`multiprocessing.shared_memory` once
+    per graph, workers attach read-only views and ship back walk slices
+    — or, on the index-build path (:meth:`WalkEngine.walk_records`),
+    only the extracted first-visit records, so the walk matrices
+    themselves never cross a process boundary and peak parent memory
+    stays bounded.  This is the true multi-core path (no GIL); see
+    DESIGN.md §11 for the layout and teardown rules.
 
 Resolution rules (:func:`get_engine`): ``None`` means the package default
 (``"numpy"``), a string is looked up in the registry, and a ready
@@ -40,7 +53,10 @@ takes ``engine=`` accepts all three forms.
 from __future__ import annotations
 
 import concurrent.futures
+import multiprocessing
+import os
 import threading
+import weakref
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
@@ -51,13 +67,22 @@ from repro.graphs.adjacency import Graph
 from repro.graphs.weighted import WeightedDiGraph
 from repro.walks.alias import AliasSampler, weighted_batch_walks
 from repro.walks.engine import batch_first_hits, batch_walks
-from repro.walks.rng import resolve_rng, spawn_children
+from repro.walks.parallel import (
+    SharedArrayPack,
+    first_visit_records,
+    run_task,
+    slice_first_hits,
+    slice_walks,
+    slice_weighted_walks,
+)
+from repro.walks.rng import advance_stream, resolve_rng, stream_state
 
 __all__ = [
     "WalkEngine",
     "NumpyWalkEngine",
     "CSRWalkEngine",
     "ShardedWalkEngine",
+    "MultiprocWalkEngine",
     "DEFAULT_ENGINE",
     "available_engines",
     "get_engine",
@@ -148,8 +173,64 @@ class WalkEngine(ABC):
         walks = self.run_walks(graph, starts, length, seed=seed)
         return self.batch_first_hits(walks, target_mask)
 
+    def walk_records(
+        self,
+        graph: Graph,
+        starts: "Sequence[int] | np.ndarray",
+        length: int,
+        states: np.ndarray,
+        seed: "int | np.random.Generator | None" = None,
+        chunk_rows: int = 1 << 19,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """First-visit ``(hit, state, hop)`` record arrays for a batch.
+
+        The index builders' entry point (Algorithm 3's extraction):
+        ``states[b]`` is row ``b``'s flattened ``D`` index, carried into
+        the records.  The chunking is part of the RNG contract — chunk
+        ``c`` consumes its ``len(chunk) * length`` uniforms before chunk
+        ``c + 1`` begins — so every backend produces the same record
+        *set* for the same ``(seed, chunk_rows)``; record order is a
+        backend detail that :meth:`FlatWalkIndex._from_records`
+        canonicalizes away.  The default generates walks chunk-by-chunk
+        via :meth:`batch_walks` and extracts in-process; the multiproc
+        backend overrides it to extract inside its workers and stream
+        back only the records.
+        """
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        states = np.asarray(states, dtype=np.int64)
+        if states.size != starts.size:
+            raise ParameterError("states must align with starts")
+        rng = resolve_rng(seed)
+        hit_parts: list[np.ndarray] = []
+        state_parts: list[np.ndarray] = []
+        hop_parts: list[np.ndarray] = []
+        for lo in range(0, starts.size, chunk_rows):
+            rows = starts[lo : lo + chunk_rows]
+            walks = self.batch_walks(graph, rows, length, seed=rng)
+            hits, row_states, hops = first_visit_records(
+                walks, states[lo : lo + chunk_rows]
+            )
+            if hits.size:
+                hit_parts.append(hits)
+                state_parts.append(row_states)
+                hop_parts.append(hops)
+        return _concat_records(hit_parts, state_parts, hop_parts)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"
+
+
+def _concat_records(
+    hit_parts: list, state_parts: list, hop_parts: list
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if not hit_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(hit_parts),
+        np.concatenate(state_parts),
+        np.concatenate(hop_parts),
+    )
 
 
 class NumpyWalkEngine(WalkEngine):
@@ -375,20 +456,42 @@ class CSRWalkEngine(WalkEngine):
 
 
 # ----------------------------------------------------------------------
+# Shard partitioning (shared by the sharded and multiproc backends)
+# ----------------------------------------------------------------------
+def _shard_bounds(total: int, shards: int) -> "list[tuple[int, int]]":
+    """Contiguous ``[lo, hi)`` row ranges, ``np.array_split`` sizing."""
+    shards = max(1, min(shards, total))
+    base, rem = divmod(total, shards)
+    bounds = []
+    lo = 0
+    for k in range(shards):
+        hi = lo + base + (1 if k < rem else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+# ----------------------------------------------------------------------
 # Sharded backend
 # ----------------------------------------------------------------------
 class ShardedWalkEngine(WalkEngine):
-    """Replicate batches split across a thread pool of base-engine shards.
+    """Row shards of one logical stream on a thread pool.
 
-    The batch is cut into ``num_shards`` contiguous shards; each shard gets
-    its own child generator via :func:`~repro.walks.rng.spawn_children`
-    (``SeedSequence`` spawning) and runs on the base engine inside a
-    ``concurrent.futures.ThreadPoolExecutor`` — the hot kernels are numpy
-    gathers, which release the GIL.  Shard results are reassembled in shard
-    order, so the output is a pure function of ``(seed, num_shards)``:
-    worker count and scheduling cannot change it, and a run is reproducible
-    on any machine.  ``num_shards`` is deliberately *not* derived from the
-    CPU count for exactly that reason.
+    The batch is cut into ``num_shards`` contiguous shards and each shard
+    computes its *slice of the same PCG64 stream* the sequential backends
+    consume (:func:`repro.walks.parallel.slice_walks`): a worker jumps to
+    its rows' offset inside every per-hop uniform block with ``advance``
+    and draws only its rows.  The assembled output is therefore
+    **bit-identical to the numpy/csr backends under the same seed** —
+    independent of ``num_shards``, worker count, and scheduling — and the
+    caller's generator is advanced past exactly the draws the batch
+    consumed, so a stream threaded through several calls stays aligned.
+
+    Two cases cannot be sliced and fall back to one sequential call on
+    the base engine (still bit-identical, just not parallel): seeds whose
+    bit generator lacks 64-bit-draw ``advance`` semantics (anything but
+    PCG64/PCG64DXSM), and weighted graphs with dangling rows, whose
+    masked sampling consumes the stream data-dependently.
     """
 
     name = "sharded"
@@ -407,63 +510,428 @@ class ShardedWalkEngine(WalkEngine):
 
     @property
     def base(self) -> WalkEngine:
-        """The engine each shard runs on (resolved late, default CSR)."""
+        """The sequential engine used when a call cannot be sliced."""
         return get_engine(self._base_spec)
 
+    def _csr(self) -> CSRWalkEngine:
+        """The plan provider (the base engine when it is a CSR engine, so
+        plans are shared with direct csr calls; a registry csr otherwise)."""
+        base = self.base
+        if isinstance(base, CSRWalkEngine):
+            return base
+        return get_engine("csr")
+
     # ------------------------------------------------------------------
-    def _scatter(self, starts, seed, run_shard) -> np.ndarray:
-        starts = np.asarray(starts, dtype=np.int64)
-        shards = max(1, min(self.num_shards, starts.size))
-        children = spawn_children(seed, shards)
-        chunks = np.array_split(starts, shards)
-        if shards == 1:
-            return run_shard(chunks[0], children[0])
+    def _map_shards(self, run_shard, bounds) -> list:
+        if len(bounds) == 1:
+            return [run_shard(*bounds[0])]
         with concurrent.futures.ThreadPoolExecutor(
             max_workers=self.max_workers
         ) as pool:
-            parts = list(pool.map(run_shard, chunks, children))
-        return np.vstack(parts)
-
-    def _warm(self, graph: "Graph | WeightedDiGraph") -> WalkEngine:
-        """Resolve the base engine and build its per-graph plan once, so
-        pool threads only read the shared plan instead of racing to
-        construct it (O(n + m) work and memory per thread otherwise)."""
-        base = self.base
-        if isinstance(base, CSRWalkEngine):
-            if isinstance(graph, WeightedDiGraph):
-                base._weighted_plan(graph)
-            else:
-                base._plan(graph)
-        return base
+            return list(pool.map(lambda b: run_shard(*b), bounds))
 
     def batch_walks(self, graph, starts, length, seed=None):
         starts = _check_walk_args(graph.num_nodes, starts, length)
-        base = self._warm(graph)
-        return self._scatter(
-            starts, seed,
-            lambda chunk, child: base.batch_walks(graph, chunk, length, seed=child),
+        rng = resolve_rng(seed)
+        state = stream_state(rng)
+        total = starts.size
+        if state is None or not (length and total):
+            return self.base.batch_walks(graph, starts, length, seed=rng)
+        plan = self._csr()._plan(graph)
+        parts = self._map_shards(
+            lambda lo, hi: slice_walks(
+                plan.indptr, plan.indices, plan.degrees_f64,
+                starts[lo:hi], length, state, lo, total,
+            ),
+            _shard_bounds(total, self.num_shards),
         )
+        advance_stream(rng, total * length)
+        return np.vstack(parts)
 
     def weighted_batch_walks(self, graph, starts, length, seed=None):
         starts = _check_walk_args(graph.num_nodes, starts, length)
-        base = self._warm(graph)
-        return self._scatter(
-            starts, seed,
-            lambda chunk, child: base.weighted_batch_walks(
-                graph, chunk, length, seed=child
+        rng = resolve_rng(seed)
+        state = stream_state(rng)
+        total = starts.size
+        plan = self._csr()._weighted_plan(graph)
+        if state is None or plan.has_dangling or not (length and total):
+            # The masked AliasSampler path (data-dependent draws) and
+            # non-sliceable generators: one sequential call, same stream.
+            return weighted_batch_walks(
+                graph, starts, length, seed=rng, sampler=plan.sampler
+            )
+        sampler = plan.sampler
+        parts = self._map_shards(
+            lambda lo, hi: slice_weighted_walks(
+                graph.indptr, plan.indices, plan.out_degrees_f64,
+                sampler.prob, sampler.alias,
+                starts[lo:hi], length, state, lo, total,
             ),
+            _shard_bounds(total, self.num_shards),
         )
+        advance_stream(rng, 2 * total * length)
+        return np.vstack(parts)
 
     def walk_first_hits(self, graph, starts, length, target_mask, seed=None):
+        if isinstance(graph, WeightedDiGraph):
+            return super().walk_first_hits(
+                graph, starts, length, target_mask, seed=seed
+            )
         starts = _check_walk_args(graph.num_nodes, starts, length)
-        base = self._warm(graph)
-        hits = self._scatter(
-            starts, seed,
-            lambda chunk, child: base.walk_first_hits(
-                graph, chunk, length, target_mask, seed=child
-            ).reshape(-1, 1),
+        rng = resolve_rng(seed)
+        state = stream_state(rng)
+        total = starts.size
+        if state is None or not (length and total):
+            return self.base.walk_first_hits(
+                graph, starts, length, target_mask, seed=rng
+            )
+        plan = self._csr()._plan(graph)
+        mask = np.asarray(target_mask, dtype=bool)
+        parts = self._map_shards(
+            lambda lo, hi: slice_first_hits(
+                plan.indptr, plan.indices, plan.degrees_f64,
+                starts[lo:hi], length, mask, state, lo, total,
+            ),
+            _shard_bounds(total, self.num_shards),
         )
-        return hits.reshape(-1)
+        advance_stream(rng, total * length)
+        return np.concatenate(parts)
+
+
+# ----------------------------------------------------------------------
+# Multiproc backend
+# ----------------------------------------------------------------------
+def _release_multiproc_resources(resources: dict) -> None:
+    """Tear down a multiproc engine's pool and shared-memory segments.
+
+    Module-level so a :func:`weakref.finalize` can run it at engine
+    collection or interpreter exit without keeping the engine alive.
+    Idempotent: every path that can leave the engine in a doubtful state
+    (worker crash, ``KeyboardInterrupt`` mid-shard, pool breakage) calls
+    it, so segments are unlinked exactly once and never leaked.
+    """
+    pool = resources.pop("pool", None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    for key in ("packs", "weighted_packs"):
+        packs = resources.get(key, {})
+        while packs:
+            _, (_graph, pack) = packs.popitem()
+            pack.close()
+
+
+class MultiprocWalkEngine(WalkEngine):
+    """Stream-sliced shards on a process pool over shared-memory CSR.
+
+    The true multi-core backend: the augmented CSR arrays (and, for
+    weighted graphs, the alias tables) are copied into
+    :mod:`multiprocessing.shared_memory` once per graph and cached;
+    worker processes attach read-only views and run the same slice
+    kernels as the sharded backend, so the output is **bit-identical to
+    every other backend under one seed** while the hop loops run on as
+    many cores as the pool has workers, with no GIL in sight.
+
+    Resource discipline (DESIGN.md §11):
+
+    * The process pool is created lazily and persists across calls (spawn
+      context — safe to combine with the serving layer's threads).
+    * Per-graph segments live in a small FIFO cache; per-call segments
+      (the first-hit target mask) are unlinked in a ``finally``.
+    * Any exception escaping a fan-out — a crashed worker, an interrupt
+      mid-shard, a broken pool — tears down the pool *and unlinks every
+      cached segment* before re-raising; the next call starts fresh.  A
+      finalizer covers engine collection and interpreter exit.  Workers
+      never unlink anything, so a dying worker cannot orphan a segment.
+    * The caller's generator is advanced only after a fan-out completes;
+      a failed call leaves the stream position untouched, so the caller
+      can retry (or fall back) without losing reproducibility.
+
+    Calls below ``min_parallel_rows`` (and seeds whose bit generator is
+    not sliceable, and weighted graphs with dangling rows) run
+    sequentially on the csr backend instead — same answer, no IPC tax on
+    small batches.
+
+    On the index-build path (:meth:`walk_records`) workers extract
+    first-visit records shard-locally and stream back only the record
+    arrays — the walk matrices never cross the process boundary, which
+    is what keeps peak parent memory bounded on million-node builds.
+    """
+
+    name = "multiproc"
+
+    def __init__(
+        self,
+        num_procs: "int | None" = None,
+        shard_rows: int = 1 << 16,
+        min_parallel_rows: int = 8192,
+        cache_size: int = 4,
+        mp_context: str = "spawn",
+    ):
+        if num_procs is not None and num_procs < 1:
+            raise ParameterError("num_procs must be >= 1")
+        if shard_rows < 1:
+            raise ParameterError("shard_rows must be >= 1")
+        if cache_size < 1:
+            raise ParameterError("cache_size must be >= 1")
+        self.num_procs = (
+            int(num_procs)
+            if num_procs is not None
+            else max(1, min(os.cpu_count() or 1, 8))
+        )
+        self.shard_rows = int(shard_rows)
+        self.min_parallel_rows = int(min_parallel_rows)
+        self._cache_size = int(cache_size)
+        self._mp_context = mp_context
+        self._resources: dict = {"pool": None, "packs": {}, "weighted_packs": {}}
+        self._finalizer = weakref.finalize(
+            self, _release_multiproc_resources, self._resources
+        )
+
+    # ------------------------------------------------------------------
+    # Resource management
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared-memory segment.
+
+        Safe to call repeatedly; the engine remains usable — the next
+        call simply recreates the pool and republishes the segments.
+        """
+        _release_multiproc_resources(self._resources)
+        self._resources["pool"] = None
+
+    def _ensure_pool(self):
+        pool = self._resources.get("pool")
+        if pool is None:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.num_procs,
+                mp_context=multiprocessing.get_context(self._mp_context),
+            )
+            self._resources["pool"] = pool
+        return pool
+
+    def _pack_for(self, graph, key: str, build) -> SharedArrayPack:
+        """The cached shared-memory pack for ``graph`` (FIFO-bounded)."""
+        packs = self._resources[key]
+        hit = packs.get(id(graph))
+        if hit is not None and hit[0] is graph:
+            return hit[1]
+        pack = SharedArrayPack(build())
+        packs[id(graph)] = (graph, pack)
+        while len(packs) > self._cache_size:
+            oldest = next(iter(packs))
+            if oldest == id(graph):
+                break
+            _, old_pack = packs.pop(oldest)
+            old_pack.close()
+        return pack
+
+    def _graph_pack(self, graph: Graph) -> SharedArrayPack:
+        plan = get_engine("csr")._plan(graph)
+        return self._pack_for(
+            graph, "packs",
+            lambda: {
+                "indptr": plan.indptr,
+                "indices": plan.indices,
+                "degrees_f64": plan.degrees_f64,
+            },
+        )
+
+    def _weighted_pack(self, graph: WeightedDiGraph, plan) -> SharedArrayPack:
+        return self._pack_for(
+            graph, "weighted_packs",
+            lambda: {
+                "indptr": graph.indptr,
+                "indices": plan.indices,
+                "out_degrees_f64": plan.out_degrees_f64,
+                "prob": plan.sampler.prob,
+                "alias": plan.sampler.alias,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Fan-out core
+    # ------------------------------------------------------------------
+    def _scatter(self, tasks: list, collect) -> None:
+        """Run ``tasks`` on the pool, streaming results to ``collect``.
+
+        At most ``2 * num_procs`` tasks are in flight, so results stream
+        back in bounded memory regardless of the batch size.  Any
+        exception — worker crash, interrupt, broken pool — releases the
+        pool and unlinks every segment before re-raising (the
+        can't-leak-on-crash contract the regression tests pin down).
+        """
+        try:
+            pool = self._ensure_pool()
+            window = 2 * self.num_procs
+            pending = {}
+            queued = iter(enumerate(tasks))
+            exhausted = False
+            while pending or not exhausted:
+                while not exhausted and len(pending) < window:
+                    nxt = next(queued, None)
+                    if nxt is None:
+                        exhausted = True
+                        break
+                    index, task = nxt
+                    pending[pool.submit(run_task, task)] = index
+                if not pending:
+                    break
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    collect(pending.pop(future), future.result())
+        except BaseException:
+            self.close()
+            raise
+
+    def _sliceable(self, rng, total: int, length: int):
+        """The stream state when this call should use the pool, else None."""
+        if length == 0 or total < max(1, self.min_parallel_rows):
+            return None
+        return stream_state(rng)
+
+    # ------------------------------------------------------------------
+    # WalkEngine interface
+    # ------------------------------------------------------------------
+    def batch_walks(self, graph, starts, length, seed=None):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        rng = resolve_rng(seed)
+        state = self._sliceable(rng, starts.size, length)
+        if state is None:
+            return get_engine("csr").batch_walks(graph, starts, length, seed=rng)
+        total = starts.size
+        specs = self._graph_pack(graph).specs
+        walks = np.empty((total, length + 1), dtype=np.int32)
+        bounds = _shard_bounds(total, -(-total // self.shard_rows))
+        tasks = [
+            {
+                "mode": "walks", "specs": specs, "starts": starts[lo:hi],
+                "length": length, "state": state, "lo": lo, "total": total,
+            }
+            for lo, hi in bounds
+        ]
+        self._scatter(
+            tasks, lambda i, part: walks.__setitem__(
+                slice(bounds[i][0], bounds[i][1]), part
+            )
+        )
+        advance_stream(rng, total * length)
+        return walks
+
+    def weighted_batch_walks(self, graph, starts, length, seed=None):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        rng = resolve_rng(seed)
+        plan = get_engine("csr")._weighted_plan(graph)
+        state = self._sliceable(rng, starts.size, length)
+        if state is None or plan.has_dangling:
+            return weighted_batch_walks(
+                graph, starts, length, seed=rng, sampler=plan.sampler
+            )
+        total = starts.size
+        specs = self._weighted_pack(graph, plan).specs
+        walks = np.empty((total, length + 1), dtype=np.int32)
+        bounds = _shard_bounds(total, -(-total // self.shard_rows))
+        tasks = [
+            {
+                "mode": "weighted", "specs": specs, "starts": starts[lo:hi],
+                "length": length, "state": state, "lo": lo, "total": total,
+            }
+            for lo, hi in bounds
+        ]
+        self._scatter(
+            tasks, lambda i, part: walks.__setitem__(
+                slice(bounds[i][0], bounds[i][1]), part
+            )
+        )
+        advance_stream(rng, 2 * total * length)
+        return walks
+
+    def walk_first_hits(self, graph, starts, length, target_mask, seed=None):
+        if isinstance(graph, WeightedDiGraph):
+            return super().walk_first_hits(
+                graph, starts, length, target_mask, seed=seed
+            )
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        rng = resolve_rng(seed)
+        state = self._sliceable(rng, starts.size, length)
+        if state is None:
+            return get_engine("csr").walk_first_hits(
+                graph, starts, length, target_mask, seed=rng
+            )
+        total = starts.size
+        specs = self._graph_pack(graph).specs
+        mask = np.ascontiguousarray(
+            np.asarray(target_mask, dtype=bool).view(np.uint8)
+        )
+        mask_pack = SharedArrayPack({"mask": mask})
+        try:
+            hits = np.empty(total, dtype=np.int64)
+            bounds = _shard_bounds(total, -(-total // self.shard_rows))
+            tasks = [
+                {
+                    "mode": "first_hits", "specs": specs,
+                    "mask_spec": mask_pack.specs["mask"],
+                    "starts": starts[lo:hi], "length": length,
+                    "state": state, "lo": lo, "total": total,
+                }
+                for lo, hi in bounds
+            ]
+            self._scatter(
+                tasks, lambda i, part: hits.__setitem__(
+                    slice(bounds[i][0], bounds[i][1]), part
+                )
+            )
+        finally:
+            mask_pack.close()
+        advance_stream(rng, total * length)
+        return hits
+
+    def walk_records(
+        self, graph, starts, length, states, seed=None, chunk_rows=1 << 19
+    ):
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        states = np.asarray(states, dtype=np.int64)
+        if states.size != starts.size:
+            raise ParameterError("states must align with starts")
+        rng = resolve_rng(seed)
+        state = self._sliceable(rng, starts.size, length)
+        if state is None:
+            return super().walk_records(
+                graph, starts, length, states, seed=rng, chunk_rows=chunk_rows
+            )
+        specs = self._graph_pack(graph).specs
+        # Stream offsets honor the chunk contract: chunk c's draws occupy
+        # [offset_c, offset_c + len(chunk) * L); shards subdivide rows
+        # *within* a chunk, slicing that chunk's segment of the stream.
+        tasks = []
+        stream_offset = 0
+        for chunk_lo in range(0, starts.size, chunk_rows):
+            chunk_size = min(chunk_rows, starts.size - chunk_lo)
+            for lo, hi in _shard_bounds(
+                chunk_size, -(-chunk_size // self.shard_rows)
+            ):
+                tasks.append({
+                    "mode": "records", "specs": specs,
+                    "starts": starts[chunk_lo + lo : chunk_lo + hi],
+                    "states": states[chunk_lo + lo : chunk_lo + hi],
+                    "length": length, "state": state,
+                    "lo": stream_offset + lo, "total": chunk_size,
+                })
+            stream_offset += chunk_size * length
+        parts: list = [None] * len(tasks)
+        self._scatter(tasks, parts.__setitem__)
+        advance_stream(rng, starts.size * length)
+        hit_parts = [p[0] for p in parts if p[0].size]
+        state_parts = [p[1] for p in parts if p[1].size]
+        hop_parts = [p[2] for p in parts if p[2].size]
+        return _concat_records(hit_parts, state_parts, hop_parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MultiprocWalkEngine(num_procs={self.num_procs}, "
+            f"shard_rows={self.shard_rows})"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -526,3 +994,4 @@ def get_engine(engine: "str | WalkEngine | None" = None) -> WalkEngine:
 register_engine("numpy", NumpyWalkEngine)
 register_engine("csr", CSRWalkEngine)
 register_engine("sharded", ShardedWalkEngine)
+register_engine("multiproc", MultiprocWalkEngine)

@@ -187,8 +187,8 @@ class InvertedIndex:
         )
 
     def to_flat(self) -> "FlatWalkIndex":
-        """Convert to the array representation (same entries, same order
-        within each hit node, grouped rep-major then insertion order)."""
+        """Convert to the array representation (same entries, assembled
+        into the canonical ``(hit, state)`` order every builder emits)."""
         states: list[int] = []
         hops: list[int] = []
         hits: list[int] = []
@@ -258,47 +258,29 @@ class FlatWalkIndex:
     ) -> "FlatWalkIndex":
         """Vectorized Algorithm 3.
 
-        Generates the ``n * R`` walks in chunks of ``chunk_rows`` rows and
-        extracts first-visit records column-by-column, so peak memory is
-        ``O(chunk_rows * L)`` plus the final entry arrays.  ``engine``
-        selects the walk backend (:mod:`repro.walks.backends`); the
-        ``"numpy"`` and ``"csr"`` backends build identical indexes under
-        the same seed.
+        Delegates walk generation *and* record extraction to the walk
+        backend (:meth:`~repro.walks.backends.WalkEngine.walk_records`):
+        walks are produced in chunks of ``chunk_rows`` rows and reduced to
+        first-visit records before the next chunk starts, so peak memory
+        is ``O(chunk_rows * L)`` plus the final entry arrays — and the
+        multiproc backend extracts inside its worker processes, streaming
+        only the records back.  Every registered backend builds a
+        **byte-identical** index under the same ``(seed, chunk_rows)``;
+        entries land in canonical ``(hit, state)`` order regardless of
+        how the work was partitioned.
         """
         rng = resolve_rng(seed)
         walk_engine = get_engine(engine)
         n = graph.num_nodes
         _validate_params(n, length, num_replicates)
         starts = walker_major_starts(n, num_replicates)
-        hit_parts: list[np.ndarray] = []
-        state_parts: list[np.ndarray] = []
-        hop_parts: list[np.ndarray] = []
-        for lo in range(0, starts.size, chunk_rows):
-            rows = starts[lo : lo + chunk_rows]
-            walks = walk_engine.batch_walks(graph, rows, length, seed=rng)
-            row_ids = np.arange(lo, lo + rows.size, dtype=np.int64)
-            reps = row_ids % num_replicates
-            state = reps * n + rows  # == rep * n + walker
-            for hop in range(1, length + 1):
-                col = walks[:, hop].astype(np.int64)
-                fresh = np.ones(rows.size, dtype=bool)
-                for prev in range(hop):
-                    np.logical_and(fresh, col != walks[:, prev], out=fresh)
-                if not fresh.any():
-                    continue
-                hit_parts.append(col[fresh])
-                state_parts.append(state[fresh])
-                hop_parts.append(np.full(int(fresh.sum()), hop, dtype=np.int64))
-        if hit_parts:
-            hits = np.concatenate(hit_parts)
-            states = np.concatenate(state_parts)
-            hops = np.concatenate(hop_parts)
-        else:
-            hits = np.empty(0, dtype=np.int64)
-            states = np.empty(0, dtype=np.int64)
-            hops = np.empty(0, dtype=np.int64)
+        row_ids = np.arange(starts.size, dtype=np.int64)
+        states = (row_ids % num_replicates) * n + starts  # == rep * n + walker
+        hits, state_vals, hops = walk_engine.walk_records(
+            graph, starts, length, states, seed=rng, chunk_rows=chunk_rows
+        )
         return cls._from_records(
-            hits, states, hops, num_nodes=n, length=length,
+            hits, state_vals, hops, num_nodes=n, length=length,
             num_replicates=num_replicates,
         )
 
@@ -322,7 +304,16 @@ class FlatWalkIndex:
         length: int,
         num_replicates: int,
     ) -> "FlatWalkIndex":
-        order = np.argsort(hits, kind="stable")
+        # Canonical (hit, state) order.  States are unique within a hit
+        # node (first-visit dedup), so the key is a strict total order:
+        # the assembled index is *independent of record generation
+        # order* — for a fixed (seed, chunk_rows), every backend and
+        # any shard partitioning land on byte-identical arrays, which
+        # is what lets the differential harness compare engines
+        # strictly.  (chunk_rows itself still matters: it shapes the
+        # stream consumption and hence the walks.)
+        num_states = num_nodes * num_replicates
+        order = np.argsort(hits * num_states + states)
         counts = np.bincount(hits, minlength=num_nodes) if hits.size else np.zeros(
             num_nodes, dtype=np.int64
         )
@@ -364,12 +355,12 @@ class FlatWalkIndex:
     def same_entries(self, other: "FlatWalkIndex") -> bool:
         """Whether two indexes hold the same records, order-insensitively.
 
-        Entry order *within* a hit node's slice is a builder detail — the
-        static builder keeps insertion order, the dynamic builder
-        (:mod:`repro.dynamic.index`) keeps canonical state order — and no
-        consumer depends on it (every gain is a sum over a slice).  This
-        compares the grouped record *sets*, which is the equality that
-        actually matters across builders.
+        Every current builder (static, dynamic, all walk backends) emits
+        canonical ``(hit, state)`` order, so equal indexes are nowadays
+        also array-equal; this order-insensitive comparison remains for
+        archives written by older versions, whose entries kept insertion
+        order.  No consumer depends on the order either way (every gain
+        is a sum over a hit node's slice).
         """
         if (
             self.num_nodes != other.num_nodes

@@ -1,0 +1,363 @@
+"""Stream-slicing walk kernels and shared-memory plumbing (DESIGN.md §11).
+
+This module is the substrate of the two parallel walk backends in
+:mod:`repro.walks.backends`:
+
+* ``"sharded"`` runs the slice kernels on a thread pool over the graph's
+  own CSR arrays;
+* ``"multiproc"`` runs them in worker *processes* that read the CSR from
+  :mod:`multiprocessing.shared_memory` segments and is driven by the
+  top-level task entry point :func:`run_task` (spawn-picklable).
+
+The kernels compute **row slices of one logical batch**: a canonical
+batch-walk call over ``total`` rows consumes ``rng.random(total)`` once
+per hop from a single PCG64 stream (the ``numpy``/``csr`` discipline).
+A slice kernel reconstructs that stream from its picklable state
+(:func:`repro.walks.rng.generator_at`), jumps to its rows' offset inside
+each per-hop block, draws only its rows, and skips the rest with
+``advance`` — so the assembled output is *bit-identical* to the
+sequential engines, for any partitioning, on any worker count.
+
+Everything here is deliberately import-light (numpy + stdlib + the rng
+helpers): spawned worker processes import this module once and nothing
+heavier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from multiprocessing import shared_memory
+
+from repro.walks.rng import generator_at
+
+__all__ = [
+    "slice_walks",
+    "slice_first_hits",
+    "slice_weighted_walks",
+    "first_visit_records",
+    "SharedArrayPack",
+    "run_task",
+]
+
+
+# ----------------------------------------------------------------------
+# Slice kernels (thread- and process-agnostic: plain arrays in, arrays out)
+# ----------------------------------------------------------------------
+def slice_walks(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees_f64: np.ndarray,
+    starts: np.ndarray,
+    length: int,
+    state: "tuple[str, dict]",
+    lo: int,
+    total: int,
+) -> np.ndarray:
+    """Rows ``[lo, lo + len(starts))`` of a ``total``-row batch-walk call.
+
+    ``indptr``/``indices``/``degrees_f64`` are the *augmented* CSR of the
+    CSR backend's plan (dangling nodes carry a self-loop), and the hop
+    arithmetic mirrors :meth:`~repro.walks.backends.CSRWalkEngine.batch_walks`
+    operation for operation, so the slice is bit-identical to the matching
+    rows of the sequential call.
+    """
+    batch = starts.size
+    walks = np.empty((length + 1, batch), dtype=np.int32)
+    walks[0] = starts
+    if length and batch:
+        gen = generator_at(state, lo)
+        bit_gen = gen.bit_generator
+        u = np.empty(batch, dtype=np.float64)
+        deg = np.empty(batch, dtype=np.float64)
+        off = np.empty(batch, dtype=np.int64)
+        pos = np.empty(batch, dtype=np.int64)
+        current = np.empty(batch, dtype=np.int64)
+        np.copyto(current, starts)
+        for t in range(1, length + 1):
+            gen.random(out=u)
+            np.take(degrees_f64, current, out=deg, mode="clip")
+            np.multiply(u, deg, out=u)
+            np.copyto(off, u, casting="unsafe")  # trunc == floor: u >= 0
+            np.take(indptr, current, out=pos, mode="clip")
+            pos += off
+            np.take(indices, pos, out=walks[t], mode="clip")
+            np.copyto(current, walks[t])
+            bit_gen.advance(total - batch)  # skip the other rows' draws
+    return np.ascontiguousarray(walks.T)
+
+
+def slice_first_hits(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    degrees_f64: np.ndarray,
+    starts: np.ndarray,
+    length: int,
+    target_mask: np.ndarray,
+    state: "tuple[str, dict]",
+    lo: int,
+    total: int,
+) -> np.ndarray:
+    """Fused first-hit twin of :func:`slice_walks` (no walk matrix)."""
+    batch = starts.size
+    first = np.where(target_mask[starts], 0, -1).astype(np.int64)
+    if length and batch:
+        gen = generator_at(state, lo)
+        bit_gen = gen.bit_generator
+        u = np.empty(batch, dtype=np.float64)
+        deg = np.empty(batch, dtype=np.float64)
+        off = np.empty(batch, dtype=np.int64)
+        pos = np.empty(batch, dtype=np.int64)
+        nxt = np.empty(batch, dtype=np.int32)
+        current = np.empty(batch, dtype=np.int64)
+        np.copyto(current, starts)
+        for t in range(1, length + 1):
+            gen.random(out=u)
+            np.take(degrees_f64, current, out=deg, mode="clip")
+            np.multiply(u, deg, out=u)
+            np.copyto(off, u, casting="unsafe")
+            np.take(indptr, current, out=pos, mode="clip")
+            pos += off
+            np.take(indices, pos, out=nxt, mode="clip")
+            np.copyto(current, nxt)
+            newly = (first < 0) & target_mask[current]
+            first[newly] = t
+            bit_gen.advance(total - batch)
+    return first
+
+
+def slice_weighted_walks(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    out_degrees_f64: np.ndarray,
+    prob: np.ndarray,
+    alias: np.ndarray,
+    starts: np.ndarray,
+    length: int,
+    state: "tuple[str, dict]",
+    lo: int,
+    total: int,
+) -> np.ndarray:
+    """Row slice of a dangling-free weighted batch-walk call.
+
+    A weighted hop burns two per-hop blocks — ``total`` slot uniforms,
+    then ``total`` coin uniforms (the
+    :meth:`~repro.walks.backends.CSRWalkEngine.weighted_batch_walks`
+    fast-path order) — so the slice jumps twice per hop.  Graphs with
+    dangling rows consume the stream data-dependently (the masked
+    :meth:`~repro.walks.alias.AliasSampler.step` path) and cannot be
+    sliced; the backends fall back to a sequential call for those.
+    """
+    batch = starts.size
+    walks = np.empty((length + 1, batch), dtype=np.int32)
+    walks[0] = starts
+    if length and batch:
+        gen = generator_at(state, lo)
+        bit_gen = gen.bit_generator
+        current = starts.astype(np.int64)
+        for t in range(1, length + 1):
+            u_slot = gen.random(batch)
+            bit_gen.advance(total - batch)
+            u_coin = gen.random(batch)
+            bit_gen.advance(total - batch)
+            slots = indptr[current] + (
+                u_slot * out_degrees_f64[current]
+            ).astype(np.int64)
+            chosen = np.where(u_coin >= prob[slots], alias[slots], slots)
+            current = indices[chosen]
+            walks[t] = current
+    return np.ascontiguousarray(walks.T)
+
+
+# ----------------------------------------------------------------------
+# First-visit record extraction (shared by every index builder)
+# ----------------------------------------------------------------------
+def first_visit_records(
+    walks: np.ndarray, states: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """First-visit ``(hit, state, hop)`` records of a block of walks.
+
+    The Algorithm-3 extraction shared by the static builder
+    (:meth:`~repro.walks.index.FlatWalkIndex.build`), the dynamic builder
+    (:mod:`repro.dynamic.index`), and the multiproc workers (which run it
+    shard-locally and ship back only the records): a position is a record
+    iff its node differs from every earlier position of the walk.
+    ``states`` carries the per-row flattened ``D`` index.
+    """
+    batch = walks.shape[0]
+    length = walks.shape[1] - 1
+    hit_parts: list[np.ndarray] = []
+    state_parts: list[np.ndarray] = []
+    hop_parts: list[np.ndarray] = []
+    for hop in range(1, length + 1):
+        col = walks[:, hop].astype(np.int64)
+        fresh = np.ones(batch, dtype=bool)
+        for prev in range(hop):
+            np.logical_and(fresh, col != walks[:, prev], out=fresh)
+        if not fresh.any():
+            continue
+        hit_parts.append(col[fresh])
+        state_parts.append(states[fresh])
+        hop_parts.append(np.full(int(fresh.sum()), hop, dtype=np.int64))
+    if not hit_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    return (
+        np.concatenate(hit_parts),
+        np.concatenate(state_parts),
+        np.concatenate(hop_parts),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+class SharedArrayPack:
+    """A named bundle of numpy arrays copied into shared-memory segments.
+
+    The parent creates the pack once (per graph, or per call for
+    transient inputs like a target mask), hands workers the picklable
+    ``specs`` dict, and remains the *sole owner* of the segments:
+    :meth:`close` both closes and unlinks every one.  Workers only ever
+    attach read-only views (:func:`attach_array`) and never unlink — so
+    a crashed worker cannot leak a segment; leaks are impossible as long
+    as the parent's ``close`` runs, which the multiproc engine guarantees
+    on every exception path (and via a finalizer on interpreter exit).
+    """
+
+    def __init__(self, arrays: "dict[str, np.ndarray]"):
+        self.specs: "dict[str, tuple[str, tuple, str]]" = {}
+        self._segments: "list[shared_memory.SharedMemory]" = []
+        try:
+            for name, array in arrays.items():
+                array = np.ascontiguousarray(array)
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes)
+                )
+                self._segments.append(segment)
+                view = np.ndarray(
+                    array.shape, dtype=array.dtype, buffer=segment.buf
+                )
+                view[...] = array
+                self.specs[name] = (
+                    segment.name, array.shape, array.dtype.str
+                )
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Close and unlink every segment (idempotent, exception-safe)."""
+        segments, self._segments = self._segments, []
+        self.specs = {}
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (double-close is legal)
+
+    @property
+    def segment_names(self) -> "tuple[str, ...]":
+        """Kernel names of the live segments (diagnostics and tests)."""
+        return tuple(segment.name for segment in self._segments)
+
+
+#: Worker-side attach cache: segment name -> (SharedMemory, base array),
+#: LRU-bounded.  Keeping mappings open across tasks amortizes attach
+#: cost, but an open mapping also keeps an *unlinked* segment's physical
+#: memory alive — so when the parent cycles through many graphs (its own
+#: pack cache evicts and unlinks), workers must drop stale mappings too
+#: or the freed packs never actually free.  The cap comfortably exceeds
+#: the handful of arrays any single task touches, so a task can never
+#: evict a segment it is about to read.
+_ATTACH_CACHE_SIZE = 16
+_ATTACHED: "dict[str, tuple[shared_memory.SharedMemory, np.ndarray]]" = {}
+
+
+def attach_array(spec: "tuple[str, tuple, str]") -> np.ndarray:
+    """A read-only view of a shared array, attached and LRU-cached per
+    worker.
+
+    Pool workers share the parent's resource-tracker process, and the
+    tracker's registry is a per-name set — the attach-side ``register``
+    the stdlib performs is therefore idempotent with the parent's, and
+    the parent's single ``unlink`` retires the name exactly once.
+    Workers must never unregister (or unlink) themselves: that would
+    retire the parent's registration early and double-free the name.
+    Evicted mappings are merely *closed*, which is what releases the
+    segment's memory once the parent has unlinked it.
+    """
+    name, shape, dtype = spec
+    cached = _ATTACHED.pop(name, None)
+    if cached is None:
+        segment = shared_memory.SharedMemory(name=name)
+        base = np.ndarray(shape, dtype=np.dtype(dtype), buffer=segment.buf)
+        base.flags.writeable = False
+        cached = (segment, base)
+    _ATTACHED[name] = cached  # re-insert at the MRU end (dicts keep order)
+    while len(_ATTACHED) > _ATTACH_CACHE_SIZE:
+        oldest = next(iter(_ATTACHED))  # front of the dict == LRU
+        stale_segment, _stale_base = _ATTACHED.pop(oldest)
+        stale_segment.close()
+    return cached[1]
+
+
+# ----------------------------------------------------------------------
+# Process-pool task entry point
+# ----------------------------------------------------------------------
+def run_task(task: dict):
+    """Execute one multiproc shard task (top-level: spawn-picklable).
+
+    ``task["mode"]`` selects the kernel:
+
+    * ``"walks"`` → the ``(rows, L+1)`` walk slice;
+    * ``"first_hits"`` → the per-row first-hit hops (mask from shared
+      memory);
+    * ``"records"`` → the slice's first-visit ``(hit, state, hop)``
+      arrays — the streaming index-build path that never ships a walk
+      matrix back to the parent;
+    * ``"weighted"`` → the weighted walk slice.
+
+    Workers are stateless between tasks apart from the read-only attach
+    cache: the slice generator is rebuilt from the pickled stream state
+    every time, so a task that dies mid-shard (worker crash, interrupt)
+    leaves nothing to tear down worker-side — recovery is entirely the
+    parent's unlink-and-raise path.
+    """
+    mode = task["mode"]
+    specs = task["specs"]
+    starts = task["starts"]
+    length = task["length"]
+    state = task["state"]
+    lo = task["lo"]
+    total = task["total"]
+    if mode == "weighted":
+        return slice_weighted_walks(
+            attach_array(specs["indptr"]),
+            attach_array(specs["indices"]),
+            attach_array(specs["out_degrees_f64"]),
+            attach_array(specs["prob"]),
+            attach_array(specs["alias"]),
+            starts, length, state, lo, total,
+        )
+    indptr = attach_array(specs["indptr"])
+    indices = attach_array(specs["indices"])
+    degrees = attach_array(specs["degrees_f64"])
+    if mode == "walks":
+        return slice_walks(
+            indptr, indices, degrees, starts, length, state, lo, total
+        )
+    if mode == "first_hits":
+        mask = attach_array(task["mask_spec"]).view(bool)
+        return slice_first_hits(
+            indptr, indices, degrees, starts, length, mask, state, lo, total
+        )
+    if mode == "records":
+        walks = slice_walks(
+            indptr, indices, degrees, starts, length, state, lo, total
+        )
+        return first_visit_records(walks, task["states"])
+    raise ValueError(f"unknown multiproc task mode {mode!r}")

@@ -300,6 +300,8 @@ def _walk_matrix(num_replicates: int, length: int):
 
 
 class TestPopcountOracleProperty:
+    pytestmark = pytest.mark.slow
+
     @given(
         walks=st.integers(min_value=1, max_value=3).flatmap(
             lambda reps: st.tuples(

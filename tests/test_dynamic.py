@@ -43,7 +43,7 @@ from repro.dynamic import (
     robust_greedy,
 )
 
-ENGINES = ("numpy", "csr", "sharded")
+ENGINES = ("numpy", "csr", "sharded", "multiproc")
 
 
 def assert_index_identical(a: DynamicWalkIndex, b: DynamicWalkIndex) -> None:
@@ -283,6 +283,7 @@ graph_edges = st.lists(
 )
 
 
+@pytest.mark.slow
 @settings(
     max_examples=25,
     deadline=None,

@@ -1,0 +1,259 @@
+"""Resource-lifecycle tests for the multiproc walk engine.
+
+Parity is covered by tests/test_walk_backends.py and the differential
+harness (tests/test_differential.py); this suite pins the *operational*
+guarantees of DESIGN.md §11:
+
+* shared-memory segments are placed once per graph and cached;
+* ``close()`` unlinks every segment and is idempotent;
+* **every** exception path — a worker crash mid-shard, a broken pool, a
+  failure while setting the fan-out up — unlinks the segments before the
+  exception propagates (the can't-leak regression tests);
+* per-call segments (the first-hit target mask) never outlive their call;
+* a failed fan-out leaves the caller's generator position untouched, so
+  the stream discipline survives crashes and retries;
+* dropping the engine (finalizer) releases everything too.
+"""
+
+import gc
+import operator
+
+import numpy as np
+import pytest
+from multiprocessing import shared_memory
+
+import repro.walks.backends as backends_mod
+from repro.errors import ParameterError
+from repro.graphs.generators import power_law_graph
+from repro.walks.backends import MultiprocWalkEngine, get_engine
+from repro.walks.parallel import SharedArrayPack
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def _segment_names(engine: MultiprocWalkEngine) -> list[str]:
+    names = []
+    for key in ("packs", "weighted_packs"):
+        for _graph, pack in engine._resources[key].values():
+            names.extend(pack.segment_names)
+    return names
+
+
+@pytest.fixture(scope="module")
+def pooled_engine():
+    """One pool-forced engine for the whole module (spawn startup is the
+    expensive part; the tests only need it paid once)."""
+    engine = MultiprocWalkEngine(
+        num_procs=2, shard_rows=128, min_parallel_rows=0
+    )
+    yield engine
+    engine.close()
+
+
+@pytest.fixture
+def graph():
+    return power_law_graph(80, 320, seed=2)
+
+
+class TestSharedMemoryLifecycle:
+    def test_pool_path_bit_identical(self, pooled_engine, graph):
+        starts = np.arange(graph.num_nodes).repeat(4)
+        expected = get_engine("numpy").batch_walks(graph, starts, 5, seed=31)
+        assert np.array_equal(
+            pooled_engine.batch_walks(graph, starts, 5, seed=31), expected
+        )
+
+    def test_segments_cached_per_graph(self, pooled_engine, graph):
+        starts = np.arange(graph.num_nodes).repeat(2)
+        pooled_engine.batch_walks(graph, starts, 3, seed=1)
+        names = _segment_names(pooled_engine)
+        assert names and all(_segment_exists(n) for n in names)
+        pooled_engine.batch_walks(graph, starts, 4, seed=2)
+        assert set(_segment_names(pooled_engine)) >= set(names)
+
+    def test_close_unlinks_and_engine_stays_usable(self, graph):
+        engine = MultiprocWalkEngine(
+            num_procs=1, shard_rows=64, min_parallel_rows=0
+        )
+        starts = np.arange(graph.num_nodes).repeat(2)
+        a = engine.batch_walks(graph, starts, 4, seed=7)
+        names = _segment_names(engine)
+        assert names
+        engine.close()
+        engine.close()  # idempotent
+        assert all(not _segment_exists(n) for n in names)
+        # The engine republishes segments and a fresh pool on next use.
+        b = engine.batch_walks(graph, starts, 4, seed=7)
+        assert np.array_equal(a, b)
+        engine.close()
+
+    def test_small_batches_never_spin_up_a_pool(self, graph):
+        engine = MultiprocWalkEngine(num_procs=1, min_parallel_rows=4096)
+        walks = engine.batch_walks(graph, np.arange(10), 4, seed=5)
+        assert np.array_equal(
+            walks, get_engine("numpy").batch_walks(graph, np.arange(10), 4, seed=5)
+        )
+        assert engine._resources["pool"] is None
+        assert not _segment_names(engine)
+
+    def test_mask_segments_do_not_outlive_their_call(
+        self, pooled_engine, graph, monkeypatch
+    ):
+        created = []
+
+        class RecordingPack(SharedArrayPack):
+            def __init__(self, arrays):
+                self.keys = tuple(arrays)
+                super().__init__(arrays)
+                created.append(self)
+
+        monkeypatch.setattr(backends_mod, "SharedArrayPack", RecordingPack)
+        starts = np.arange(graph.num_nodes).repeat(2)
+        mask = np.zeros(graph.num_nodes, dtype=bool)
+        mask[::5] = True
+        hits = pooled_engine.walk_first_hits(graph, starts, 5, mask, seed=3)
+        assert np.array_equal(
+            hits,
+            get_engine("numpy").walk_first_hits(graph, starts, 5, mask, seed=3),
+        )
+        mask_packs = [p for p in created if "mask" in p.keys]
+        assert mask_packs, "the first-hit path must ship the mask via shm"
+        for pack in mask_packs:
+            assert not pack.segment_names  # closed in the call's finally
+
+    def test_finalizer_releases_on_collection(self, graph):
+        engine = MultiprocWalkEngine(
+            num_procs=1, shard_rows=64, min_parallel_rows=0
+        )
+        engine.batch_walks(graph, np.arange(graph.num_nodes).repeat(2), 3, seed=4)
+        names = _segment_names(engine)
+        assert names
+        del engine
+        gc.collect()
+        assert all(not _segment_exists(n) for n in names)
+
+
+class TestCrashPaths:
+    def test_worker_exception_unlinks_segments(self, graph, monkeypatch):
+        engine = MultiprocWalkEngine(
+            num_procs=1, shard_rows=64, min_parallel_rows=0
+        )
+        starts = np.arange(graph.num_nodes).repeat(2)
+        engine.batch_walks(graph, starts, 4, seed=11)  # warm pool + segments
+        names = _segment_names(engine)
+        assert names
+        # Make every worker task die mid-shard: floordiv is picklable by
+        # qualified name and raises in the worker on the task dict.
+        monkeypatch.setattr(backends_mod, "run_task", operator.floordiv)
+        with pytest.raises(TypeError):
+            engine.batch_walks(graph, starts, 4, seed=11)
+        assert all(not _segment_exists(n) for n in names)
+        assert engine._resources["pool"] is None
+        monkeypatch.undo()
+        # Recovery: the next call rebuilds everything and still agrees.
+        walks = engine.batch_walks(graph, starts, 4, seed=11)
+        assert np.array_equal(
+            walks, get_engine("numpy").batch_walks(graph, starts, 4, seed=11)
+        )
+        engine.close()
+
+    def test_failed_fanout_preserves_caller_stream(self, graph, monkeypatch):
+        engine = MultiprocWalkEngine(
+            num_procs=1, shard_rows=64, min_parallel_rows=0
+        )
+        starts = np.arange(graph.num_nodes).repeat(2)
+        engine.batch_walks(graph, starts, 3, seed=0)  # warm
+        rng = np.random.default_rng(8)
+        twin = np.random.default_rng(8)
+
+        def boom():
+            raise RuntimeError("simulated pool breakage")
+
+        monkeypatch.setattr(engine, "_ensure_pool", boom)
+        with pytest.raises(RuntimeError):
+            engine.batch_walks(graph, starts, 3, seed=rng)
+        monkeypatch.undo()
+        # The failed call consumed nothing: the caller's stream is where
+        # it started, so a retry reproduces exactly what a non-failing
+        # call would have produced.
+        assert rng.bit_generator.state == twin.bit_generator.state
+        retry = engine.batch_walks(graph, starts, 3, seed=rng)
+        assert np.array_equal(
+            retry, get_engine("numpy").batch_walks(graph, starts, 3, seed=twin)
+        )
+        engine.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ParameterError):
+            MultiprocWalkEngine(num_procs=0)
+        with pytest.raises(ParameterError):
+            MultiprocWalkEngine(shard_rows=0)
+        with pytest.raises(ParameterError):
+            MultiprocWalkEngine(cache_size=0)
+
+
+class TestRecordStreaming:
+    def test_walk_records_matches_default_extraction(self, pooled_engine, graph):
+        starts = np.arange(graph.num_nodes).repeat(3)
+        states = (
+            np.arange(starts.size, dtype=np.int64) % 3
+        ) * graph.num_nodes + starts
+        ref = get_engine("numpy").walk_records(
+            graph, starts, 5, states, seed=21, chunk_rows=100
+        )
+        got = pooled_engine.walk_records(
+            graph, starts, 5, states, seed=21, chunk_rows=100
+        )
+        span = graph.num_nodes * 3 * 6
+
+        def keys(records):
+            hits, record_states, hops = records
+            return np.sort(hits * span * 6 + record_states * 6 + hops)
+
+        assert np.array_equal(keys(ref), keys(got))
+
+    def test_states_must_align(self, pooled_engine, graph):
+        with pytest.raises(ParameterError, match="align"):
+            pooled_engine.walk_records(
+                graph, np.arange(10), 3, np.arange(4), seed=1
+            )
+
+
+class TestWorkerAttachCache:
+    def test_attach_cache_is_bounded_and_closes_evictions(self):
+        # Workers that see many graphs over a pool's lifetime must not
+        # pin every segment forever: evicted attachments are closed so
+        # parent-unlinked packs can actually free their memory.
+        from repro.walks import parallel
+
+        packs = [
+            SharedArrayPack({"data": np.arange(4, dtype=np.int64) + i})
+            for i in range(parallel._ATTACH_CACHE_SIZE + 5)
+        ]
+        try:
+            names = [pack.specs["data"][0] for pack in packs]
+            for pack in packs:
+                view = parallel.attach_array(pack.specs["data"])
+                assert view.dtype == np.int64
+            assert len(parallel._ATTACHED) <= parallel._ATTACH_CACHE_SIZE
+            # The most recently attached names survive; the oldest were
+            # closed and dropped.
+            survivors = set(parallel._ATTACHED)
+            assert names[-1] in survivors
+            assert names[0] not in survivors
+            # Re-attaching an evicted segment works while it still exists.
+            again = parallel.attach_array(packs[0].specs["data"])
+            assert int(again[0]) == 0
+        finally:
+            while parallel._ATTACHED:
+                _, (segment, _) = parallel._ATTACHED.popitem()
+                segment.close()
+            for pack in packs:
+                pack.close()

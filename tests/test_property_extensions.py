@@ -9,8 +9,12 @@ exact (no Monte-Carlo tolerance).
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+#: Exhaustive hypothesis suite: slow lane (see pytest.ini).
+pytestmark = pytest.mark.slow
 
 from repro.core.edge_domination import (
     EdgeDominationEngine,

@@ -14,6 +14,9 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+#: Exhaustive hypothesis suite: slow lane (see pytest.ini).
+pytestmark = pytest.mark.slow
+
 from repro.graphs.builder import GraphBuilder
 from repro.graphs.adjacency import Graph
 from repro.hitting.exact import hit_probability_vector, hitting_time_vector

@@ -1,10 +1,13 @@
 """Tests for the pluggable walk-engine backends (repro.walks.backends).
 
-The central contract: the ``"csr"`` backend produces *bit-identical* walks
-and first-hits to the ``"numpy"`` backend under the same seed, including
-dangling-node and weighted-graph cases, so the two are interchangeable
-mid-experiment.  The ``"sharded"`` backend trades that stream parity for
-parallelism but must stay a pure function of ``(seed, num_shards)``.
+The central contract: **every** backend produces *bit-identical* walks
+and first-hits to the ``"numpy"`` reference under the same seed —
+``"csr"`` consumes the same stream hop for hop, and the parallel
+``"sharded"``/``"multiproc"`` backends slice that stream per shard
+(repro.walks.parallel), so their output is additionally independent of
+shard count, worker count, and scheduling.  The multiproc engine's
+resource lifecycle (shared-memory segments, pool teardown, crash paths)
+has its own suite in tests/test_multiproc.py.
 """
 
 import numpy as np
@@ -67,7 +70,7 @@ def weighted_cases():
 class TestRegistry:
     def test_builtins_registered(self):
         names = available_engines()
-        assert {"numpy", "csr", "sharded"} <= set(names)
+        assert {"numpy", "csr", "sharded", "multiproc"} <= set(names)
 
     def test_default_is_numpy(self):
         assert get_engine(None).name == "numpy"
@@ -162,7 +165,7 @@ class TestCsrParity:
 
     def test_empty_batch(self):
         g = ring_graph(5)
-        for engine in ("numpy", "csr", "sharded"):
+        for engine in ("numpy", "csr", "sharded", "multiproc"):
             walks = get_engine(engine).batch_walks(g, [], 4, seed=1)
             assert walks.shape == (0, 5)
 
@@ -186,7 +189,7 @@ class TestCsrParity:
 
     def test_invalid_args_match_numpy(self):
         g = ring_graph(6)
-        for engine in ("csr", "sharded"):
+        for engine in ("csr", "sharded", "multiproc"):
             with pytest.raises(ParameterError):
                 get_engine(engine).batch_walks(g, [0, 99], 3, seed=1)
             with pytest.raises(ParameterError):
@@ -229,22 +232,45 @@ class TestShardedEngine:
             many.batch_walks(g, starts, 5, seed=3),
         )
 
-    def test_matches_unsharded_base_per_shard(self):
-        # Shard results are each shard's base-engine run under its spawned
-        # child stream, reassembled in order.
-        from repro.walks.rng import spawn_children
-
+    def test_matches_sequential_backends_bitwise(self):
+        # The stream-sliced shards reassemble to exactly the sequential
+        # engines' output — the four-backend bit-identity contract.
         g = ring_graph(16)
         starts = np.arange(16).repeat(2)
         engine = ShardedWalkEngine(base="csr", num_shards=4)
         walks = engine.batch_walks(g, starts, 5, seed=99)
-        children = spawn_children(99, 4)
-        chunks = np.array_split(starts, 4)
-        expected = np.vstack([
-            get_engine("csr").batch_walks(g, chunk, 5, seed=child)
-            for chunk, child in zip(chunks, children)
-        ])
-        assert np.array_equal(walks, expected)
+        assert np.array_equal(
+            walks, get_engine("numpy").batch_walks(g, starts, 5, seed=99)
+        )
+        assert np.array_equal(
+            walks, get_engine("csr").batch_walks(g, starts, 5, seed=99)
+        )
+
+    def test_independent_of_shard_count(self):
+        # Stream slicing makes the partitioning invisible: any num_shards
+        # (including 1) produces the same walks.
+        g = power_law_graph(60, 240, seed=4)
+        starts = np.arange(60).repeat(3)
+        reference = ShardedWalkEngine(num_shards=1).batch_walks(
+            g, starts, 6, seed=17
+        )
+        for shards in (2, 3, 8, 64):
+            walks = ShardedWalkEngine(num_shards=shards).batch_walks(
+                g, starts, 6, seed=17
+            )
+            assert np.array_equal(walks, reference), shards
+
+    def test_non_sliceable_generator_falls_back(self):
+        # A Philox-backed Generator cannot be sliced (its advance counts
+        # 256-bit blocks); the engine must fall back to one sequential
+        # call and still match the numpy backend on the same stream.
+        g = power_law_graph(40, 160, seed=6)
+        starts = np.arange(40).repeat(2)
+        rng_a = np.random.Generator(np.random.Philox(3))
+        rng_b = np.random.Generator(np.random.Philox(3))
+        a = get_engine("numpy").batch_walks(g, starts, 5, seed=rng_a)
+        b = ShardedWalkEngine(num_shards=4).batch_walks(g, starts, 5, seed=rng_b)
+        assert np.array_equal(a, b)
 
     def test_starts_preserved_and_valid(self):
         from repro.walks.engine import walk_is_valid
@@ -285,8 +311,19 @@ class TestEngineThreading:
     def test_flat_index_identical_across_backends(self):
         g = power_law_graph(80, 320, seed=4)
         a = FlatWalkIndex.build(g, 5, 10, seed=11, engine="numpy")
-        b = FlatWalkIndex.build(g, 5, 10, seed=11, engine="csr")
-        assert np.array_equal(a.indptr, b.indptr)
+        for engine in ("csr", "sharded", "multiproc"):
+            b = FlatWalkIndex.build(g, 5, 10, seed=11, engine=engine)
+            assert np.array_equal(a.indptr, b.indptr), engine
+            assert np.array_equal(a.state, b.state), engine
+            assert np.array_equal(a.hop, b.hop), engine
+
+    def test_walk_records_chunking_invisible_in_index(self):
+        # walk_records consumes the stream chunk-by-chunk, so a given
+        # chunk_rows yields one well-defined index; the canonical entry
+        # order makes the *record order* within it irrelevant.
+        g = power_law_graph(50, 200, seed=5)
+        a = FlatWalkIndex.build(g, 4, 6, seed=9, chunk_rows=64, engine="numpy")
+        b = FlatWalkIndex.build(g, 4, 6, seed=9, chunk_rows=64, engine="sharded")
         assert np.array_equal(a.state, b.state)
         assert np.array_equal(a.hop, b.hop)
 
@@ -332,6 +369,20 @@ class TestEngineThreading:
         )
         assert len(result.selected) == 3
         assert result.params["walk_engine"] == "sharded"
+
+    def test_solver_parity_across_all_backends(self):
+        # Bit-identical walks imply bit-identical selections and gains.
+        g = power_law_graph(70, 280, seed=14)
+        reference = approx_greedy_fast(
+            g, 5, 4, num_replicates=20, seed=37, engine="numpy"
+        )
+        for engine in ("csr", "sharded", "multiproc"):
+            result = approx_greedy_fast(
+                g, 5, 4, num_replicates=20, seed=37, engine=engine
+            )
+            assert result.selected == reference.selected, engine
+            assert result.gains == reference.gains, engine
+            assert result.params["walk_engine"] == engine
 
     def test_engine_instance_accepted(self):
         g = ring_graph(10)

@@ -1,8 +1,8 @@
 #!/usr/bin/env python
 """Regenerate ``benchmarks/baselines.json`` from a local benchmark run.
 
-Runs the gated benchmark suites (``bench_micro_kernels.py`` and
-``bench_coverage_kernel.py``) with ``--json``, then rewrites the committed
+Runs the gated benchmark suites (``BENCH_FILES`` below) with ``--json``,
+then rewrites the committed
 baseline file from the fresh measurements (documented in DESIGN.md §8).
 Run it on a quiet machine after a deliberate performance change, review
 the diff, and commit the result::
@@ -35,6 +35,7 @@ BENCH_FILES = [
     "benchmarks/bench_coverage_kernel.py",
     "benchmarks/bench_dynamic_updates.py",
     "benchmarks/bench_serving.py",
+    "benchmarks/bench_multiproc.py",
 ]
 
 

@@ -321,6 +321,33 @@ def build_parser() -> argparse.ArgumentParser:
         "in-process with -L/-R/--seed/--engine",
     )
     serve.add_argument(
+        "--http", action="store_true",
+        help="serve over HTTP: start the asyncio front end "
+        "(repro.serve.http) on --host/--port and drive the workload "
+        "through per-client keep-alive connections instead of in-process "
+        "calls",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1",
+        help="HTTP listen address (default 127.0.0.1; with --http)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="HTTP listen port (default 0 = ephemeral, printed at "
+        "startup; with --http)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="HTTP admission bound: queries executing concurrently "
+        "before new ones get a fast 503 + Retry-After (default 32; "
+        "with --http)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=128,
+        help="HTTP connection cap: further connections are answered 503 "
+        "and closed (default 128; with --http)",
+    )
+    serve.add_argument(
         "--clients", type=int, default=4,
         help="closed-loop client threads (default 4)",
     )
@@ -745,9 +772,32 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{args.clients} closed-loop clients, "
             f"batch window {args.batch_window:g} ms"
         )
-        report = run_load(
-            service, queries, num_clients=args.clients, repeat=args.repeat
-        )
+        if args.http:
+            from repro.serve import start_http_server
+
+            handle = start_http_server(
+                service, host=args.host, port=args.port,
+                max_inflight=args.max_inflight,
+                max_connections=args.max_connections,
+            )
+            try:
+                print(
+                    f"http front end on {handle.base_url} "
+                    f"(max in-flight {args.max_inflight}, "
+                    f"max connections {args.max_connections})"
+                )
+                report = run_load(
+                    service, queries, num_clients=args.clients,
+                    repeat=args.repeat, transport="http",
+                    base_url=handle.base_url,
+                )
+            finally:
+                handle.stop()
+        else:
+            report = run_load(
+                service, queries, num_clients=args.clients,
+                repeat=args.repeat,
+            )
     stats = report.stats
     print(
         f"throughput: {report.throughput_qps:.1f} q/s "
@@ -762,14 +812,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"kernel passes: {stats.kernel_passes} "
         f"({stats.batched_queries} select queries in "
         f"{stats.select_batches} batches), "
-        f"cache hits: {stats.cache_hits}, errors: {report.errors}"
+        f"cache hits: {stats.cache_hits}, errors: {report.errors}, "
+        f"rejections: {report.rejections}"
     )
     if args.json:
-        payload = dataclasses.asdict(report)
-        for key in ("latency_mean_ms", "latency_p50_ms", "latency_p99_ms"):
-            if payload[key] != payload[key]:  # NaN: no answered queries
-                payload[key] = None  # bare NaN is not valid strict JSON
-        _write_json(json.dumps(payload, indent=2), args.json)
+        # Percentiles are always observed latencies now — an all-rejected
+        # run raises inside run_load instead of reporting NaN.
+        _write_json(
+            json.dumps(dataclasses.asdict(report), indent=2), args.json
+        )
     if report.errors:
         print(
             f"error: {report.errors} workload queries were rejected by "

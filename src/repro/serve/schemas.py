@@ -1,0 +1,239 @@
+"""Typed JSON request/response schemas for the HTTP serving tier.
+
+The wire format of :mod:`repro.serve.http` (DESIGN.md §12.1).  Each query
+kind accepted by :class:`~repro.serve.service.DominationService` has one
+frozen request dataclass, and :func:`decode_request` turns a parsed JSON
+body into that dataclass — or raises
+:class:`~repro.errors.ParameterError` naming the offending field, the
+same context discipline as the line numbers of
+:func:`repro.serve.loadgen.parse_workload`.  Validation here is
+*structural* (types, enumerations, unknown fields); range checks against
+the served graph (``k <= n``, target ids in range, reachable coverage
+fractions) stay inside the service, which raises the same
+``ParameterError`` the direct solver call would.
+
+The encode/decode pair round-trips exactly::
+
+    decode_request(*encode_request(req)) == req
+
+for every valid request, which is what lets the HTTP load generator and
+the property suite (``tests/test_http_serve.py``) assert wire answers
+bit-identical to in-process calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from math import isfinite
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serve.service import DominationService
+
+__all__ = [
+    "REQUEST_KINDS",
+    "SelectRequest",
+    "MetricsRequest",
+    "CoverageRequest",
+    "MinTargetsRequest",
+    "decode_request",
+    "encode_request",
+    "encode_response",
+]
+
+#: Query kinds with a wire schema, in the order they are documented.
+#: These are the path segments of ``POST /query/<kind>`` — note
+#: ``min_targets`` (underscore, like the service method), where workload
+#: files spell the same query ``min-targets``.
+REQUEST_KINDS = ("select", "metrics", "coverage", "min_targets")
+
+_OBJECTIVES = ("f1", "f2")
+
+
+@dataclass(frozen=True)
+class SelectRequest:
+    """``POST /query/select`` — best-``k`` placement."""
+
+    k: int
+    objective: str = "f2"
+
+    kind = "select"
+
+    def issue(self, service: "DominationService"):
+        return service.select(self.k, objective=self.objective)
+
+
+@dataclass(frozen=True)
+class MetricsRequest:
+    """``POST /query/metrics`` — sampled coverage/AHT of a placement."""
+
+    targets: tuple[int, ...]
+
+    kind = "metrics"
+
+    def issue(self, service: "DominationService"):
+        return service.metrics(self.targets)
+
+
+@dataclass(frozen=True)
+class CoverageRequest:
+    """``POST /query/coverage`` — covered fraction of a placement."""
+
+    targets: tuple[int, ...]
+
+    kind = "coverage"
+
+    def issue(self, service: "DominationService"):
+        return service.coverage(self.targets)
+
+
+@dataclass(frozen=True)
+class MinTargetsRequest:
+    """``POST /query/min_targets`` — smallest set reaching a coverage."""
+
+    fraction: float
+    max_size: "int | None" = None
+
+    kind = "min_targets"
+
+    def issue(self, service: "DominationService"):
+        return service.min_targets(self.fraction, max_size=self.max_size)
+
+
+# ----------------------------------------------------------------------
+# Field decoders.  Each raises ParameterError with a message fragment;
+# decode_request prefixes the kind/field context.  bool is explicitly
+# rejected wherever an int is expected — JSON true/false would otherwise
+# pass isinstance(int) and silently become 1/0.
+# ----------------------------------------------------------------------
+def _decode_int(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ParameterError(f"expected an integer, got {value!r}")
+    return int(value)
+
+
+def _decode_objective(value: Any) -> str:
+    if not isinstance(value, str) or value not in _OBJECTIVES:
+        raise ParameterError(
+            f"expected one of {_OBJECTIVES}, got {value!r}"
+        )
+    return value
+
+
+def _decode_targets(value: Any) -> tuple[int, ...]:
+    if not isinstance(value, (list, tuple)):
+        raise ParameterError(
+            f"expected an array of node ids, got {value!r}"
+        )
+    return tuple(_decode_int(item) for item in value)
+
+
+def _decode_fraction(value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ParameterError(f"expected a number, got {value!r}")
+    result = float(value)
+    if not isfinite(result):
+        raise ParameterError(f"expected a finite number, got {value!r}")
+    return result
+
+
+def _decode_max_size(value: Any) -> "int | None":
+    if value is None:
+        return None
+    return _decode_int(value)
+
+
+#: ``kind -> (request class, {field: (decoder, required)})``.  The field
+#: tables mirror the dataclass fields exactly, which is what makes the
+#: encode/decode round-trip an identity.
+_SPECS: dict[str, tuple[type, dict[str, tuple]]] = {
+    "select": (
+        SelectRequest,
+        {"k": (_decode_int, True), "objective": (_decode_objective, False)},
+    ),
+    "metrics": (MetricsRequest, {"targets": (_decode_targets, True)}),
+    "coverage": (CoverageRequest, {"targets": (_decode_targets, True)}),
+    "min_targets": (
+        MinTargetsRequest,
+        {
+            "fraction": (_decode_fraction, True),
+            "max_size": (_decode_max_size, False),
+        },
+    ),
+}
+
+
+def decode_request(kind: str, payload: Any):
+    """Validate a parsed JSON body into the request dataclass for ``kind``.
+
+    Raises :class:`~repro.errors.ParameterError` with kind and field
+    context on an unknown kind, a non-object body, unknown or missing
+    fields, or a field value of the wrong shape.  Never raises anything
+    else, whatever the payload — the HTTP tier relies on that to turn
+    every malformed body into a typed 4xx instead of a traceback.
+    """
+    if kind not in _SPECS:
+        raise ParameterError(
+            f"unknown query kind {kind!r} (expected one of {REQUEST_KINDS})"
+        )
+    if not isinstance(payload, dict):
+        raise ParameterError(
+            f"{kind} request body must be a JSON object, got "
+            f"{type(payload).__name__}"
+        )
+    cls, spec = _SPECS[kind]
+    unknown = sorted(set(payload) - set(spec))
+    if unknown:
+        raise ParameterError(
+            f"{kind} request: unknown field(s) {', '.join(map(repr, unknown))} "
+            f"(expected {', '.join(map(repr, spec))})"
+        )
+    kwargs = {}
+    for name, (decode, required) in spec.items():
+        if name not in payload:
+            if required:
+                raise ParameterError(
+                    f"{kind} request: missing required field {name!r}"
+                )
+            continue
+        try:
+            kwargs[name] = decode(payload[name])
+        except ParameterError as exc:
+            raise ParameterError(
+                f"{kind} request field {name!r}: {exc}"
+            ) from None
+    return cls(**kwargs)
+
+
+def encode_request(request) -> tuple[str, dict]:
+    """``(kind, JSON-ready payload)`` for a request dataclass.
+
+    Inverse of :func:`decode_request`; tuples become JSON arrays.
+    """
+    payload = {}
+    for field in fields(request):
+        value = getattr(request, field.name)
+        payload[field.name] = list(value) if isinstance(value, tuple) else value
+    return request.kind, payload
+
+
+def encode_response(kind: str, value) -> dict:
+    """JSON-ready body for one answered query.
+
+    ``select``/``min_targets`` serialize the full
+    :class:`~repro.core.result.SelectionResult` (its ``to_dict`` form, so
+    ``selected``/``gains`` survive the wire bit-exactly — ``json`` emits
+    ``repr``-round-trippable floats); ``metrics`` and ``coverage`` wrap
+    their plain values.
+    """
+    if kind in ("select", "min_targets"):
+        return value.to_dict()
+    if kind == "metrics":
+        return {"metrics": {k: float(v) for k, v in value.items()}}
+    if kind == "coverage":
+        return {"coverage_fraction": float(value)}
+    raise ParameterError(
+        f"unknown query kind {kind!r} (expected one of {REQUEST_KINDS})"
+    )

@@ -228,6 +228,24 @@ class DominationService:
                 epoch=self._current[1].epoch, **self._counters
             )
 
+    def describe(self) -> dict:
+        """JSON-friendly identity of the served snapshot.
+
+        One atomic ``(generation, snapshot)`` read, so the fields are
+        mutually consistent even while publishes race — the HTTP tier
+        serves this from ``/healthz``.
+        """
+        generation, snap = self._current
+        return {
+            "num_nodes": snap.num_nodes,
+            "length": snap.length,
+            "num_replicates": snap.index.num_replicates,
+            "epoch": snap.epoch,
+            "generation": generation,
+            "fingerprint": f"{snap.fingerprint:#x}",
+            "gain_backend": self.gain_backend,
+        }
+
     def publish(self, snapshot: IndexSnapshot) -> None:
         """Atomically swap the serving snapshot.
 

@@ -459,10 +459,11 @@ class TestServe:
         assert "errors: 1" in captured.out
         assert "rejected" in captured.err
 
-    def test_serve_all_rejected_json_is_strict(self, edge_list, tmp_path,
-                                               capsys):
-        """An all-rejected run must still emit spec-valid JSON (NaN
-        latencies become null, not bare NaN literals)."""
+    def test_serve_all_rejected_run_fails_loudly(self, edge_list, tmp_path,
+                                                 capsys):
+        """An all-rejected run has no latency distribution; since ISSUE 6
+        it exits 1 with a typed error instead of emitting a report whose
+        percentiles describe nothing."""
         path = tmp_path / "allbad.txt"
         path.write_text("metrics 99999\n")
         report_path = tmp_path / "report.json"
@@ -472,13 +473,8 @@ class TestServe:
             "--json", str(report_path),
         ])
         assert code == 1
-        payload = json.loads(
-            report_path.read_text(), parse_constant=lambda c: pytest.fail(
-                f"non-strict JSON constant {c!r} in report"
-            ),
-        )
-        assert payload["latency_p50_ms"] is None
-        assert payload["errors"] == 1
+        assert "no queries were answered" in capsys.readouterr().err
+        assert not report_path.exists()
 
     def test_serve_bad_workload_exits_1(self, edge_list, tmp_path, capsys):
         path = tmp_path / "bad.txt"

@@ -478,19 +478,50 @@ class TestLoadgen:
         assert service.select(4).selected == direct.selected
 
     def test_run_load_counts_library_errors(self, graph, index):
-        import math
-
         service = _service(graph, index)
         bad = WorkloadQuery(kind="metrics", targets=(10_000,))
-        report = run_load(service, [bad], num_clients=1)
-        assert report.errors == 1
-        # Rejections carry no answer latency; an all-failed run reports
-        # nan percentiles instead of near-zero rejection times.
-        assert math.isnan(report.latency_p50_ms)
         good = WorkloadQuery(kind="metrics", targets=(1,))
         report = run_load(service, [bad, good], num_clients=1)
         assert report.errors == 1
-        assert not math.isnan(report.latency_p50_ms)
+        assert report.rejections == 0
+        assert report.latency_p50_ms == report.latency_p50_ms  # not NaN
+
+    def test_run_load_all_rejected_raises(self, graph, index):
+        """An all-failed run has no latency distribution; reporting
+        placeholder percentiles would read as a healthy run (ISSUE 6
+        regression — this used to return NaN percentiles)."""
+        service = _service(graph, index)
+        bad = WorkloadQuery(kind="metrics", targets=(10_000,))
+        with pytest.raises(ParameterError, match="no queries were answered"):
+            run_load(service, [bad, bad], num_clients=2)
+
+    def test_percentiles_are_observed_latencies(self):
+        """Small-sample rule: percentiles never interpolate between
+        samples (ISSUE 6 regression — two samples of 1 and 100 used to
+        'interpolate' a p99 of 99.01 that half the sample missed)."""
+        from repro.serve import sample_percentile
+
+        assert sample_percentile([1.0, 100.0], 99) == 100.0
+        assert sample_percentile([1.0, 100.0], 50) == 100.0
+        assert sample_percentile([1.0], 99) == 1.0
+        assert sample_percentile([5.0, 1.0, 3.0], 50) == 3.0
+        ladder = list(range(1, 101))
+        assert sample_percentile(ladder, 99) == 100.0
+        assert sample_percentile(ladder, 50) == 51.0
+        with pytest.raises(ParameterError, match="empty sample"):
+            sample_percentile([], 99)
+
+    def test_run_load_percentiles_follow_small_sample_rule(
+        self, graph, index
+    ):
+        """With < 100 answered queries the reported p99 is the maximum
+        observed latency, an honest upper bound."""
+        service = _service(graph, index)
+        queries = [WorkloadQuery(kind="coverage", targets=(v,)) for v in
+                   range(6)]
+        report = run_load(service, queries, num_clients=2)
+        assert report.latency_p99_ms >= report.latency_p50_ms
+        assert report.latency_p99_ms >= report.latency_mean_ms
 
     def test_run_load_reraises_unexpected_errors(self, graph, index,
                                                  monkeypatch):

@@ -35,6 +35,7 @@ BENCH_FILES = [
     "benchmarks/bench_coverage_kernel.py",
     "benchmarks/bench_dynamic_updates.py",
     "benchmarks/bench_serving.py",
+    "benchmarks/bench_http_serving.py",
     "benchmarks/bench_multiproc.py",
 ]
 

@@ -56,6 +56,7 @@ from repro.errors import ParameterError, RwdomError
 from repro.graphs.adjacency import Graph
 from repro.core.coverage_kernel import DEFAULT_GAIN_BACKEND, GAIN_BACKENDS
 from repro.walks.backends import DEFAULT_ENGINE, available_engines
+from repro.walks.storage import INDEX_FORMATS
 from repro.graphs.datasets import dataset_names, load_dataset
 from repro.graphs.generators import (
     erdos_renyi_graph,
@@ -234,7 +235,15 @@ def build_parser() -> argparse.ArgumentParser:
     index.add_argument("-R", "--replicates", type=int, default=100)
     index.add_argument("--seed", type=int, default=None)
     _add_engine_flag(index)
-    index.add_argument("--out", required=True, help="output .npz path")
+    index.add_argument(
+        "--out", required=True, help="output archive path (.npz or .idx3)"
+    )
+    index.add_argument(
+        "--index-format", choices=INDEX_FORMATS, default="dense",
+        help="archive format: dense (v2 .npz), compressed (v3 delta "
+        "codec), or mmap (v3 raw arrays + packed rows, loads as "
+        "memory maps)",
+    )
 
     analyze = sub.add_parser(
         "analyze", help="recommend a walk horizon L for a target set"
@@ -284,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic.add_argument(
         "--gain-backend", choices=GAIN_BACKENDS, default=DEFAULT_GAIN_BACKEND,
         help="marginal-gain machinery for the replay's (re-)solves",
+    )
+    dynamic.add_argument(
+        "--index-format", choices=INDEX_FORMATS, default="dense",
+        help="storage backend the replay/attack (re-)solves run on "
+        "(maintenance itself stays dense; selections are identical "
+        "across formats)",
     )
     dynamic.add_argument(
         "--resolve-threshold", type=float, default=0.9,
@@ -378,6 +393,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--gain-backend", choices=GAIN_BACKENDS, default=DEFAULT_GAIN_BACKEND,
         help="marginal-gain machinery for select/min-targets kernel passes",
+    )
+    serve.add_argument(
+        "--index-format", choices=INDEX_FORMATS, default=None,
+        help="in-memory index representation to serve from (default: "
+        "whatever the archive holds, or dense for an in-process build)",
     )
     serve.add_argument(
         "--json", metavar="FILE", default=None,
@@ -608,10 +628,12 @@ def _cmd_index(args: argparse.Namespace) -> int:
     )
     written = save_index(
         index, args.out, graph=graph, engine=args.engine, seed=args.seed,
+        format=args.index_format,
     )
     print(
         f"indexed {graph.num_nodes} nodes x {args.replicates} walks "
-        f"(L={args.length}, {index.total_entries} entries) -> {written}"
+        f"(L={args.length}, {index.total_entries} entries, "
+        f"{args.index_format}) -> {written}"
     )
     return 0
 
@@ -670,9 +692,12 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
             targets = tuple(_parse_targets(args.targets))
         else:
             from repro.core.approx_fast import approx_greedy_fast
+            from repro.walks.persistence import as_format
 
             solved = approx_greedy_fast(
-                graph, args.k, args.length, index=dyn.flat, objective="f2",
+                graph, args.k, args.length,
+                index=as_format(dyn.flat, args.index_format, graph=graph),
+                objective="f2",
                 gain_backend=args.gain_backend,
             )
             targets = solved.selected
@@ -707,6 +732,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         num_replicates=args.replicates, seed=args.seed, engine=args.engine,
         gain_backend=args.gain_backend,
         resolve_threshold=args.resolve_threshold,
+        index_format=args.index_format,
     )
     print(
         f"churn replay: {len(report.steps)} batches, k={report.k}, "
@@ -751,15 +777,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     }
     if args.index is not None:
         service = DominationService.from_index_file(
-            args.index, graph, **options
+            args.index, graph, index_format=args.index_format, **options
         )
     else:
         from repro.walks.index import FlatWalkIndex
+        from repro.walks.persistence import as_format
 
         index = FlatWalkIndex.build(
             graph, args.length, args.replicates, seed=args.seed,
             engine=args.engine,
         )
+        if args.index_format is not None:
+            index = as_format(index, args.index_format, graph=graph)
         service = DominationService(
             IndexSnapshot.capture(graph, index), **options
         )

@@ -85,9 +85,27 @@ class FastApproxEngine:
             else:
                 self.d = np.zeros(n * r, dtype=np.int32)
         self._chosen = np.zeros(n, dtype=bool)
+        # On compressed storage every states_for is a block decode, and
+        # CELF re-evaluates its hot candidates across rounds — memoize
+        # decoded blocks for this solve.  The cache is bounded by the
+        # dense state array's size, lives only as long as the engine, and
+        # entries are immutable, so sharing them is safe.
+        self._block_cache: "dict[int, np.ndarray] | None" = (
+            {} if index.storage_format == "compressed" else None
+        )
         self.selected: list[int] = []
         self.gains: list[float] = []
         self.num_gain_evaluations = 0
+
+    def _states_of(self, node: int) -> np.ndarray:
+        """``index.states_for`` with per-solve memoization (see above)."""
+        cache = self._block_cache
+        if cache is None:
+            return self.index.states_for(node)
+        states = cache.get(node)
+        if states is None:
+            states = cache[node] = self.index.states_for(node)
+        return states
 
     # ------------------------------------------------------------------
     @property
@@ -117,14 +135,25 @@ class FastApproxEngine:
             return self._kernel.gains_all()
         index = self.index
         n = self.num_nodes
+        if self.objective == "f2" and not self.d.any():
+            # Nothing covered yet: every entry contributes exactly 1, so
+            # the sweep is ``R + per-node entry counts`` — no state pass.
+            # This is the first sweep of every fresh solve, and on
+            # compressed storage it skips the full entry-stream decode.
+            self.num_gain_evaluations += n
+            return self.num_replicates + np.diff(index.indptr)
+        # One materialization per sweep: ``state`` is a property that
+        # decodes on every access for compressed storage, so localize it
+        # (and ``hop``) before the arithmetic touches them repeatedly.
+        state = index.state
         if self.objective == "f1":
-            contrib = self.d[index.state].astype(np.int64) - index.hop
+            contrib = self.d[state].astype(np.int64) - index.hop
             np.maximum(contrib, 0, out=contrib)
         else:
-            contrib = 1 - self.d[index.state].astype(np.int64)
+            contrib = 1 - self.d[state].astype(np.int64)
         # Exact group sums by hit node: cumulative sum differences.  All
         # contributions are integers, so int64 cumsum is exact.
-        running = np.zeros(index.state.size + 1, dtype=np.int64)
+        running = np.zeros(state.size + 1, dtype=np.int64)
         np.cumsum(contrib, out=running[1:])
         entry_sums = running[index.indptr[1:]] - running[index.indptr[:-1]]
         if self.objective == "f1":
@@ -145,20 +174,25 @@ class FastApproxEngine:
         if self._kernel is not None:
             self.num_gain_evaluations += 1
             return self._kernel.gain_of(node)
-        state, hop = self.index.entries_for(node)
         if self.objective == "f1":
+            state, hop = self.index.entries_for(node)
             contrib = self.d[state].astype(np.int64) - hop
             np.maximum(contrib, 0, out=contrib)
             base = int(
                 self.d[node :: self.num_nodes].sum(dtype=np.int64)
             )
-        else:
-            contrib = 1 - self.d[state].astype(np.int64)
-            base = self.num_replicates - int(
-                self.d[node :: self.num_nodes].sum(dtype=np.int64)
-            )
+            self.num_gain_evaluations += 1
+            return base + int(contrib.sum())
+        # f2 never reads hops; skip their decode on compressed storage.
+        # sum(1 - d[state]) == size - sum(d[state]) in two fewer passes.
+        state = self._states_of(node)
+        base = self.num_replicates - int(
+            self.d[node :: self.num_nodes].sum(dtype=np.int64)
+        )
         self.num_gain_evaluations += 1
-        return base + int(contrib.sum())
+        return base + int(state.size) - int(
+            self.d[state].sum(dtype=np.int64)
+        )
 
     def select(self, node: int, gain: "float | None" = None) -> None:
         """Commit one selection: record it and run Algorithm 5's update."""
@@ -174,15 +208,15 @@ class FastApproxEngine:
                 else float("nan")
             )
             return
-        state, hop = self.index.entries_for(node)
         if self.objective == "f1":
+            state, hop = self.index.entries_for(node)
             self.d[node :: self.num_nodes] = 0
             # First-visit dedup guarantees one entry per (replicate, walker)
             # pair per hit node, so plain fancy assignment is race-free.
             self.d[state] = np.minimum(self.d[state], hop)
         else:
             self.d[node :: self.num_nodes] = 1
-            self.d[state] = 1
+            self.d[self._states_of(node)] = 1
         self._chosen[node] = True
         self.selected.append(int(node))
         self.gains.append(

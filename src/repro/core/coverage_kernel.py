@@ -209,11 +209,22 @@ class CoverageKernel:
     """
 
     def __init__(self, index: FlatWalkIndex, objective: str = "f1",
-                 max_packed_bytes: "int | None" = DEFAULT_MAX_PACKED_BYTES):
+                 max_packed_bytes: "int | None" = DEFAULT_MAX_PACKED_BYTES,
+                 materialize_rows: "bool | None" = None):
         if objective not in ("f1", "f2"):
             raise ParameterError("objective must be one of ('f1', 'f2')")
         self.index = index
         self.objective = objective
+        # Whether popcount queries read one dense (n, words) row matrix
+        # (built lazily by the ``rows`` property) or rebuild each
+        # candidate block on the fly from the index storage.  Auto: a
+        # compressed index stays compressed — its whole point is not to
+        # hold the dense rows — while dense/mmap indexes keep the
+        # materialized fast path (mmap's stored rows are already a
+        # no-copy map, so "materializing" them is free).
+        if materialize_rows is None:
+            materialize_rows = index.storage_format != "compressed"
+        self._materialize_rows = bool(materialize_rows)
         n = index.num_nodes
         self.num_nodes = n
         self.num_replicates = index.num_replicates
@@ -295,10 +306,12 @@ class CoverageKernel:
         index: FlatWalkIndex,
         objective: str = "f1",
         max_packed_bytes: "int | None" = DEFAULT_MAX_PACKED_BYTES,
+        materialize_rows: "bool | None" = None,
     ) -> "CoverageKernel":
         """Build a kernel over an existing walk index."""
         return cls(index, objective=objective,
-                   max_packed_bytes=max_packed_bytes)
+                   max_packed_bytes=max_packed_bytes,
+                   materialize_rows=materialize_rows)
 
     # ------------------------------------------------------------------
     @property
@@ -310,6 +323,16 @@ class CoverageKernel:
                 include_self=True, max_bytes=self._max_packed_bytes
             )
         return self._rows
+
+    def _row_chunk(self, lo: int, hi: int) -> np.ndarray:
+        """Packed rows of candidates ``[lo, hi)`` — a slice of the
+        materialized matrix, or (``materialize_rows=False``, the
+        compressed-index default) a per-chunk decode through
+        :meth:`~repro.walks.index.FlatWalkIndex.packed_rows_for`, so the
+        full matrix never exists.  Bit-identical either way."""
+        if self._materialize_rows:
+            return self.rows[lo:hi]
+        return self.index.packed_rows_for(lo, hi, include_self=True)
 
     # ------------------------------------------------------------------
     # Gain queries — same raw integer scale (sigma_u * R) as the entry path.
@@ -331,7 +354,7 @@ class CoverageKernel:
             raise ParameterError("popcount_gain is defined for f2 only")
         if not 0 <= node < self.num_nodes:
             raise ParameterError(f"node {node} out of range")
-        return popcount(self.rows[node] & ~self.covered)
+        return popcount(self._row_chunk(node, node + 1)[0] & ~self.covered)
 
     def refresh_gains(self, chunk_rows: int = 256) -> np.ndarray:
         """Recompute every gain from the packed substrate (no maintained
@@ -343,7 +366,7 @@ class CoverageKernel:
             out = np.empty(self.num_nodes, dtype=np.int64)
             for lo in range(0, self.num_nodes, chunk_rows):
                 hi = min(lo + chunk_rows, self.num_nodes)
-                out[lo:hi] = popcount_rows(self.rows[lo:hi] & mask)
+                out[lo:hi] = popcount_rows(self._row_chunk(lo, hi) & mask)
             return out
         contrib = self._d[self._fstate].astype(np.int64) - self._fhop
         np.maximum(contrib, 0, out=contrib)

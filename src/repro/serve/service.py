@@ -184,15 +184,22 @@ class DominationService:
     # ------------------------------------------------------------------
     @classmethod
     def from_index_file(
-        cls, path: "str | Path", graph: "Graph", **kwargs
+        cls,
+        path: "str | Path",
+        graph: "Graph",
+        index_format: "str | None" = None,
+        **kwargs,
     ) -> "DominationService":
         """Serve a persisted index, provenance-checked against ``graph``.
 
         A stale archive (edited graph, wrong node count) raises
         :class:`~repro.errors.ParameterError` at construction instead of
         quietly serving answers for a topology that no longer exists.
+        ``index_format`` selects the in-memory storage backend
+        (``None`` serves the archive's own representation — a v3
+        container is served straight off its read-only memory maps).
         """
-        return cls(IndexSnapshot.load(path, graph), **kwargs)
+        return cls(IndexSnapshot.load(path, graph, index_format), **kwargs)
 
     @classmethod
     def from_dynamic(

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.walks.index import FlatWalkIndex
-from repro.walks.persistence import graph_fingerprint, load_index
+from repro.walks.persistence import as_format, graph_fingerprint, load_index
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from pathlib import Path
@@ -70,7 +70,12 @@ class IndexSnapshot:
         )
 
     @classmethod
-    def load(cls, path: "str | Path", graph: Graph) -> "IndexSnapshot":
+    def load(
+        cls,
+        path: "str | Path",
+        graph: Graph,
+        index_format: "str | None" = None,
+    ) -> "IndexSnapshot":
         """Load a persisted index as epoch-0 snapshot for ``graph``.
 
         Goes through :func:`repro.walks.persistence.load_index` with the
@@ -78,8 +83,17 @@ class IndexSnapshot:
         CSR fingerprint mismatch — raises
         :class:`~repro.errors.ParameterError` instead of serving answers
         for a topology that no longer exists.
+
+        ``index_format`` overrides the in-memory representation: by
+        default the snapshot serves whatever the archive holds (an
+        ``.idx3`` container stays memmapped, an ``.npz`` loads dense);
+        passing ``"dense"``/``"compressed"``/``"mmap"`` converts via
+        :func:`repro.walks.persistence.as_format` first.
         """
-        return cls.capture(graph, load_index(path, graph=graph))
+        index = load_index(path, graph=graph)
+        if index_format is not None:
+            index = as_format(index, index_format, graph=graph)
+        return cls.capture(graph, index)
 
     @property
     def num_nodes(self) -> int:

@@ -34,6 +34,7 @@ from repro.graphs.adjacency import Graph
 from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.engine import random_walk
 from repro.walks.rng import resolve_rng
+from repro.walks.storage import CompressedStorage, DenseStorage, MmapStorage
 
 __all__ = [
     "IndexEntry",
@@ -222,28 +223,115 @@ class FlatWalkIndex:
         ``D[R, n]`` matrix of Algorithms 4-6 (``int32`` when it fits).
     hop:
         Per-entry first-visit hop (``int16``; hops are ``<= L``).
+
+    The entry arrays live behind a *storage backend*
+    (:mod:`repro.walks.storage`): ``state``/``hop`` are properties that
+    materialize the backend's full arrays, so dense consumers are
+    unchanged, while block-aware consumers (the coverage kernel's
+    per-candidate path, :meth:`entries_for`) go through the backend's
+    range decode and never materialize more than they touch.
     """
 
     def __init__(
         self,
         indptr: np.ndarray,
-        state: np.ndarray,
-        hop: np.ndarray,
-        num_nodes: int,
-        length: int,
-        num_replicates: int,
+        state: "np.ndarray | None" = None,
+        hop: "np.ndarray | None" = None,
+        num_nodes: int = 0,
+        length: int = 0,
+        num_replicates: int = 1,
+        storage=None,
     ):
         _validate_params(num_nodes, length, num_replicates)
         if indptr.size != num_nodes + 1:
             raise ParameterError("indptr must have n + 1 entries")
-        if state.size != hop.size or state.size != indptr[-1]:
+        if storage is None:
+            if state is None or hop is None:
+                raise ParameterError(
+                    "FlatWalkIndex needs either state/hop arrays or a storage"
+                )
+            storage = DenseStorage(indptr, state, hop)
+        elif state is not None or hop is not None:
+            raise ParameterError("pass state/hop arrays or storage, not both")
+        if storage.num_entries != indptr[-1]:
+            raise ParameterError("state/hop size must match indptr[-1]")
+        if (
+            isinstance(storage, DenseStorage)
+            and storage._state.size != storage._hop.size
+        ):
             raise ParameterError("state/hop size must match indptr[-1]")
         self.indptr = indptr
-        self.state = state
-        self.hop = hop
+        self._storage = storage
         self.num_nodes = num_nodes
         self.length = length
         self.num_replicates = num_replicates
+
+    # ------------------------------------------------------------------
+    # Storage seam (DESIGN.md §13)
+    @property
+    def state(self) -> np.ndarray:
+        """Full per-entry state array (decoded on demand off-dense)."""
+        return self._storage.state_array()
+
+    @property
+    def hop(self) -> np.ndarray:
+        """Full per-entry hop array (decoded on demand off-dense)."""
+        return self._storage.hop_array()
+
+    @property
+    def storage(self):
+        """The storage backend holding the entry arrays."""
+        return self._storage
+
+    @property
+    def storage_format(self) -> str:
+        """``"dense"``, ``"compressed"``, or ``"mmap"``."""
+        return self._storage.format_name
+
+    def storage_nbytes(self) -> int:
+        """Bytes held (dense/compressed) or mapped (mmap) by the index."""
+        return int(self.indptr.nbytes) + int(self._storage.nbytes)
+
+    def compress(self) -> "FlatWalkIndex":
+        """This index on :class:`~repro.walks.storage.CompressedStorage`.
+
+        A no-op when already compressed; otherwise encodes the canonical
+        entry arrays (strictly increasing states per hit-node block —
+        every builder since the backends were unified) into the per-block
+        delta codec.  Entries, selections, and every derived quantity are
+        bit-identical to the dense index.
+        """
+        if isinstance(self._storage, CompressedStorage):
+            return self
+        return FlatWalkIndex(
+            indptr=self.indptr,
+            num_nodes=self.num_nodes,
+            length=self.length,
+            num_replicates=self.num_replicates,
+            storage=CompressedStorage.from_arrays(
+                self.indptr, self.state, self.hop
+            ),
+        )
+
+    def densify(self) -> "FlatWalkIndex":
+        """This index on in-RAM :class:`~repro.walks.storage.DenseStorage`.
+
+        A no-op for dense storage; compressed and mmap indexes
+        materialize their full entry arrays (mmap additionally copies, so
+        the result is writable and independent of the archive file).
+        """
+        if type(self._storage) is DenseStorage:
+            return self
+        state = np.array(self.state, copy=True)
+        hop = np.array(self.hop, copy=True)
+        return FlatWalkIndex(
+            indptr=np.array(self.indptr, copy=True),
+            state=state,
+            hop=hop,
+            num_nodes=self.num_nodes,
+            length=self.length,
+            num_replicates=self.num_replicates,
+        )
 
     # ------------------------------------------------------------------
     @classmethod
@@ -338,11 +426,25 @@ class FlatWalkIndex:
         return int(self.indptr[-1])
 
     def entries_for(self, node: int) -> tuple[np.ndarray, np.ndarray]:
-        """``(state, hop)`` slices for entries whose hit node is ``node``."""
+        """``(state, hop)`` slices for entries whose hit node is ``node``.
+
+        Routed through the storage backend: dense/mmap return array
+        views, compressed decodes exactly this node's block.
+        """
         if not 0 <= node < self.num_nodes:
             raise ParameterError(f"node {node} out of range")
-        lo, hi = self.indptr[node], self.indptr[node + 1]
-        return self.state[lo:hi], self.hop[lo:hi]
+        return self._storage.range_arrays(node, node + 1)
+
+    def states_for(self, node: int) -> np.ndarray:
+        """The ``state`` slice alone for one hit node.
+
+        The f2 objective never reads hops, and on compressed storage the
+        hop decode is real work per candidate — this is the cheap spelling
+        for callers that only need the states.
+        """
+        if not 0 <= node < self.num_nodes:
+            raise ParameterError(f"node {node} out of range")
+        return self._storage.range_states(node, node + 1)
 
     def entry_records(self, node: int) -> list[tuple[int, int, int]]:
         """Readable ``(replicate, walker, hop)`` triples for one hit node,
@@ -460,8 +562,19 @@ class FlatWalkIndex:
         ``max_bytes`` guards the dense allocation (``n^2 R / 8`` bytes
         plus padding); exceeding it raises :class:`ParameterError` with
         sizing guidance instead of attempting the allocation.
+
+        An mmap-backed index whose archive stored the rows returns the
+        archive's read-only map directly (``include_self=True`` is the
+        stored convention) — no allocation, no cap: the rows stay on
+        disk and page in as the kernel touches them.
         """
         n = self.num_nodes
+        if (
+            include_self
+            and isinstance(self._storage, MmapStorage)
+            and self._storage.rows is not None
+        ):
+            return self._storage.rows
         words = (self.num_states + 63) >> 6
         needed = n * words * 8
         if max_bytes is not None and needed > max_bytes:
@@ -479,6 +592,47 @@ class FlatWalkIndex:
             states = np.concatenate([states, self_states])
             owners = np.concatenate(
                 [owners, np.tile(np.arange(n, dtype=np.int64),
+                                 self.num_replicates)]
+            )
+        scatter_or_bits(rows, owners, states)
+        return rows
+
+    def packed_rows_for(
+        self, lo_node: int, hi_node: int, include_self: bool = True
+    ) -> np.ndarray:
+        """Packed hit rows for candidates ``[lo_node, hi_node)`` only.
+
+        Same bit layout as :meth:`packed_hit_rows` but built from just
+        that node range's entries (one storage range-decode), so the
+        coverage kernel can sweep gains over a compressed or mmap index
+        chunk-by-chunk without ever materializing the full ``n x words``
+        matrix.  Row ``v - lo_node`` corresponds to candidate ``v``.
+        """
+        if not 0 <= lo_node <= hi_node <= self.num_nodes:
+            raise ParameterError(
+                f"node range [{lo_node}, {hi_node}) out of bounds"
+            )
+        count = hi_node - lo_node
+        words = (self.num_states + 63) >> 6
+        rows = np.zeros((count, words), dtype=np.uint64)
+        if count == 0:
+            return rows
+        state, _ = self._storage.range_arrays(lo_node, hi_node)
+        states = state.astype(np.int64)
+        owners = np.repeat(
+            np.arange(count, dtype=np.int64),
+            np.diff(self.indptr[lo_node : hi_node + 1]),
+        )
+        if include_self:
+            node_ids = np.arange(lo_node, hi_node, dtype=np.int64)
+            self_states = (
+                node_ids[None, :]
+                + np.int64(self.num_nodes)
+                * np.arange(self.num_replicates, dtype=np.int64)[:, None]
+            ).ravel()
+            states = np.concatenate([states, self_states])
+            owners = np.concatenate(
+                [owners, np.tile(np.arange(count, dtype=np.int64),
                                  self.num_replicates)]
             )
         scatter_or_bits(rows, owners, states)

@@ -6,13 +6,28 @@ the index lets operational workflows — parameter sweeps over ``k``,
 re-ranking after a business-rule change, the paper's own Figs. 6-7 protocol
 of reading one greedy run at several budgets — pay that cost once.
 
-The format is a single ``.npz`` (numpy archive): the three flat arrays plus
-a small integer header.  Version 2 adds provenance metadata (walk-engine
-name, seed material, gain-backend) and a fingerprint of the graph the index
-was built on, so :func:`load_index` can refuse a *stale* index — one whose
-graph has since been edited — instead of silently producing selections for
-a topology that no longer exists.  Version-stamped; version-1 archives
-(no metadata) still load.
+Two archive families, both version-stamped and sniffed by magic bytes so
+:func:`load_index` accepts either transparently:
+
+* **v1/v2** — a single ``.npz`` (numpy archive): the three flat arrays
+  plus a small integer header.  Version 2 adds provenance metadata
+  (walk-engine name, seed material, gain-backend) and a fingerprint of
+  the graph the index was built on, so :func:`load_index` can refuse a
+  *stale* index — one whose graph has since been edited — instead of
+  silently producing selections for a topology that no longer exists.
+  Version-1 archives (no metadata) still load.
+* **v3** (DESIGN.md §13) — a raw binary container built for
+  ``np.memmap``: magic, a JSON header (same provenance as v2), then the
+  arrays at 64-byte-aligned offsets, uncompressed.  Loading is
+  O(metadata): every array comes back as a read-only memory map and
+  pages in only when touched.  The ``encoding`` field selects what the
+  arrays are — ``"dense"`` stores the flat entry arrays (optionally with
+  the packed hit rows pre-built, so a served index never materializes
+  them either) and loads as an mmap-backed index; ``"compressed"``
+  stores the delta codec of :class:`~repro.walks.storage.CompressedStorage`.
+  :func:`save_index` picks the family via ``format=`` (``"dense"`` → v2
+  npz, ``"compressed"``/``"mmap"`` → v3), and :func:`as_format` converts
+  a live index between the three storage backends in memory.
 
 :func:`save_dynamic_index` / :func:`load_dynamic_index` persist the richer
 :class:`~repro.dynamic.index.DynamicWalkIndex` as a *journal-aware
@@ -26,7 +41,10 @@ seed material on first use, so snapshots stay small).
 
 from __future__ import annotations
 
+import json
 import os
+import struct
+import tempfile
 import zipfile
 import zlib
 from pathlib import Path
@@ -37,6 +55,12 @@ import numpy as np
 from repro.errors import GraphFormatError, ParameterError
 from repro.graphs.adjacency import Graph
 from repro.walks.index import FlatWalkIndex
+from repro.walks.storage import (
+    INDEX_FORMATS,
+    CompressedStorage,
+    MmapStorage,
+    validate_index_format,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.dynamic.index import DynamicWalkIndex
@@ -44,18 +68,28 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "save_index",
     "load_index",
+    "as_format",
     "index_provenance",
     "graph_fingerprint",
     "save_dynamic_index",
     "load_dynamic_index",
+    "INDEX_FORMATS",
 ]
 
 _FORMAT_VERSION = 2
 _READABLE_VERSIONS = (1, 2)
 _DYNAMIC_FORMAT_VERSION = 1
+_V3_VERSION = 3
+#: v3 magic: 8 bytes, never a valid zip prefix, so one read disambiguates.
+_V3_MAGIC = b"RWIDX3\x00\n"
+#: Auto-included packed rows in a ``mmap``-format save stop at this size;
+#: pass ``include_rows=True`` to force them past it.
+_DEFAULT_ROW_CAP = 1 << 30
 
 
-def _resolve_archive_path(path: "str | Path") -> Path:
+def _resolve_archive_path(
+    path: "str | Path", default_suffix: str = ".npz"
+) -> Path:
     """The path an index archive actually lives at.
 
     ``np.savez`` silently appends ``.npz`` to any filename that lacks it,
@@ -64,15 +98,55 @@ def _resolve_archive_path(path: "str | Path") -> Path:
     Both sides now resolve identically: a literal path that already
     exists as a file is honored as-is (so a genuinely suffixless archive
     can be overwritten and re-read, never shadowed by a fresh
-    ``.npz``-suffixed sibling); otherwise the ``.npz`` suffix is
-    appended when missing.  The atomic writer never hands the resolved
-    name to numpy (the temp file carries the suffix), so no second
+    suffixed sibling); otherwise ``default_suffix`` is appended when no
+    known archive suffix is present (``.npz`` for the v2 family,
+    ``.idx3`` for v3).  The atomic writer never hands the resolved name
+    to numpy (the temp file carries the suffix), so no second
     normalization can sneak in.
     """
     path = Path(path)
-    if path.suffix == ".npz" or path.is_file():
+    if path.suffix in (".npz", ".idx3") or path.is_file():
         return path
+    return path.with_name(path.name + default_suffix)
+
+
+def _resolve_load_path(path: "str | Path") -> Path:
+    """Where :func:`load_index` should look for ``path``.
+
+    A literal existing file or a known suffix wins; otherwise the
+    ``.npz`` and ``.idx3`` suffixed siblings are probed in that order
+    (``.npz`` first: the older convention, and deterministic when both
+    exist).  When neither exists the ``.npz`` name is returned so the
+    downstream error message points at the conventional location.
+    """
+    path = Path(path)
+    if path.suffix in (".npz", ".idx3") or path.is_file():
+        return path
+    for suffix in (".npz", ".idx3"):
+        candidate = path.with_name(path.name + suffix)
+        if candidate.is_file():
+            return candidate
     return path.with_name(path.name + ".npz")
+
+
+def _sniff_is_v3(path: Path) -> bool:
+    """Whether ``path`` holds a v3 container (vs a zip/npz archive).
+
+    Reads the first 8 bytes; an unreadable or unrecognized file raises
+    :class:`GraphFormatError` exactly like the npz loader would.
+    """
+    try:
+        with open(path, "rb") as fh:
+            magic = fh.read(len(_V3_MAGIC))
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: unreadable index archive") from exc
+    if magic == _V3_MAGIC:
+        return True
+    if magic[:2] == b"PK":
+        return False
+    raise GraphFormatError(
+        f"{path}: unreadable index archive (unrecognized magic bytes)"
+    )
 
 
 def _atomic_savez(path: Path, payload: dict) -> None:
@@ -93,10 +167,31 @@ def _atomic_savez(path: Path, payload: dict) -> None:
     under concurrent saver threads); overwrites then adopt the
     destination's existing mode.
     """
+    tmp_name = _create_atomic_temp(path, ".npz")
+    try:
+        np.savez_compressed(tmp_name, **payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+
+
+def _create_atomic_temp(path: Path, suffix: str) -> str:
+    """A fresh same-directory temp sibling for an atomic write.
+
+    Created empty with mode 0o666 under the process umask, then adopts
+    the destination's existing mode on overwrite (the rationale in
+    :func:`_atomic_savez`).  ``suffix`` must match what the actual
+    writer will produce so the final ``os.replace`` renames the file the
+    writer wrote (numpy appends suffixes silently).
+    """
     tmp_name = None
     for attempt in range(100):
         candidate = path.with_name(
-            f"{path.name}.tmp-{os.getpid()}-{attempt}.npz"
+            f"{path.name}.tmp-{os.getpid()}-{attempt}{suffix}"
         )
         try:
             fd = os.open(
@@ -112,18 +207,10 @@ def _atomic_savez(path: Path, payload: dict) -> None:
             f"{path}: cannot create a temporary sibling for atomic save"
         )
     try:
-        try:
-            os.chmod(tmp_name, os.stat(path).st_mode & 0o777)
-        except OSError:
-            pass  # fresh destination: keep the umask-derived mode
-        np.savez_compressed(tmp_name, **payload)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:  # pragma: no cover - best-effort cleanup
-            pass
-        raise
+        os.chmod(tmp_name, os.stat(path).st_mode & 0o777)
+    except OSError:
+        pass  # fresh destination: keep the umask-derived mode
+    return tmp_name
 
 
 def graph_fingerprint(graph: Graph) -> int:
@@ -160,12 +247,254 @@ def _check_graph_match(
             f"{graph.num_edges}; rebuild the index (or use "
             "repro.dynamic to maintain it incrementally)"
         )
-    if meta["graph_fingerprint"] != graph_fingerprint(graph):
+    actual = graph_fingerprint(graph)
+    if meta["graph_fingerprint"] != actual:
         raise ParameterError(
-            f"{path}: stale index — the graph's adjacency no longer "
-            "matches the one the index was built on; rebuild the index "
-            "(or use repro.dynamic to maintain it incrementally)"
+            f"{path}: stale index — this graph's adjacency fingerprint "
+            f"{actual:#010x} does not match fingerprint "
+            f"{meta['graph_fingerprint']:#010x} stored in the archive; "
+            "the graph was edited after the index was built; rebuild the "
+            "index (or use repro.dynamic to maintain it incrementally)"
         )
+
+
+# ----------------------------------------------------------------------
+# Persistence v3: raw aligned arrays behind a JSON header (DESIGN.md §13)
+# ----------------------------------------------------------------------
+def _align64(offset: int) -> int:
+    return (offset + 63) & ~63
+
+
+def _write_v3(tmp_name: str, header: dict, arrays: "dict[str, np.ndarray]") -> None:
+    """Serialize a v3 container: magic | header len | JSON | aligned arrays.
+
+    Array offsets in the header are relative to the data section, which
+    starts at the first 64-byte boundary after the JSON — so the loader
+    can compute every array's absolute position from the header alone
+    and hand each one to ``np.memmap`` without reading the data.
+    """
+    specs: list[dict] = []
+    blobs: list[np.ndarray] = []
+    offset = 0
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        specs.append({
+            "name": name,
+            "dtype": arr.dtype.str,
+            "shape": list(arr.shape),
+            "offset": offset,
+        })
+        blobs.append(arr)
+        offset = _align64(offset + arr.nbytes)
+    header = dict(header, arrays=specs)
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    data_start = _align64(len(_V3_MAGIC) + 8 + len(blob))
+    with open(tmp_name, "wb") as fh:
+        fh.write(_V3_MAGIC)
+        fh.write(struct.pack("<Q", len(blob)))
+        fh.write(blob)
+        for spec, arr in zip(specs, blobs):
+            fh.seek(data_start + spec["offset"])
+            fh.write(arr.tobytes())
+        fh.truncate(data_start + offset)
+
+
+def _atomic_write_v3(
+    path: Path, header: dict, arrays: "dict[str, np.ndarray]"
+) -> None:
+    """:func:`_write_v3` under the same temp + rename discipline as npz."""
+    tmp_name = _create_atomic_temp(path, path.suffix or ".idx3")
+    try:
+        _write_v3(tmp_name, header, arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+
+
+def _read_v3_header(path: Path) -> tuple[dict, int, int]:
+    """``(header, data_start, file_size)`` of a v3 container.
+
+    Truncated or malformed headers raise :class:`GraphFormatError` — the
+    corruption error class (staleness stays :class:`ParameterError`).
+    """
+    try:
+        size = os.path.getsize(path)
+        with open(path, "rb") as fh:
+            fh.seek(len(_V3_MAGIC))
+            raw = fh.read(8)
+            if len(raw) < 8:
+                raise GraphFormatError(f"{path}: truncated index archive")
+            (header_len,) = struct.unpack("<Q", raw)
+            if len(_V3_MAGIC) + 8 + header_len > size:
+                raise GraphFormatError(f"{path}: truncated index archive")
+            blob = fh.read(header_len)
+    except OSError as exc:
+        raise GraphFormatError(f"{path}: unreadable index archive") from exc
+    try:
+        header = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise GraphFormatError(
+            f"{path}: unreadable index archive (corrupt v3 header)"
+        ) from exc
+    if not isinstance(header, dict):
+        raise GraphFormatError(
+            f"{path}: unreadable index archive (corrupt v3 header)"
+        )
+    return header, _align64(len(_V3_MAGIC) + 8 + header_len), size
+
+
+def _map_v3_arrays(
+    path: Path, header: dict, data_start: int, size: int
+) -> "dict[str, np.ndarray]":
+    """Read-only memmap views of every array a v3 header declares.
+
+    Each declared extent is checked against the file size first, so a
+    truncated data section fails loudly at load rather than as a bus
+    error when the missing pages are first touched.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for spec in header.get("arrays", ()):
+        try:
+            name = spec["name"]
+            dtype = np.dtype(str(spec["dtype"]))
+            shape = tuple(int(s) for s in spec["shape"])
+            offset = int(spec["offset"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphFormatError(
+                f"{path}: unreadable index archive (corrupt array table)"
+            ) from exc
+        count = 1
+        for dim in shape:
+            if dim < 0:
+                raise GraphFormatError(
+                    f"{path}: unreadable index archive (corrupt array table)"
+                )
+            count *= dim
+        nbytes = dtype.itemsize * count
+        if offset < 0 or data_start + offset + nbytes > size:
+            raise GraphFormatError(
+                f"{path}: truncated index archive (array {name!r} extends "
+                "past the end of the file)"
+            )
+        if nbytes == 0:
+            arrays[name] = np.empty(shape, dtype=dtype)
+        else:
+            arrays[name] = np.memmap(
+                path, mode="r", dtype=dtype, shape=shape,
+                offset=data_start + offset,
+            )
+    return arrays
+
+
+def _v3_graph_meta(header: dict, path: Path) -> "dict | None":
+    raw = header.get("graph_meta")
+    if raw is None:
+        return None
+    try:
+        return {
+            "graph_num_nodes": int(raw[0]),
+            "graph_num_edges": int(raw[1]),
+            "graph_fingerprint": int(raw[2]),
+        }
+    except (TypeError, ValueError, IndexError) as exc:
+        raise GraphFormatError(
+            f"{path}: unreadable index archive (corrupt graph provenance)"
+        ) from exc
+
+
+def _load_v3(path: Path, graph: "Graph | None") -> FlatWalkIndex:
+    header, data_start, size = _read_v3_header(path)
+    try:
+        version = int(header["version"])
+        encoding = str(header["encoding"])
+        num_nodes, length, num_replicates = (int(v) for v in header["header"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphFormatError(
+            f"{path}: not a walk-index archive (missing v3 header fields)"
+        ) from exc
+    if version != _V3_VERSION:
+        raise GraphFormatError(
+            f"{path}: unsupported index format version {version}"
+        )
+    if encoding not in ("dense", "compressed"):
+        raise GraphFormatError(
+            f"{path}: unsupported v3 encoding {encoding!r}"
+        )
+    arrays = _map_v3_arrays(path, header, data_start, size)
+    required = (
+        {"indptr", "state", "hop"}
+        if encoding == "dense"
+        else {
+            "indptr", "heads", "delta_widths", "delta_words",
+            "delta_wordptr", "hop_words", "hop_wordptr",
+        }
+    )
+    missing = required - set(arrays)
+    if missing:
+        raise GraphFormatError(
+            f"{path}: not a walk-index archive (missing {sorted(missing)})"
+        )
+    if graph is not None:
+        _check_graph_match(
+            path, graph, num_nodes, _v3_graph_meta(header, path)
+        )
+    indptr = arrays["indptr"]
+    if encoding == "dense":
+        storage = MmapStorage(
+            indptr, arrays["state"], arrays["hop"],
+            rows=arrays.get("rows"), source=str(path),
+        )
+        rows = storage.rows
+        if rows is not None:
+            expected_words = (num_nodes * num_replicates + 63) >> 6
+            if rows.shape != (num_nodes, expected_words):
+                raise GraphFormatError(
+                    f"{path}: inconsistent index arrays (packed rows have "
+                    f"shape {rows.shape}, expected "
+                    f"{(num_nodes, expected_words)})"
+                )
+    else:
+        if (
+            arrays["delta_wordptr"].size != num_nodes + 1
+            or arrays["hop_wordptr"].size != num_nodes + 1
+            or arrays["heads"].size != num_nodes
+            or arrays["delta_widths"].size != num_nodes
+            or (num_nodes and arrays["delta_wordptr"][-1] >= arrays["delta_words"].size)
+            or (num_nodes and arrays["hop_wordptr"][-1] >= arrays["hop_words"].size)
+        ):
+            raise GraphFormatError(f"{path}: inconsistent index arrays")
+        try:
+            state_dtype = np.dtype(str(header.get("state_dtype", "<i8")))
+            hop_width = int(header.get("hop_width", 0))
+        except (TypeError, ValueError) as exc:
+            raise GraphFormatError(
+                f"{path}: unreadable index archive (corrupt codec header)"
+            ) from exc
+        storage = CompressedStorage(
+            indptr=indptr,
+            heads=arrays["heads"],
+            delta_widths=arrays["delta_widths"],
+            delta_words=arrays["delta_words"],
+            delta_wordptr=arrays["delta_wordptr"],
+            hop_width=hop_width,
+            hop_words=arrays["hop_words"],
+            hop_wordptr=arrays["hop_wordptr"],
+            state_dtype=state_dtype,
+        )
+    try:
+        return FlatWalkIndex(
+            indptr=indptr,
+            num_nodes=num_nodes,
+            length=length,
+            num_replicates=num_replicates,
+            storage=storage,
+        )
+    except ParameterError as exc:
+        raise GraphFormatError(f"{path}: inconsistent index arrays") from exc
 
 
 def save_index(
@@ -175,48 +504,106 @@ def save_index(
     engine: "str | None" = None,
     seed: "int | str | None" = None,
     gain_backend: "str | None" = None,
+    format: str = "dense",
+    include_rows: "bool | None" = None,
 ) -> Path:
-    """Write a :class:`FlatWalkIndex` to ``path`` as an ``.npz`` archive.
+    """Write a :class:`FlatWalkIndex` to ``path``.
 
-    The optional keyword metadata is provenance for the version-2 header:
-    ``engine`` (walk backend that generated the walks), ``seed`` (seed
-    material, stored as text so arbitrary-precision entropy survives),
-    ``gain_backend`` (gain machinery the index was validated with), and
-    ``graph`` — when given, the graph's shape and CSR fingerprint are
-    stored and enforced at load time.
+    ``format`` selects the archive family: ``"dense"`` (default) writes
+    the version-2 ``.npz``; ``"compressed"`` writes a v3 container
+    holding the delta codec; ``"mmap"`` writes a v3 container holding
+    the raw entry arrays at aligned offsets — the layout
+    :func:`load_index` maps back without materializing — plus, when the
+    packed hit rows fit ``include_rows``'s budget (auto under 1 GiB;
+    ``True`` forces, ``False`` omits), the rows themselves, so a served
+    index never builds them either.
+
+    The optional keyword metadata is provenance, identical across
+    families: ``engine`` (walk backend that generated the walks),
+    ``seed`` (seed material, stored as text so arbitrary-precision
+    entropy survives), ``gain_backend`` (gain machinery the index was
+    validated with), and ``graph`` — when given, the graph's shape and
+    CSR fingerprint are stored and enforced at load time.
 
     The destination resolves exactly as :func:`load_index` resolves it
-    (an existing literal file is overwritten in place; otherwise a
-    missing ``.npz`` suffix is appended — numpy's own convention), so
-    save/load round-trips for any path.  The write is atomic: a temp
-    file in the destination directory, renamed into place, so a crash
-    mid-write never destroys a previous good archive.  Returns the path
-    actually written.
+    (an existing literal file is overwritten in place; otherwise the
+    family's suffix — ``.npz`` or ``.idx3`` — is appended when missing),
+    so save/load round-trips for any path.  Every write is atomic: a
+    temp file in the destination directory, renamed into place, so a
+    crash mid-write never destroys a previous good archive.  Returns the
+    path actually written.
     """
-    path = _resolve_archive_path(path)
-    payload: dict = {
-        "version": np.int64(_FORMAT_VERSION),
-        "header": np.asarray(
-            [index.num_nodes, index.length, index.num_replicates],
-            dtype=np.int64,
-        ),
-        "indptr": index.indptr,
-        "state": index.state,
-        "hop": index.hop,
-        "meta_engine": np.str_(engine or ""),
-        "meta_seed": np.str_("" if seed is None else str(seed)),
-        "meta_gain_backend": np.str_(gain_backend or ""),
-    }
-    if graph is not None:
-        if graph.num_nodes != index.num_nodes:
-            raise ParameterError(
-                "provenance graph does not match the index node count"
-            )
-        payload["graph_meta"] = np.asarray(
-            [graph.num_nodes, graph.num_edges, graph_fingerprint(graph)],
-            dtype=np.int64,
+    validate_index_format(format)
+    if graph is not None and graph.num_nodes != index.num_nodes:
+        raise ParameterError(
+            "provenance graph does not match the index node count"
         )
-    _atomic_savez(path, payload)
+    if format == "dense":
+        path = _resolve_archive_path(path)
+        payload: dict = {
+            "version": np.int64(_FORMAT_VERSION),
+            "header": np.asarray(
+                [index.num_nodes, index.length, index.num_replicates],
+                dtype=np.int64,
+            ),
+            "indptr": np.asarray(index.indptr),
+            "state": np.asarray(index.state),
+            "hop": np.asarray(index.hop),
+            "meta_engine": np.str_(engine or ""),
+            "meta_seed": np.str_("" if seed is None else str(seed)),
+            "meta_gain_backend": np.str_(gain_backend or ""),
+        }
+        if graph is not None:
+            payload["graph_meta"] = np.asarray(
+                [graph.num_nodes, graph.num_edges, graph_fingerprint(graph)],
+                dtype=np.int64,
+            )
+        _atomic_savez(path, payload)
+        return path
+
+    path = _resolve_archive_path(path, default_suffix=".idx3")
+    header: dict = {
+        "version": _V3_VERSION,
+        "encoding": "compressed" if format == "compressed" else "dense",
+        "header": [index.num_nodes, index.length, index.num_replicates],
+        "meta": {
+            "engine": engine or "",
+            "seed": "" if seed is None else str(seed),
+            "gain_backend": gain_backend or "",
+        },
+        "graph_meta": None if graph is None else [
+            graph.num_nodes, graph.num_edges, graph_fingerprint(graph),
+        ],
+    }
+    if format == "compressed":
+        comp = (
+            index.storage
+            if index.storage_format == "compressed"
+            else CompressedStorage.from_arrays(
+                index.indptr, index.state, index.hop
+            )
+        )
+        header["state_dtype"] = comp.state_dtype.str
+        header["hop_width"] = comp.hop_width
+        arrays = {"indptr": index.indptr, **comp.arrays()}
+    else:  # mmap: raw dense arrays, memmap-ready
+        state = np.asarray(index.state)
+        hop = np.asarray(index.hop)
+        header["state_dtype"] = state.dtype.str
+        arrays = {"indptr": index.indptr, "state": state, "hop": hop}
+        rows = None
+        if include_rows is None:
+            try:
+                rows = index.packed_hit_rows(
+                    include_self=True, max_bytes=_DEFAULT_ROW_CAP
+                )
+            except ParameterError:
+                rows = None  # over budget: archive stays rows-free
+        elif include_rows:
+            rows = index.packed_hit_rows(include_self=True, max_bytes=None)
+        if rows is not None:
+            arrays["rows"] = rows
+    _atomic_write_v3(path, header, arrays)
     return path
 
 
@@ -242,14 +629,19 @@ def load_index(
 
     Pass the ``graph`` the index is about to be used with to also enforce
     freshness: a node-count mismatch always raises
-    :class:`ParameterError`, and for version-2 archives carrying graph
-    provenance, an edge-count or adjacency-fingerprint mismatch (a stale
-    index for an edited graph) raises too.
+    :class:`ParameterError`, and for archives carrying graph provenance
+    (version 2 and 3), an edge-count or adjacency-fingerprint mismatch
+    (a stale index for an edited graph) raises too.
 
     Accepts the same suffixless paths :func:`save_index` does: when the
-    literal path does not exist, the ``.npz``-suffixed name is tried.
+    literal path does not exist, the ``.npz``- then ``.idx3``-suffixed
+    names are tried.  The family is sniffed from the magic bytes, never
+    the suffix: v3 containers load as memory maps (O(metadata) — see the
+    module docstring), npz archives load eagerly as before.
     """
-    path = _resolve_archive_path(path)
+    path = _resolve_load_path(path)
+    if path.is_file() and _sniff_is_v3(path):
+        return _load_v3(path, graph)
     try:
         with np.load(path) as archive:
             missing = {"version", "header", "indptr", "state", "hop"} - set(
@@ -290,11 +682,27 @@ def load_index(
 def index_provenance(path: "str | Path") -> dict:
     """Provenance metadata of a saved index (empty strings when absent).
 
-    Returns ``engine``, ``seed`` (text), ``gain_backend``, and — when the
-    archive carries graph provenance — ``graph_num_nodes`` /
-    ``graph_num_edges`` / ``graph_fingerprint``.
+    Returns ``version``, ``engine``, ``seed`` (text), ``gain_backend``,
+    and — when the archive carries graph provenance —
+    ``graph_num_nodes`` / ``graph_num_edges`` / ``graph_fingerprint``.
+    v3 archives additionally report ``encoding``
+    (``"dense"``/``"compressed"``).
     """
-    path = _resolve_archive_path(path)
+    path = _resolve_load_path(path)
+    if path.is_file() and _sniff_is_v3(path):
+        header, _, _ = _read_v3_header(path)
+        meta = header.get("meta") or {}
+        info = {
+            "version": int(header.get("version", _V3_VERSION)),
+            "encoding": str(header.get("encoding", "")),
+            "engine": str(meta.get("engine", "")),
+            "seed": str(meta.get("seed", "")),
+            "gain_backend": str(meta.get("gain_backend", "")),
+        }
+        graph_meta = _v3_graph_meta(header, path)
+        if graph_meta is not None:
+            info.update(graph_meta)
+        return info
     try:
         with np.load(path) as archive:
             if "version" not in archive.files:
@@ -317,6 +725,48 @@ def index_provenance(path: "str | Path") -> dict:
             return info
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise GraphFormatError(f"{path}: unreadable index archive") from exc
+
+
+def as_format(
+    index: FlatWalkIndex,
+    format: str,
+    graph: "Graph | None" = None,
+) -> FlatWalkIndex:
+    """``index`` on the requested storage backend (a no-op when it already
+    is).
+
+    ``"dense"`` materializes, ``"compressed"`` encodes in memory, and
+    ``"mmap"`` spills a v3 archive to a temporary file, maps it back,
+    and unlinks the name — the maps keep the inode alive (POSIX), so the
+    caller gets a disk-backed index with no path to manage and the pages
+    drop with the last reference.  Entries and every derived selection
+    are bit-identical across formats.  ``graph`` is optional provenance
+    for the spilled archive (it is checked on the immediate reload, so a
+    mismatched graph fails here rather than at first query).
+    """
+    validate_index_format(format)
+    if format == index.storage_format:
+        return index
+    if format == "dense":
+        return index.densify()
+    if format == "compressed":
+        return index.compress()
+    fd, tmp_name = tempfile.mkstemp(suffix=".idx3", prefix="rwdom-index-")
+    os.close(fd)
+    try:
+        save_index(index, tmp_name, graph=graph, format="mmap")
+        loaded = load_index(tmp_name, graph=graph)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
+    try:
+        os.unlink(tmp_name)
+    except OSError:  # pragma: no cover - non-POSIX fallback: leak the temp
+        pass
+    return loaded
 
 
 # ----------------------------------------------------------------------

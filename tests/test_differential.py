@@ -55,9 +55,16 @@ from repro.graphs.adjacency import Graph
 from repro.serve import DominationService, IndexSnapshot
 from repro.walks.backends import MultiprocWalkEngine
 from repro.walks.index import FlatWalkIndex
+from repro.walks.persistence import as_format
+from repro.walks.storage import INDEX_FORMATS
 
 SEED = 1234
 ENGINES = ("numpy", "csr", "sharded", "multiproc")
+
+
+def _storage_variants(flat: FlatWalkIndex):
+    """The reference index on every storage backend (dense first)."""
+    return [(fmt, as_format(flat, fmt)) for fmt in INDEX_FORMATS]
 
 
 @pytest.fixture(scope="module")
@@ -99,6 +106,20 @@ def _assert_indexes_identical(dyn: dict, dgraph: DynamicGraph, length, reps,
             assert np.array_equal(
                 getattr(reference, field), getattr(static, field)
             ), f"static rebuild diverged for engine {name!r} ({field})"
+    # Storage-backend parity: the compressed and mmap variants must hold
+    # the very same entries (arrays, per-node slices, packed rows) as the
+    # dense reference after every edit.
+    dense_rows = reference.packed_hit_rows(include_self=True)
+    for fmt, variant in _storage_variants(reference):
+        assert variant.storage_format == fmt
+        for field in ("indptr", "state", "hop"):
+            assert np.array_equal(
+                getattr(reference, field), getattr(variant, field)
+            ), f"storage variant {fmt!r} diverged ({field})"
+        assert variant.same_entries(reference), fmt
+        assert np.array_equal(
+            variant.packed_hit_rows(include_self=True), dense_rows
+        ), f"storage variant {fmt!r} diverged (packed rows)"
     return reference
 
 
@@ -114,6 +135,19 @@ def _assert_solve_agrees(dyn: dict, graph: Graph, k: int, objective: str):
                 reference = result
             assert result.selected == reference.selected, (name, backend)
             assert result.gains == reference.gains, (name, backend)
+    # One engine's index through every storage backend: selections and
+    # gains must be bit-identical to the dense reference for both gain
+    # backends (the compressed path decodes per candidate block, the
+    # mmap path reads through the archive maps).
+    flat = next(iter(dyn.values())).flat
+    for fmt, variant in _storage_variants(flat):
+        for backend in GAIN_BACKENDS:
+            result = approx_greedy_fast(
+                graph, k, flat.length, index=variant,
+                objective=objective, gain_backend=backend,
+            )
+            assert result.selected == reference.selected, (fmt, backend)
+            assert result.gains == reference.gains, (fmt, backend)
 
 
 def _assert_serve_agrees(dyn: dict, seed: int):

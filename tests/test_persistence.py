@@ -2,12 +2,20 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.approx_fast import approx_greedy_fast
-from repro.errors import GraphFormatError
+from repro.core.coverage_kernel import GAIN_BACKENDS
+from repro.errors import GraphFormatError, ParameterError
 from repro.graphs.generators import power_law_graph, ring_graph
 from repro.walks.index import FlatWalkIndex
-from repro.walks.persistence import load_index, save_index
+from repro.walks.persistence import (
+    index_provenance,
+    load_index,
+    save_index,
+)
+from repro.walks.storage import INDEX_FORMATS
 
 
 class TestRoundTrip:
@@ -223,3 +231,247 @@ class TestAtomicSave:
         os.chmod(path, 0o604)
         save_index(index, path)
         assert (path.stat().st_mode & 0o777) == 0o604
+
+
+# ----------------------------------------------------------------------
+# Persistence v3 (.idx3): memmap containers and the compressed codec
+# ----------------------------------------------------------------------
+class TestV3RoundTrip:
+    @pytest.fixture(scope="class")
+    def built(self):
+        graph = power_law_graph(70, 210, seed=21)
+        index = FlatWalkIndex.build(graph, 4, 8, seed=22)
+        return graph, index
+
+    @pytest.mark.parametrize("fmt", ["compressed", "mmap"])
+    def test_entries_identical(self, built, fmt, tmp_path):
+        graph, index = built
+        path = save_index(index, tmp_path / "walks", graph=graph, format=fmt)
+        assert path.suffix == ".idx3"
+        back = load_index(path, graph=graph)
+        assert back.storage_format == fmt
+        np.testing.assert_array_equal(back.indptr, index.indptr)
+        np.testing.assert_array_equal(back.state, index.state)
+        np.testing.assert_array_equal(back.hop, index.hop)
+        assert back.state.dtype == index.state.dtype
+        assert (back.num_nodes, back.length, back.num_replicates) == (
+            index.num_nodes, index.length, index.num_replicates
+        )
+
+    @pytest.mark.parametrize("fmt", INDEX_FORMATS)
+    def test_selection_identical_across_formats(self, built, fmt, tmp_path):
+        graph, index = built
+        reference = approx_greedy_fast(graph, 6, index.length, index=index)
+        path = save_index(index, tmp_path / "walks", format=fmt)
+        for backend in GAIN_BACKENDS:
+            got = approx_greedy_fast(
+                graph, 6, index.length, index=load_index(path),
+                gain_backend=backend,
+            )
+            assert got.selected == reference.selected, (fmt, backend)
+            assert got.gains == reference.gains, (fmt, backend)
+
+    def test_provenance(self, built, tmp_path):
+        graph, index = built
+        path = save_index(
+            index, tmp_path / "prov", graph=graph, engine="csr", seed=22,
+            gain_backend="bitset", format="compressed",
+        )
+        prov = index_provenance(path)
+        assert prov["version"] == 3
+        assert prov["encoding"] == "compressed"
+        assert prov["engine"] == "csr"
+        assert prov["seed"] == "22"  # seed material is stored as text
+        assert prov["gain_backend"] == "bitset"
+        assert prov["graph_num_nodes"] == graph.num_nodes
+
+    def test_suffixless_resolution(self, built, tmp_path):
+        graph, index = built
+        written = save_index(index, tmp_path / "noext", format="compressed")
+        assert written == tmp_path / "noext.idx3"
+        back = load_index(tmp_path / "noext")
+        np.testing.assert_array_equal(back.state, index.state)
+
+    def test_stale_graph_rejected(self, built, tmp_path):
+        graph, index = built
+        path = save_index(index, tmp_path / "walks", graph=graph,
+                          format="mmap")
+        edited = power_law_graph(70, 211, seed=23)
+        with pytest.raises(ParameterError, match="stale"):
+            load_index(path, graph=edited)
+
+    def test_rows_round_trip(self, built, tmp_path):
+        graph, index = built
+        path = save_index(index, tmp_path / "walks", format="mmap")
+        back = load_index(path)
+        rows = back.storage.rows
+        assert rows is not None
+        np.testing.assert_array_equal(
+            rows, index.packed_hit_rows(include_self=True)
+        )
+        # include_rows=False omits them; the index still answers queries.
+        bare = load_index(
+            save_index(index, tmp_path / "bare", format="mmap",
+                       include_rows=False)
+        )
+        assert bare.storage.rows is None
+        np.testing.assert_array_equal(bare.state, index.state)
+
+
+class TestFingerprintMismatchMessage:
+    def test_names_both_fingerprints_and_path(self, tmp_path):
+        """Regression: the stale-index error must name the archive path
+        and both fingerprints (stored and actual, in hex) so operators
+        can tell *which* archive disagrees and by how much."""
+        from repro.graphs.builder import GraphBuilder
+        from repro.walks.persistence import graph_fingerprint
+
+        graph = power_law_graph(50, 150, seed=31)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=32)
+        # Same node and edge counts, different wiring: only the
+        # fingerprint check can catch this.
+        builder = GraphBuilder()
+        for u, v in graph.edge_array().tolist():
+            builder.add_edge(u, v)
+        builder.build()
+        edited = power_law_graph(50, 150, seed=33)
+        if edited.num_edges != graph.num_edges:  # pragma: no cover
+            pytest.skip("generator did not hit the edge count")
+        for fmt in ("dense", "compressed"):
+            path = save_index(index, tmp_path / f"fp-{fmt}", graph=graph,
+                              format=fmt)
+            with pytest.raises(ParameterError) as excinfo:
+                load_index(path, graph=edited)
+            message = str(excinfo.value)
+            assert str(path) in message
+            assert f"{graph_fingerprint(edited):#010x}" in message
+            assert f"{graph_fingerprint(graph):#010x}" in message
+
+
+class TestV3FailureModes:
+    def _archive(self, tmp_path, fmt="compressed"):
+        graph = power_law_graph(40, 120, seed=41)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=42)
+        return save_index(index, tmp_path / "walks", graph=graph, format=fmt)
+
+    @pytest.mark.parametrize("fmt", ["compressed", "mmap"])
+    def test_truncated_archive_rejected(self, tmp_path, fmt):
+        path = self._archive(tmp_path, fmt)
+        blob = path.read_bytes()
+        for cut in (len(blob) - 200, len(blob) // 2, 40, 9):
+            path.write_bytes(blob[:cut])
+            with pytest.raises(GraphFormatError):
+                load_index(path)
+
+    def test_corrupt_magic_rejected(self, tmp_path):
+        path = self._archive(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[:8] = b"GARBAGE\x00"
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphFormatError):
+            load_index(path)
+
+    def test_corrupt_header_json_rejected(self, tmp_path):
+        path = self._archive(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[20] ^= 0xFF  # flip a byte inside the JSON header
+        path.write_bytes(bytes(blob))
+        with pytest.raises(GraphFormatError):
+            load_index(path)
+
+    def test_interrupted_v3_save_keeps_old_archive(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.walks.persistence as persistence
+
+        graph = power_law_graph(40, 120, seed=41)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=42)
+        path = save_index(index, tmp_path / "walks.idx3", format="compressed")
+
+        def failing_write(tmp_name, header, arrays):
+            with open(tmp_name, "wb") as handle:
+                handle.write(b"half-written garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence, "_write_v3", failing_write)
+        with pytest.raises(OSError):
+            save_index(
+                FlatWalkIndex.build(graph, 3, 4, seed=43), path,
+                format="compressed",
+            )
+        monkeypatch.undo()
+        back = load_index(path)
+        np.testing.assert_array_equal(back.state, index.state)
+        assert [p.name for p in tmp_path.iterdir()] == ["walks.idx3"]
+
+
+class TestReadOnlyViews:
+    """Memmapped archives are opened ``mode="r"``: a served query can
+    never write back through the maps, and attempting to is an error
+    rather than silent archive corruption."""
+
+    def test_arrays_not_writeable(self, tmp_path):
+        graph = power_law_graph(40, 120, seed=51)
+        index = FlatWalkIndex.build(graph, 3, 4, seed=52)
+        back = load_index(save_index(index, tmp_path / "ro", format="mmap"))
+        for array in (back.state, back.hop, back.storage.rows):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[0] = 0
+
+    def test_serving_off_the_map_leaves_archive_intact(self, tmp_path):
+        from repro.serve import DominationService
+
+        graph = power_law_graph(60, 180, seed=53)
+        index = FlatWalkIndex.build(graph, 4, 6, seed=54)
+        path = save_index(index, tmp_path / "serve", graph=graph,
+                          format="mmap")
+        before = path.read_bytes()
+        with DominationService.from_index_file(path, graph) as service:
+            served = service.select(5)
+        direct = approx_greedy_fast(
+            graph, 5, index.length, index=index, objective="f2"
+        )
+        assert served.selected == direct.selected
+        assert path.read_bytes() == before
+
+
+@pytest.mark.slow
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(5, 40),
+    extra_edges=st.integers(0, 40),
+    length=st.integers(1, 5),
+    reps=st.integers(1, 5),
+    fmt=st.sampled_from(list(INDEX_FORMATS)),
+    engine=st.sampled_from(["numpy", "csr", "sharded"]),
+)
+def test_v3_round_trip_property(
+    tmp_path_factory, num_nodes, extra_edges, length, reps, fmt, engine
+):
+    """save -> load preserves entries and every solver answer, for any
+    format x engine x gain backend."""
+    tmp_path = tmp_path_factory.mktemp("v3prop")
+    num_edges = min(
+        num_nodes + extra_edges,
+        num_nodes * 3,
+        num_nodes * (num_nodes - 1) // 2,
+    )
+    graph = power_law_graph(num_nodes, num_edges, seed=num_nodes)
+    index = FlatWalkIndex.build(graph, length, reps, seed=7, engine=engine)
+    back = load_index(
+        save_index(index, tmp_path / "walks", graph=graph, format=fmt),
+        graph=graph,
+    )
+    assert back.same_entries(index)
+    np.testing.assert_array_equal(back.state, index.state)
+    k = min(4, num_nodes)
+    for backend in GAIN_BACKENDS:
+        want = approx_greedy_fast(
+            graph, k, length, index=index, gain_backend=backend
+        )
+        got = approx_greedy_fast(
+            graph, k, length, index=back, gain_backend=backend
+        )
+        assert got.selected == want.selected
+        assert got.gains == want.gains

@@ -37,6 +37,7 @@ BENCH_FILES = [
     "benchmarks/bench_serving.py",
     "benchmarks/bench_http_serving.py",
     "benchmarks/bench_multiproc.py",
+    "benchmarks/bench_index_memory.py",
 ]
 
 

@@ -1,0 +1,116 @@
+"""Telemetry overhead gate — enabled instrumentation is ~free.
+
+The acceptance benchmark for the unified telemetry subsystem
+(:mod:`repro.obs`, DESIGN.md §14) on the serving-tier instance.  The
+claims:
+
+* **bit-identical results** — an end-to-end greedy solve with the
+  metrics registry and span tracer enabled returns exactly the
+  selections/gains of the disabled run (hard parity, never gated off);
+  instrumentation observes, it must not perturb; and
+* **bounded overhead** — the enabled solve stays within **5%** of the
+  disabled solve (soft timing gate, honors ``--no-timing-gate``).  The
+  instrumentation pattern that makes this hold: hot loops accumulate
+  plain ints on the engine and flush to the registry once per solve.
+
+Keys (via ``bench_record`` for the ``--json`` report and
+``tools/check_bench_regression.py``):
+
+* ``observability.solve_parity`` — the hard result contract.
+* ``observability.solve_disabled_s`` / ``observability.solve_enabled_s``
+  — best-of-N end-to-end solve times (absolute: soft on shared runners).
+* ``observability.telemetry_overhead_x`` — disabled over enabled time
+  (higher is better; ~1.0 when instrumentation is free, gated in-bench
+  at >= 1/1.05).
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.approx_fast import approx_greedy_fast
+from repro.graphs.generators import power_law_graph
+from repro.walks.index import FlatWalkIndex
+
+from benchmarks.conftest import best_of
+
+#: Same instance family as bench_serving.py / bench_http_serving.py.
+NODES = 2_000
+EDGES = 12_000
+LENGTH = 6
+REPLICATES = 100
+SEED = 11
+K = 32
+REPEATS = 5
+OVERHEAD_CEILING = 1.05
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return power_law_graph(NODES, EDGES, seed=7)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return FlatWalkIndex.build(
+        graph, LENGTH, REPLICATES, seed=SEED, engine="csr"
+    )
+
+
+def test_telemetry_overhead_and_parity(
+    graph, index, bench_record, timing_gate
+):
+    """Enabled vs disabled end-to-end solve: same answer, <=5% slower."""
+
+    def solve():
+        return approx_greedy_fast(
+            graph, K, LENGTH, index=index, objective="f2"
+        )
+
+    obs.disable()
+    disabled_s, baseline = best_of(REPEATS, solve)
+
+    obs.configure()
+    try:
+        enabled_s, instrumented = best_of(REPEATS, solve)
+        snap = obs.snapshot()
+        events = obs.tracer().events()
+    finally:
+        obs.disable()
+
+    parity = (
+        instrumented.selected == baseline.selected
+        and instrumented.gains == baseline.gains
+    )
+    overhead_x = disabled_s / enabled_s
+    bench_record("observability.solve_parity", parity)
+    bench_record("observability.solve_disabled_s", disabled_s)
+    bench_record("observability.solve_enabled_s", enabled_s)
+    bench_record("observability.telemetry_overhead_x", overhead_x)
+    print(
+        f"\ntelemetry overhead (n={NODES}, R={REPLICATES}, L={LENGTH}, "
+        f"k={K}, best of {REPEATS}): disabled {disabled_s * 1e3:.1f} ms, "
+        f"enabled {enabled_s * 1e3:.1f} ms "
+        f"({enabled_s / disabled_s:.3f}x)"
+    )
+
+    assert parity, "telemetry changed the solver's answer"
+    # The enabled run must actually have recorded something — a silent
+    # no-op would pass any overhead gate.
+    counters = {name for (name, _labels) in snap.counters}
+    assert "solver_runs_total" in counters
+    assert "solver_gain_evaluations_total" in counters
+    assert any(event["name"] == "solve.greedy" for event in events)
+
+    if enabled_s <= disabled_s * OVERHEAD_CEILING:
+        pass
+    elif timing_gate:
+        raise AssertionError(
+            f"telemetry overhead {enabled_s / disabled_s:.3f}x exceeds "
+            f"the {OVERHEAD_CEILING}x ceiling"
+        )
+    else:
+        print(
+            f"TIMING (report-only, --no-timing-gate): telemetry overhead "
+            f"{enabled_s / disabled_s:.3f}x exceeds the "
+            f"{OVERHEAD_CEILING}x ceiling"
+        )

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Nine subcommands cover the library's everyday workflows::
+Ten subcommands cover the library's everyday workflows::
 
     repro select    # run a solver on a graph and print/serialize targets
     repro metrics   # evaluate AHT/EHN for a given target set
@@ -13,6 +13,15 @@ Nine subcommands cover the library's everyday workflows::
                     # index maintenance, robust selection, bondage attack
     repro serve     # drive a query workload through the concurrent
                     # serving layer (repro.serve) and report latency
+    repro stats     # fetch /metrics or /stats from a running HTTP server
+
+The heavier subcommands (``select``, ``index``, ``dynamic``, ``serve``)
+accept ``--telemetry`` to enable the :mod:`repro.obs` metrics registry
+and span tracer (DESIGN.md §14); ``--telemetry`` prints a Prometheus
+text dump on exit and ``--trace-out FILE`` writes the recorded spans as
+Chrome ``trace_event`` JSON (load it at ``chrome://tracing`` or
+https://ui.perfetto.dev).  Telemetry never changes results — only
+observability — and is off (zero-cost) by default.
 
 The graph for ``select``/``metrics``/``simulate``/``index``/``analyze``/
 ``dynamic``/``serve`` comes from exactly one of ``--edge-list FILE``,
@@ -138,6 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reuse a walk index built by 'repro index' (approx-fast only; "
         "overrides -L and -R with the index's own parameters)",
     )
+    _add_telemetry_flags(select)
 
     metrics = sub.add_parser("metrics", help="evaluate a target set")
     _add_graph_source(metrics)
@@ -244,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
         "codec), or mmap (v3 raw arrays + packed rows, loads as "
         "memory maps)",
     )
+    _add_telemetry_flags(index)
 
     analyze = sub.add_parser(
         "analyze", help="recommend a walk horizon L for a target set"
@@ -318,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None,
         help="write the report as JSON ('-' for stdout)",
     )
+    _add_telemetry_flags(dynamic)
 
     serve = sub.add_parser(
         "serve",
@@ -363,6 +375,11 @@ def build_parser() -> argparse.ArgumentParser:
         "and closed (default 128; with --http)",
     )
     serve.add_argument(
+        "--stats-window", type=int, default=2048,
+        help="per-endpoint latency window for /stats percentiles, in "
+        "samples (default 2048; must be >= 1; with --http)",
+    )
+    serve.add_argument(
         "--clients", type=int, default=4,
         help="closed-loop client threads (default 4)",
     )
@@ -403,7 +420,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="FILE", default=None,
         help="write the load report as JSON ('-' for stdout)",
     )
+    _add_telemetry_flags(serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="fetch live telemetry from a running 'repro serve --http' "
+        "server",
+    )
+    stats.add_argument(
+        "--url", required=True, metavar="URL",
+        help="server base URL, e.g. http://127.0.0.1:8080",
+    )
+    stats.add_argument(
+        "--format", choices=("prometheus", "json"), default="prometheus",
+        help="prometheus: GET /metrics text exposition (default); "
+        "json: GET /stats JSON document",
+    )
     return parser
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", action="store_true",
+        help="enable the repro.obs metrics registry and span tracer for "
+        "this run and print a Prometheus text dump on exit (results are "
+        "bit-identical either way; see DESIGN.md §14)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write recorded spans as Chrome trace_event JSON "
+        "(chrome://tracing / Perfetto); implies --telemetry",
+    )
 
 
 def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
@@ -767,6 +814,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         run_load,
     )
 
+    if args.stats_window < 1:
+        raise ParameterError("stats_window must be >= 1")
     graph = _load_graph(args)
     with open(args.workload) as handle:
         queries = parse_workload(handle.read())
@@ -808,6 +857,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 service, host=args.host, port=args.port,
                 max_inflight=args.max_inflight,
                 max_connections=args.max_connections,
+                stats_window=args.stats_window,
             )
             try:
                 print(
@@ -860,6 +910,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    path = "/metrics" if args.format == "prometheus" else "/stats"
+    url = args.url.rstrip("/") + path
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            body = response.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"error: GET {url} failed: {exc}", file=sys.stderr)
+        return 1
+    print(body, end="" if body.endswith("\n") else "\n")
+    return 0
+
+
 _COMMANDS = {
     "select": _cmd_select,
     "metrics": _cmd_metrics,
@@ -870,6 +936,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "dynamic": _cmd_dynamic,
     "serve": _cmd_serve,
+    "stats": _cmd_stats,
 }
 
 
@@ -877,11 +944,35 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     """Entry point (also installed as the ``repro`` console script)."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    telemetry = bool(
+        getattr(args, "telemetry", False)
+        or getattr(args, "trace_out", None)
+    )
+    if telemetry:
+        from repro import obs
+
+        obs.configure()
     try:
-        return _COMMANDS[args.command](args)
+        status = _COMMANDS[args.command](args)
     except RwdomError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if telemetry:
+            trace_out = getattr(args, "trace_out", None)
+            if trace_out:
+                from repro import obs
+
+                obs.write_chrome_trace(trace_out)
+                print(f"trace written -> {trace_out}", file=sys.stderr)
+    if telemetry:
+        from repro import obs
+
+        text = obs.render_prometheus()
+        if text:
+            print("--- telemetry (prometheus text) ---", file=sys.stderr)
+            sys.stderr.write(text)
+    return status
 
 
 if __name__ == "__main__":

@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.core.coverage_kernel import CoverageKernel, validate_gain_backend
@@ -96,6 +97,12 @@ class FastApproxEngine:
         self.selected: list[int] = []
         self.gains: list[float] = []
         self.num_gain_evaluations = 0
+        # Plain-int telemetry accumulators: incremented unconditionally in
+        # the hot paths (cheaper than a branch) and flushed to the metrics
+        # registry once per solve by the driver when telemetry is on.
+        self.num_full_sweeps = 0
+        self.block_cache_hits = 0
+        self.block_cache_misses = 0
 
     def _states_of(self, node: int) -> np.ndarray:
         """``index.states_for`` with per-solve memoization (see above)."""
@@ -104,7 +111,10 @@ class FastApproxEngine:
             return self.index.states_for(node)
         states = cache.get(node)
         if states is None:
+            self.block_cache_misses += 1
             states = cache[node] = self.index.states_for(node)
+        else:
+            self.block_cache_hits += 1
         return states
 
     # ------------------------------------------------------------------
@@ -130,6 +140,7 @@ class FastApproxEngine:
         :func:`repro.core.approx_greedy.approx_gain`.  The entry backend
         pays one index pass; the bitset kernel returns its maintained gains.
         """
+        self.num_full_sweeps += 1
         if self._kernel is not None:
             self.num_gain_evaluations += self.num_nodes
             return self._kernel.gains_all()
@@ -292,17 +303,51 @@ def approx_greedy_fast(
     gain_backend = validate_gain_backend(gain_backend)
     walk_engine = get_engine(engine)
     started = time.perf_counter()
-    if index is None:
-        index = FlatWalkIndex.build(
-            graph, length, num_replicates, seed=seed, engine=walk_engine
+    with obs.span(
+        "solve.greedy", objective=objective, k=k, gain_backend=gain_backend
+    ):
+        if index is None:
+            index = FlatWalkIndex.build(
+                graph, length, num_replicates, seed=seed, engine=walk_engine
+            )
+        elif index.num_nodes != graph.num_nodes:
+            raise ParameterError("index was built for a different graph size")
+        engine = FastApproxEngine(
+            index, objective=objective, gain_backend=gain_backend
         )
-    elif index.num_nodes != graph.num_nodes:
-        raise ParameterError("index was built for a different graph size")
-    engine = FastApproxEngine(
-        index, objective=objective, gain_backend=gain_backend
-    )
-    engine.run(k, lazy=lazy)
+        engine.run(k, lazy=lazy)
     elapsed = time.perf_counter() - started
+    if obs.enabled():
+        labels = {"objective": objective, "gain_backend": gain_backend}
+        obs.inc("solver_runs_total", help="Completed greedy solves.", **labels)
+        obs.inc(
+            "solver_gain_evaluations_total",
+            engine.num_gain_evaluations,
+            help="Marginal-gain evaluations across solves.",
+            **labels,
+        )
+        obs.inc(
+            "solver_full_sweeps_total",
+            engine.num_full_sweeps,
+            help="Full gain sweeps (kernel passes) across solves.",
+            **labels,
+        )
+        obs.inc(
+            "solver_block_cache_hits_total",
+            engine.block_cache_hits,
+            help="Decoded-block cache hits (compressed storage).",
+        )
+        obs.inc(
+            "solver_block_cache_misses_total",
+            engine.block_cache_misses,
+            help="Decoded-block cache misses (compressed storage).",
+        )
+        obs.observe(
+            "solver_solve_seconds",
+            elapsed,
+            help="End-to-end greedy solve wall time.",
+            objective=objective,
+        )
     name = "ApproxF1" if objective == "f1" else "ApproxF2"
     return SelectionResult(
         algorithm=name,

@@ -48,8 +48,11 @@ estimator aggregation, and the CLI ``--gain-backend`` flag.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.walks.index import FlatWalkIndex, scatter_or_bits
 
@@ -309,9 +312,24 @@ class CoverageKernel:
         materialize_rows: "bool | None" = None,
     ) -> "CoverageKernel":
         """Build a kernel over an existing walk index."""
-        return cls(index, objective=objective,
-                   max_packed_bytes=max_packed_bytes,
-                   materialize_rows=materialize_rows)
+        started = time.perf_counter()
+        with obs.span("kernel.build", objective=objective):
+            kernel = cls(index, objective=objective,
+                         max_packed_bytes=max_packed_bytes,
+                         materialize_rows=materialize_rows)
+        if obs.enabled():
+            obs.inc(
+                "kernel_builds_total",
+                help="Coverage-kernel constructions.",
+                objective=objective,
+            )
+            obs.observe(
+                "kernel_build_seconds",
+                time.perf_counter() - started,
+                help="Coverage-kernel build wall time.",
+                objective=objective,
+            )
+        return kernel
 
     # ------------------------------------------------------------------
     @property

@@ -33,6 +33,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.core.approx_fast import approx_greedy_fast
@@ -339,8 +340,11 @@ def churn_replay(
     for ops in batches:
         inserts, deletes = expand_membership(ops, dgraph, graph, present)
         started = time.perf_counter()
-        dgraph.apply_batch(inserts, deletes)
-        stats = dyn.sync(dgraph)
+        with obs.span(
+            "churn.batch", inserts=len(inserts), deletes=len(deletes)
+        ):
+            dgraph.apply_batch(inserts, deletes)
+            stats = dyn.sync(dgraph)
         update_seconds = time.perf_counter() - started
         metrics = dyn.selection_metrics(selection)
         resolved = False
@@ -350,6 +354,24 @@ def churn_replay(
             metrics = dyn.selection_metrics(selection)
             solve_baseline = metrics["coverage_fraction"]
             resolved = True
+        if obs.enabled():
+            obs.inc("churn_batches_total", help="Churn batches replayed.")
+            if resolved:
+                obs.inc(
+                    "churn_resolves_total",
+                    help="Re-solves triggered by coverage decay.",
+                )
+            obs.observe(
+                "churn_resampled_rows",
+                stats.resampled_rows,
+                buckets=obs.COUNT_BUCKETS,
+                help="Walk rows resampled per churn batch.",
+            )
+            obs.observe(
+                "churn_update_seconds",
+                update_seconds,
+                help="Per-batch incremental maintenance wall time.",
+            )
         steps.append(
             ChurnStep(
                 epoch=dyn.epoch,

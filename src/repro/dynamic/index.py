@@ -43,6 +43,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.walks.backends import WalkEngine, get_engine
@@ -407,28 +408,47 @@ class DynamicWalkIndex:
         )
         rows = self._dirty_rows(batch.modified_nodes())
         removed = added = 0
-        if rows.size:
-            replicates = self.num_replicates
-            new_walks = replay_walks(
-                new_graph, rows // replicates, self.uniforms[rows]
-            )
-            if rows.size * 4 > self.walks.shape[0]:
-                # Past ~25% dirty, the sorted-merge splice moves more
-                # memory than simply re-extracting and re-sorting all
-                # records from the (mostly cached) walk matrix.
-                dirty_states = _states_of_rows(
-                    rows, self.num_nodes, replicates
+        path = "noop"
+        with obs.span(
+            "dynamic.apply_batch", edits=batch.num_edits,
+            resampled_rows=int(rows.size),
+        ):
+            if rows.size:
+                replicates = self.num_replicates
+                new_walks = replay_walks(
+                    new_graph, rows // replicates, self.uniforms[rows]
                 )
-                removed = _first_visit_records(
-                    self.walks[rows], dirty_states
-                )[0].size
-                before = self.flat.total_entries
-                self.walks[rows] = new_walks
-                self._rebuild_entries_from_walks()
-                added = self.flat.total_entries - before + removed
-            else:
-                removed, added = self._patch_entries(rows, new_walks)
-                self.walks[rows] = new_walks
+                if rows.size * 4 > self.walks.shape[0]:
+                    # Past ~25% dirty, the sorted-merge splice moves more
+                    # memory than simply re-extracting and re-sorting all
+                    # records from the (mostly cached) walk matrix.
+                    path = "rebuild"
+                    dirty_states = _states_of_rows(
+                        rows, self.num_nodes, replicates
+                    )
+                    removed = _first_visit_records(
+                        self.walks[rows], dirty_states
+                    )[0].size
+                    before = self.flat.total_entries
+                    self.walks[rows] = new_walks
+                    self._rebuild_entries_from_walks()
+                    added = self.flat.total_entries - before + removed
+                else:
+                    path = "incremental"
+                    removed, added = self._patch_entries(rows, new_walks)
+                    self.walks[rows] = new_walks
+        if obs.enabled():
+            obs.inc(
+                "dynamic_updates_total",
+                help="Edit batches applied, by update strategy.",
+                path=path,
+            )
+            obs.observe(
+                "dynamic_resampled_rows",
+                int(rows.size),
+                buckets=obs.COUNT_BUCKETS,
+                help="Walk rows resampled per edit batch.",
+            )
         self.graph = new_graph
         self.epoch += 1
         return DynamicUpdateStats(

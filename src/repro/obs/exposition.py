@@ -1,0 +1,95 @@
+"""Prometheus text exposition for :class:`~repro.obs.registry.MetricsSnapshot`.
+
+Renders the version-0.0.4 text format (the one every Prometheus scraper
+speaks): ``# HELP``/``# TYPE`` headers per metric family, label sets in
+``{key="value"}`` form with backslash/quote/newline escaping, histogram
+families expanded into cumulative ``_bucket{le="..."}`` series plus
+``_sum``/``_count``.  All metric names get a ``repro_`` prefix here, so
+call sites stay short (``http_requests_total`` →
+``repro_http_requests_total``).
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsSnapshot
+
+__all__ = ["render_prometheus"]
+
+PREFIX = "repro_"
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _labels_text(labels, extra=()) -> str:
+    pairs = list(labels) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape_label(str(value))}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _header(lines, name, kind, help_text):
+    if help_text:
+        lines.append(f"# HELP {name} {_escape_label(help_text)}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def render_prometheus(
+    *snapshots: MetricsSnapshot, prefix: str = PREFIX
+) -> str:
+    """All snapshots merged and rendered as Prometheus text exposition."""
+    snap = MetricsSnapshot.merge_all(snapshots)
+    lines: list = []
+
+    def by_name(table):
+        grouped: dict = {}
+        for (name, labels), value in table.items():
+            grouped.setdefault(name, []).append((labels, value))
+        return sorted(grouped.items())
+
+    for name, series in by_name(snap.counters):
+        full = prefix + name
+        _header(lines, full, "counter", snap.help.get(name, ""))
+        for labels, value in sorted(series):
+            lines.append(f"{full}{_labels_text(labels)} {_format_value(value)}")
+
+    for name, series in by_name(snap.gauges):
+        full = prefix + name
+        _header(lines, full, "gauge", snap.help.get(name, ""))
+        for labels, value in sorted(series):
+            lines.append(f"{full}{_labels_text(labels)} {_format_value(value)}")
+
+    for name, series in by_name(snap.histograms):
+        full = prefix + name
+        _header(lines, full, "histogram", snap.help.get(name, ""))
+        for labels, state in sorted(series):
+            cumulative = 0
+            for bound, count in zip(state.bounds, state.counts):
+                cumulative += count
+                le = _labels_text(labels, [("le", _format_value(bound))])
+                lines.append(f"{full}_bucket{le} {cumulative}")
+            inf = _labels_text(labels, [("le", "+Inf")])
+            lines.append(f"{full}_bucket{inf} {state.count}")
+            lines.append(
+                f"{full}_sum{_labels_text(labels)} {_format_value(state.sum)}"
+            )
+            lines.append(f"{full}_count{_labels_text(labels)} {state.count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

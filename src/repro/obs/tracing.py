@@ -1,0 +1,174 @@
+"""Span tracing: nested wall-time events in a per-process ring buffer.
+
+``tracer.span("solve.greedy", k=8)`` is a context manager; on exit it
+appends one structured event to a bounded ring buffer (old events fall off
+— tracing never grows without bound).  Events carry:
+
+* ``name``, ``ts_us``/``dur_us`` (microseconds relative to the tracer's
+  start), ``pid``/``tid``,
+* ``depth`` — nesting level within the thread (spans opened inside a span
+  are children),
+* ``self_us`` — wall time minus the time spent in *direct child spans*,
+  i.e. the nested wall-time attribution the flame view wants,
+* ``args`` — the caller's keyword arguments, coerced to JSON-safe scalars.
+
+:meth:`SpanTracer.export_chrome_trace` renders the buffer as Chrome
+``trace_event`` JSON (``{"traceEvents": [...]}`` with ``ph: "X"`` complete
+events) loadable in ``chrome://tracing`` / Perfetto.
+
+Thread story: the per-thread span stack lives in ``threading.local``; the
+ring buffer append is guarded by one lock.  A disabled tracer
+(:class:`NullTracer`) hands out a shared reusable no-op context manager,
+so ``with tracer.span(...)`` costs two method calls when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["SpanTracer", "NullTracer", "NULL_TRACER", "DEFAULT_TRACE_BUFFER"]
+
+DEFAULT_TRACE_BUFFER = 65_536
+
+
+def _json_safe(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class _Span:
+    __slots__ = ("_tracer", "_name", "_args", "_start_us", "_child_us")
+
+    def __init__(self, tracer: "SpanTracer", name: str, args: dict):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+        self._start_us = 0.0
+        self._child_us = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start_us = self._tracer._now_us()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end_us = self._tracer._now_us()
+        self._tracer._pop(self, end_us, failed=exc_type is not None)
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class SpanTracer:
+    """Bounded ring buffer of completed spans (module docstring)."""
+
+    def __init__(self, buffer_size: int = DEFAULT_TRACE_BUFFER):
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=max(1, int(buffer_size)))
+        self._local = threading.local()
+
+    # -- recording -----------------------------------------------------
+    def span(self, name: str, **args) -> _Span:
+        return _Span(self, str(name), args)
+
+    def _now_us(self) -> float:
+        return (time.perf_counter() - self._epoch) * 1e6
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: _Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: _Span, end_us: float, failed: bool) -> None:
+        stack = self._stack()
+        depth = 0
+        if stack and stack[-1] is span:
+            stack.pop()
+            depth = len(stack)
+        dur_us = end_us - span._start_us
+        if stack:
+            stack[-1]._child_us += dur_us
+        event = {
+            "name": span._name,
+            "ts_us": span._start_us,
+            "dur_us": dur_us,
+            "self_us": max(dur_us - span._child_us, 0.0),
+            "depth": depth,
+            "pid": os.getpid(),
+            "tid": threading.get_ident(),
+            "args": {k: _json_safe(v) for k, v in span._args.items()},
+        }
+        if failed:
+            event["failed"] = True
+        with self._lock:
+            self._events.append(event)
+
+    # -- export --------------------------------------------------------
+    def events(self) -> list:
+        """Completed spans, oldest first (plain dicts, JSON-safe)."""
+        with self._lock:
+            return list(self._events)
+
+    def export_chrome_trace(self) -> dict:
+        """The ring buffer as Chrome ``trace_event`` JSON (``ph: "X"``)."""
+        trace_events = []
+        for event in self.events():
+            args = dict(event["args"])
+            args["self_us"] = round(event["self_us"], 3)
+            if event.get("failed"):
+                args["failed"] = True
+            trace_events.append({
+                "name": event["name"],
+                "cat": "repro",
+                "ph": "X",
+                "ts": event["ts_us"],
+                "dur": event["dur_us"],
+                "pid": event["pid"],
+                "tid": event["tid"],
+                "args": args,
+            })
+        return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path) -> None:
+        payload = self.export_chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=None, separators=(",", ":"))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+
+class NullTracer(SpanTracer):
+    """Disabled-mode tracer: spans are a shared no-op, exports are empty."""
+
+    def __init__(self):
+        super().__init__(buffer_size=1)
+
+    def span(self, name: str, **args) -> _NullSpan:
+        return _NULL_SPAN
+
+
+NULL_TRACER = NullTracer()

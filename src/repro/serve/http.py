@@ -30,6 +30,14 @@ Three properties the tests and ``benchmarks/bench_http_serving.py`` pin:
   back on :meth:`DominationHttpServer.drain`.  Epoch swaps
   (``service.sync``) publish atomically, so readiness never flickers
   during churn maintenance.
+
+Observability (DESIGN.md §14): the per-endpoint counters behind
+``/stats`` live in a server-local, always-on
+:class:`~repro.obs.registry.MetricsRegistry` (the JSON shape of
+``/stats`` is unchanged — it is now a *view* over the registry), and
+``GET /metrics`` renders that registry, the service counters, and —
+when the process enabled telemetry via ``repro.obs.configure()`` — the
+global solver/walk/persistence metrics as Prometheus text exposition.
 """
 
 from __future__ import annotations
@@ -40,10 +48,13 @@ import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.errors import ParameterError, RwdomError
+from repro.obs.exposition import render_prometheus
+from repro.obs.registry import MetricsRegistry, MetricsSnapshot
 from repro.serve.schemas import REQUEST_KINDS, decode_request, encode_response
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -63,8 +74,10 @@ __all__ = [
 MAX_HEADER_BYTES = 16_384
 MAX_BODY_BYTES = 1_048_576
 
-#: Latency samples retained per endpoint for the /stats percentiles
-#: (a bounded window, so stats memory never grows with uptime).
+#: Default number of latency samples retained per endpoint for the
+#: /stats percentiles (a bounded window, so stats memory never grows
+#: with uptime).  Override per server with ``stats_window=`` (the CLI's
+#: ``--stats-window``).
 LATENCY_WINDOW = 2_048
 
 _REASONS = {
@@ -78,8 +91,10 @@ _REASONS = {
     503: "Service Unavailable",
 }
 
-#: Stats endpoints, in the order /stats reports them.
-ENDPOINT_NAMES = REQUEST_KINDS + ("healthz", "readyz", "stats")
+#: Stats endpoints, in the order /stats reports them.  ``"prometheus"``
+#: is the ``/metrics`` exposition endpoint (``"metrics"`` already names
+#: the query kind).
+ENDPOINT_NAMES = REQUEST_KINDS + ("healthz", "readyz", "stats", "prometheus")
 
 
 class _HttpError(Exception):
@@ -99,6 +114,8 @@ class EndpointStats:
     Latency percentiles follow the small-sample rule of
     :func:`repro.serve.loadgen.sample_percentile` over a bounded window
     of the most recent answers; ``nan`` when nothing was answered yet.
+    ``errors_by_status`` breaks ``errors`` down by HTTP status code
+    (string keys, so the dict survives a JSON round trip unchanged).
     """
 
     requests: int
@@ -108,24 +125,70 @@ class EndpointStats:
     latency_mean_ms: float
     latency_p50_ms: float
     latency_p99_ms: float
+    errors_by_status: "dict[str, int]" = field(default_factory=dict)
 
 
 class _EndpointCounters:
-    """Mutable twin of :class:`EndpointStats`.
+    """One endpoint's live counters, backed by the server registry.
 
-    Touched only from the event-loop thread (handlers count before and
-    after each ``await``, and executor results are delivered back on the
-    loop), so plain attributes suffice — no lock.
+    The counts live in :class:`~repro.obs.registry.MetricsRegistry`
+    metrics (label ``endpoint=<name>``), so ``/stats`` and ``/metrics``
+    are two views over the same numbers.  Touched only from the
+    event-loop thread (handlers count before and after each ``await``,
+    and executor results are delivered back on the loop).  The latency
+    deque is the /stats percentile window; the registry histogram keeps
+    the full-distribution buckets /metrics exports.
     """
 
-    __slots__ = ("requests", "errors", "rejections", "in_flight", "samples")
+    __slots__ = (
+        "_registry", "_name", "_requests", "_rejections", "_in_flight",
+        "_latency", "_errors", "samples",
+    )
 
-    def __init__(self):
-        self.requests = 0
-        self.errors = 0
-        self.rejections = 0
-        self.in_flight = 0
-        self.samples: deque[float] = deque(maxlen=LATENCY_WINDOW)
+    def __init__(self, registry: MetricsRegistry, name: str, window: int):
+        labels = {"endpoint": name}
+        self._registry = registry
+        self._name = name
+        self._requests = registry.counter(
+            "http_requests_total", labels, help="HTTP requests received."
+        )
+        self._rejections = registry.counter(
+            "http_rejections_total", labels,
+            help="Requests rejected by admission control.",
+        )
+        self._in_flight = registry.gauge(
+            "http_in_flight", labels, help="Requests currently executing."
+        )
+        self._latency = registry.histogram(
+            "http_request_seconds", labels,
+            help="Admitted-request service time.",
+        )
+        self._errors: dict[int, object] = {}
+        self.samples: deque[float] = deque(maxlen=window)
+
+    def count_request(self) -> None:
+        self._requests.inc()
+
+    def count_error(self, status: int) -> None:
+        counter = self._errors.get(status)
+        if counter is None:
+            counter = self._errors[status] = self._registry.counter(
+                "http_errors_total",
+                {"endpoint": self._name, "status": str(status)},
+                help="Requests answered with an error status.",
+            )
+        counter.inc()
+
+    def count_rejection(self) -> None:
+        self._rejections.inc()
+
+    def enter(self) -> None:
+        self._in_flight.inc()
+
+    def leave(self, elapsed: float) -> None:
+        self._in_flight.dec()
+        self._latency.observe(elapsed)
+        self.samples.append(elapsed)
 
     def freeze(self) -> EndpointStats:
         from repro.serve.loadgen import sample_percentile
@@ -137,14 +200,19 @@ class _EndpointCounters:
             p99_ms = sample_percentile(window, 99) * 1e3
         else:
             mean_ms = p50_ms = p99_ms = float("nan")
+        by_status = {
+            str(status): int(counter.value)
+            for status, counter in sorted(self._errors.items())
+        }
         return EndpointStats(
-            requests=self.requests,
-            errors=self.errors,
-            rejections=self.rejections,
-            in_flight=self.in_flight,
+            requests=int(self._requests.value),
+            errors=sum(by_status.values()),
+            rejections=int(self._rejections.value),
+            in_flight=int(self._in_flight.value),
             latency_mean_ms=mean_ms,
             latency_p50_ms=p50_ms,
             latency_p99_ms=p99_ms,
+            errors_by_status=by_status,
         )
 
 
@@ -174,6 +242,10 @@ class DominationHttpServer:
         receive an immediate ``503`` and are closed.
     retry_after:
         Seconds advertised in ``Retry-After`` on backpressure 503s.
+    stats_window:
+        Latency samples retained per endpoint for the ``/stats``
+        percentiles (default :data:`LATENCY_WINDOW`; the CLI's
+        ``--stats-window``).  Must be ≥ 1.
     """
 
     def __init__(
@@ -184,6 +256,7 @@ class DominationHttpServer:
         max_inflight: int = 32,
         max_connections: int = 128,
         retry_after: float = 1.0,
+        stats_window: int = LATENCY_WINDOW,
     ):
         if max_inflight < 1:
             raise ParameterError("max_inflight must be >= 1")
@@ -191,6 +264,8 @@ class DominationHttpServer:
             raise ParameterError("max_connections must be >= 1")
         if retry_after < 0:
             raise ParameterError("retry_after must be >= 0 seconds")
+        if stats_window < 1:
+            raise ParameterError("stats_window must be >= 1")
         self._service = service
         self._host = host
         self._requested_port = int(port)
@@ -206,7 +281,14 @@ class DominationHttpServer:
         self._executor = ThreadPoolExecutor(
             max_workers=self.max_inflight, thread_name_prefix="rwdom-http"
         )
-        self._endpoints = {name: _EndpointCounters() for name in ENDPOINT_NAMES}
+        self.stats_window = int(stats_window)
+        # Server-local and always on: /stats (and /metrics) work whether
+        # or not the process enabled the global telemetry switch.
+        self.registry = MetricsRegistry()
+        self._endpoints = {
+            name: _EndpointCounters(self.registry, name, self.stats_window)
+            for name in ENDPOINT_NAMES
+        }
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -401,14 +483,19 @@ class DominationHttpServer:
     def _render(
         self,
         status: int,
-        payload: dict,
+        payload: "dict | str",
         keep_alive: bool,
         retry_after: bool = False,
     ) -> bytes:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):  # /metrics: Prometheus text
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -422,10 +509,10 @@ class DominationHttpServer:
     async def _dispatch(self, method: str, target: str, body: bytes):
         """``(status, payload, retry_after)`` for one parsed request."""
         path = target.split("?", 1)[0]
-        if path in ("/healthz", "/readyz", "/stats"):
-            name = path.lstrip("/")
+        if path in ("/healthz", "/readyz", "/stats", "/metrics"):
+            name = "prometheus" if path == "/metrics" else path.lstrip("/")
             if method != "GET":
-                self._endpoints[name].errors += 1
+                self._endpoints[name].count_error(405)
                 return (
                     405,
                     _error_body(
@@ -433,7 +520,7 @@ class DominationHttpServer:
                     ),
                     False,
                 )
-            self._endpoints[name].requests += 1
+            self._endpoints[name].count_request()
             if path == "/healthz":
                 return 200, {"status": "ok", **self._service.describe()}, False
             if path == "/readyz":
@@ -444,6 +531,8 @@ class DominationHttpServer:
                         False,
                     )
                 return 503, {"ready": False}, True
+            if path == "/metrics":
+                return 200, self.render_metrics(), False
             return 200, self._stats_payload(), False
         if path.startswith("/query/"):
             kind = path[len("/query/"):]
@@ -458,7 +547,7 @@ class DominationHttpServer:
                     False,
                 )
             if method != "POST":
-                self._endpoints[kind].errors += 1
+                self._endpoints[kind].count_error(405)
                 return (
                     405,
                     _error_body(
@@ -472,18 +561,18 @@ class DominationHttpServer:
             _error_body(
                 "ParameterError",
                 f"no route for {path!r} (endpoints: /healthz, /readyz, "
-                "/stats, /query/<kind>)",
+                "/stats, /metrics, /query/<kind>)",
             ),
             False,
         )
 
     async def _handle_query(self, kind: str, body: bytes):
         counters = self._endpoints[kind]
-        counters.requests += 1
+        counters.count_request()
         try:
             payload = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            counters.errors += 1
+            counters.count_error(400)
             return (
                 400,
                 _error_body(
@@ -496,13 +585,13 @@ class DominationHttpServer:
         try:
             request = decode_request(kind, payload)
         except ParameterError as exc:
-            counters.errors += 1
+            counters.count_error(400)
             return 400, _error_body(type(exc).__name__, str(exc), kind=kind), False
         # Admission control: the check-and-increment pair runs without an
         # intervening await on the single loop thread, so the in-flight
         # budget cannot be oversubscribed by interleaved handlers.
         if self._inflight >= self.max_inflight:
-            counters.rejections += 1
+            counters.count_rejection()
             return (
                 503,
                 _error_body(
@@ -514,19 +603,19 @@ class DominationHttpServer:
                 True,
             )
         self._inflight += 1
-        counters.in_flight += 1
+        counters.enter()
         started = time.perf_counter()
         try:
             value = await asyncio.get_running_loop().run_in_executor(
                 self._executor, request.issue, self._service
             )
         except RwdomError as exc:
-            counters.errors += 1
+            counters.count_error(400)
             return 400, _error_body(type(exc).__name__, str(exc), kind=kind), False
         except Exception as exc:
             # A bug must surface as a typed 500, never a traceback
             # through the socket.
-            counters.errors += 1
+            counters.count_error(500)
             return (
                 500,
                 _error_body(
@@ -538,8 +627,7 @@ class DominationHttpServer:
             )
         finally:
             self._inflight -= 1
-            counters.in_flight -= 1
-            counters.samples.append(time.perf_counter() - started)
+            counters.leave(time.perf_counter() - started)
         return 200, encode_response(kind, value), False
 
     def _stats_payload(self) -> dict:
@@ -565,6 +653,53 @@ class DominationHttpServer:
             "service": asdict(service_stats),
             "endpoints": endpoints,
         }
+
+    _SERVICE_METRIC_HELP = {
+        "serve_queries_total": "Queries accepted by the service.",
+        "serve_cache_hits_total": "Result-cache hits.",
+        "serve_kernel_passes_total": "Shared greedy kernel passes.",
+        "serve_select_batches_total": "Select micro-batches executed.",
+        "serve_batched_queries_total": "Queries answered from a shared batch.",
+        "serve_publishes_total": "Snapshot publishes (epoch swaps).",
+        "serve_epoch": "Currently published snapshot epoch.",
+    }
+
+    def render_metrics(self) -> str:
+        """Prometheus text: server registry + service counters + (when the
+        process enabled telemetry) the global solver/walk/persistence
+        registry — one scrape covers every layer."""
+        from dataclasses import asdict
+
+        service = MetricsSnapshot(help=dict(self._SERVICE_METRIC_HELP))
+        for name, value in asdict(self._service.stats).items():
+            if name == "epoch":
+                service.gauges[("serve_epoch", ())] = float(value)
+            else:
+                service.counters[(f"serve_{name}_total", ())] = float(value)
+        server = MetricsSnapshot(
+            gauges={
+                ("http_ready", ()): float(self._ready),
+                ("http_open_connections", ()): float(len(self._writers)),
+                ("http_max_connections", ()): float(self.max_connections),
+                ("http_max_inflight", ()): float(self.max_inflight),
+            },
+            counters={
+                ("http_rejected_connections_total", ()): float(
+                    self._rejected_connections
+                ),
+            },
+            help={
+                "http_ready": "1 once ready to serve, 0 while draining.",
+                "http_open_connections": "Open client connections.",
+                "http_max_connections": "Connection cap.",
+                "http_max_inflight": "In-flight admission budget.",
+                "http_rejected_connections_total":
+                    "Connections refused at the cap.",
+            },
+        )
+        return render_prometheus(
+            self.registry.snapshot(), service, server, obs.snapshot()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         where = self.base_url if self._port is not None else "unbound"

@@ -186,6 +186,14 @@ class LoadReport:
     meaningless numbers.  ``errors`` counts library-rejected queries
     (typed 4xx over HTTP); ``rejections`` counts backpressure 503s from
     the HTTP tier (always 0 in-process).
+
+    Over ``transport="http"`` the client-side aggregates above are
+    joined by ``endpoints``: the server's own per-endpoint taxonomy from
+    ``/stats`` (requests, errors broken down by status in
+    ``errors_by_status``, rejections, latency percentiles), captured
+    after the run drains — so server-side error detail is no longer
+    collapsed into the single client-side ``errors`` count.  In-process
+    runs have no server; ``endpoints`` is ``None`` there.
     """
 
     num_queries: int
@@ -198,6 +206,7 @@ class LoadReport:
     errors: int
     rejections: int
     stats: ServiceStats
+    endpoints: "dict[str, dict] | None" = None
 
 
 class _Rejected(Exception):
@@ -250,7 +259,7 @@ class _HttpClient:
         self._conn.close()
 
 
-def _fetch_service_stats(base_url: str) -> ServiceStats:
+def _fetch_stats_payload(base_url: str) -> dict:
     client = _HttpClient(base_url)
     try:
         status, payload = client.request("GET", "/stats")
@@ -258,7 +267,11 @@ def _fetch_service_stats(base_url: str) -> ServiceStats:
         client.close()
     if status != 200:
         raise RuntimeError(f"GET /stats returned HTTP {status}")
-    return ServiceStats(**payload["service"])
+    return payload
+
+
+def _fetch_service_stats(base_url: str) -> ServiceStats:
+    return ServiceStats(**_fetch_stats_payload(base_url)["service"])
 
 
 def run_load(
@@ -376,10 +389,20 @@ def run_load(
             f"no queries were answered: all {len(stream)} were rejected "
             f"({sum(errors)} errors, {sum(rejections)} backpressure 503s)"
         )
-    if service is not None:
-        stats = service.stats
+    endpoints = None
+    if transport == "http":
+        # One /stats read serves both: the service counters (when no
+        # handle was passed) and the server-side per-endpoint error
+        # taxonomy the client-side aggregates cannot see.
+        payload = _fetch_stats_payload(base_url)
+        endpoints = payload["endpoints"]
+        stats = (
+            service.stats
+            if service is not None
+            else ServiceStats(**payload["service"])
+        )
     else:
-        stats = _fetch_service_stats(base_url)
+        stats = service.stats
     return LoadReport(
         num_queries=len(stream),
         num_clients=num_clients,
@@ -391,4 +414,5 @@ def run_load(
         errors=int(sum(errors)),
         rejections=int(sum(rejections)),
         stats=stats,
+        endpoints=endpoints,
     )

@@ -44,6 +44,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.core.approx_fast import approx_greedy_fast
 from repro.core.coverage import min_targets_for_coverage
@@ -287,9 +288,17 @@ class DominationService:
                 "with DominationService.from_dynamic to enable churn "
                 "updates"
             )
+        started = time.perf_counter()
         with self._maintenance_lock:
-            stats = self._dynamic.sync(dynamic_graph)
-            self.publish(IndexSnapshot.of_dynamic(self._dynamic))
+            with obs.span("serve.sync"):
+                stats = self._dynamic.sync(dynamic_graph)
+                self.publish(IndexSnapshot.of_dynamic(self._dynamic))
+        if obs.enabled():
+            obs.observe(
+                "serve_epoch_publish_seconds",
+                time.perf_counter() - started,
+                help="Churn absorb + snapshot publish wall time.",
+            )
         return stats
 
     # ------------------------------------------------------------------
@@ -442,6 +451,10 @@ class DominationService:
                 self._cache.move_to_end(key)
                 value = self._cache[key]
             else:
+                obs.inc(
+                    "serve_cache_misses_total",
+                    help="Result-cache misses (hits live in ServiceStats).",
+                )
                 return False, None
         self._count("cache_hits")
         return True, value
@@ -523,6 +536,13 @@ class DominationService:
             self._count("kernel_passes")
             self._count("select_batches")
             self._count("batched_queries", num_joined)
+            if obs.enabled():
+                obs.observe(
+                    "serve_select_batch_occupancy",
+                    num_joined,
+                    buckets=obs.COUNT_BUCKETS,
+                    help="Queries coalesced per select micro-batch.",
+                )
         except BaseException as exc:
             batch.error = exc
         finally:

@@ -56,12 +56,14 @@ import concurrent.futures
 import multiprocessing
 import os
 import threading
+import time
 import weakref
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.graphs.weighted import WeightedDiGraph
@@ -523,6 +525,21 @@ class ShardedWalkEngine(WalkEngine):
 
     # ------------------------------------------------------------------
     def _map_shards(self, run_shard, bounds) -> list:
+        if obs.enabled():
+            inner = run_shard
+
+            def run_shard(lo, hi):
+                obs.inc(
+                    "walk_shard_rows_total", hi - lo,
+                    help="Walk rows computed by shard workers.",
+                    mode="threaded",
+                )
+                obs.inc(
+                    "walk_shards_total",
+                    help="Shard tasks executed.",
+                    mode="threaded",
+                )
+                return inner(lo, hi)
         if len(bounds) == 1:
             return [run_shard(*bounds[0])]
         with concurrent.futures.ThreadPoolExecutor(
@@ -759,7 +776,16 @@ class MultiprocWalkEngine(WalkEngine):
         exception — worker crash, interrupt, broken pool — releases the
         pool and unlinks every segment before re-raising (the
         can't-leak-on-crash contract the regression tests pin down).
+
+        With telemetry enabled, tasks carry ``task["telemetry"]`` so
+        workers record shard-level metrics into private registries and
+        return them alongside the payload (``walks/parallel.py``); this
+        loop absorbs each snapshot and times every submit→result round
+        trip.  The task dicts, stream slicing, and payloads are unchanged
+        either way — results stay bit-identical.
         """
+        telemetry = obs.enabled()
+        submitted: dict = {}
         try:
             pool = self._ensure_pool()
             window = 2 * self.num_procs
@@ -773,14 +799,36 @@ class MultiprocWalkEngine(WalkEngine):
                         exhausted = True
                         break
                     index, task = nxt
-                    pending[pool.submit(run_task, task)] = index
+                    if telemetry:
+                        task["telemetry"] = True
+                    future = pool.submit(run_task, task)
+                    pending[future] = index
+                    if telemetry:
+                        submitted[future] = time.perf_counter()
                 if not pending:
                     break
                 done, _ = concurrent.futures.wait(
                     pending, return_when=concurrent.futures.FIRST_COMPLETED
                 )
                 for future in done:
-                    collect(pending.pop(future), future.result())
+                    result = future.result()
+                    if telemetry:
+                        obs.observe(
+                            "walk_worker_roundtrip_seconds",
+                            time.perf_counter() - submitted.pop(future),
+                            help="Multiproc shard submit-to-result round trip.",
+                        )
+                    # The records payload is also a 3-tuple (of arrays),
+                    # so the sentinel test must check the type first.
+                    if (
+                        isinstance(result, tuple)
+                        and len(result) == 3
+                        and isinstance(result[0], str)
+                        and result[0] == "__obs__"
+                    ):
+                        obs.absorb(result[2])
+                        result = result[1]
+                    collect(pending.pop(future), result)
         except BaseException:
             self.close()
             raise

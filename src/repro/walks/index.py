@@ -24,11 +24,13 @@ entry-for-entry.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.walks.backends import WalkEngine, get_engine
@@ -361,16 +363,39 @@ class FlatWalkIndex:
         walk_engine = get_engine(engine)
         n = graph.num_nodes
         _validate_params(n, length, num_replicates)
-        starts = walker_major_starts(n, num_replicates)
-        row_ids = np.arange(starts.size, dtype=np.int64)
-        states = (row_ids % num_replicates) * n + starts  # == rep * n + walker
-        hits, state_vals, hops = walk_engine.walk_records(
-            graph, starts, length, states, seed=rng, chunk_rows=chunk_rows
-        )
-        return cls._from_records(
-            hits, state_vals, hops, num_nodes=n, length=length,
-            num_replicates=num_replicates,
-        )
+        started = time.perf_counter()
+        with obs.span(
+            "index.build", engine=walk_engine.name, num_nodes=n,
+            length=length, num_replicates=num_replicates,
+        ):
+            starts = walker_major_starts(n, num_replicates)
+            row_ids = np.arange(starts.size, dtype=np.int64)
+            states = (row_ids % num_replicates) * n + starts  # == rep * n + walker
+            hits, state_vals, hops = walk_engine.walk_records(
+                graph, starts, length, states, seed=rng, chunk_rows=chunk_rows
+            )
+            index = cls._from_records(
+                hits, state_vals, hops, num_nodes=n, length=length,
+                num_replicates=num_replicates,
+            )
+        if obs.enabled():
+            obs.inc(
+                "index_builds_total",
+                help="Flat walk-index builds.",
+                engine=walk_engine.name,
+            )
+            obs.inc(
+                "index_entries_total",
+                index.total_entries,
+                help="Index entries produced by builds.",
+            )
+            obs.observe(
+                "index_build_seconds",
+                time.perf_counter() - started,
+                help="Walk-index build wall time.",
+                engine=walk_engine.name,
+            )
+        return index
 
     @classmethod
     def from_walks(

@@ -326,7 +326,19 @@ def run_task(task: dict):
     every time, so a task that dies mid-shard (worker crash, interrupt)
     leaves nothing to tear down worker-side — recovery is entirely the
     parent's unlink-and-raise path.
+
+    When the parent sets ``task["telemetry"]`` (it does so only while its
+    own telemetry is enabled) the payload comes back as
+    ``("__obs__", payload, snapshot_dict)``: shard-level metrics recorded
+    into a private worker registry and shipped through the same
+    record-streaming return path, for the parent to ``obs.absorb``.
     """
+    if task.get("telemetry"):
+        return _run_task_telemetry(task)
+    return _run_task_kernel(task)
+
+
+def _run_task_kernel(task: dict):
     mode = task["mode"]
     specs = task["specs"]
     starts = task["starts"]
@@ -361,3 +373,36 @@ def run_task(task: dict):
         )
         return first_visit_records(walks, task["states"])
     raise ValueError(f"unknown multiproc task mode {mode!r}")
+
+
+def _run_task_telemetry(task: dict):
+    # Imported lazily: this module stays numpy+stdlib on the default path,
+    # and workers only pay the import when the parent opted in.
+    import time
+
+    from repro.obs.registry import MetricsRegistry
+
+    registry = MetricsRegistry()
+    mode = task["mode"]
+    started = time.perf_counter()
+    payload = _run_task_kernel(task)
+    elapsed = time.perf_counter() - started
+    rows = int(np.asarray(task["starts"]).size)
+    registry.counter(
+        "walk_shard_rows_total", {"mode": mode},
+        help="Walk rows computed by multiproc shard workers.",
+    ).inc(rows)
+    registry.counter(
+        "walk_shards_total", {"mode": mode},
+        help="Multiproc shard tasks executed.",
+    ).inc()
+    registry.histogram(
+        "walk_shard_kernel_seconds", {"mode": mode},
+        help="In-worker shard kernel wall time.",
+    ).observe(elapsed)
+    if mode == "records":
+        registry.counter(
+            "walk_shard_records_total",
+            help="First-visit records extracted in workers.",
+        ).inc(int(payload[0].size))
+    return "__obs__", payload, registry.snapshot().to_dict()

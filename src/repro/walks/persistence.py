@@ -45,6 +45,7 @@ import json
 import os
 import struct
 import tempfile
+import time
 import zipfile
 import zlib
 from pathlib import Path
@@ -52,6 +53,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GraphFormatError, ParameterError
 from repro.graphs.adjacency import Graph
 from repro.walks.index import FlatWalkIndex
@@ -425,6 +427,14 @@ def _load_v3(path: Path, graph: "Graph | None") -> FlatWalkIndex:
             f"{path}: unsupported v3 encoding {encoding!r}"
         )
     arrays = _map_v3_arrays(path, header, data_start, size)
+    if obs.enabled():
+        obs.inc(
+            "persistence_bytes_mapped_total",
+            sum(
+                a.nbytes for a in arrays.values() if isinstance(a, np.memmap)
+            ),
+            help="Index bytes exposed as read-only memory maps.",
+        )
     required = (
         {"indptr", "state", "hop"}
         if encoding == "dense"
@@ -533,6 +543,36 @@ def save_index(
     crash mid-write never destroys a previous good archive.  Returns the
     path actually written.
     """
+    started = time.perf_counter()
+    with obs.span("persistence.save", format=format):
+        out = _save_index_impl(
+            index, path, graph, engine, seed, gain_backend, format,
+            include_rows,
+        )
+    if obs.enabled():
+        obs.inc(
+            "persistence_saves_total",
+            help="Index archives written.",
+            format=format,
+        )
+        obs.inc(
+            "persistence_bytes_written_total",
+            out.stat().st_size,
+            help="Bytes of index archive written.",
+            format=format,
+        )
+        obs.observe(
+            "persistence_save_seconds",
+            time.perf_counter() - started,
+            help="Index archive write wall time.",
+            format=format,
+        )
+    return out
+
+
+def _save_index_impl(
+    index, path, graph, engine, seed, gain_backend, format, include_rows
+) -> Path:
     validate_index_format(format)
     if graph is not None and graph.num_nodes != index.num_nodes:
         raise ParameterError(
@@ -639,6 +679,28 @@ def load_index(
     the suffix: v3 containers load as memory maps (O(metadata) — see the
     module docstring), npz archives load eagerly as before.
     """
+    started = time.perf_counter()
+    with obs.span("persistence.load", path=str(path)):
+        index = _load_index_impl(path, graph)
+    if obs.enabled():
+        fmt = index.storage_format
+        obs.inc(
+            "persistence_loads_total",
+            help="Index archives loaded.",
+            format=fmt,
+        )
+        obs.observe(
+            "persistence_load_seconds",
+            time.perf_counter() - started,
+            help="Index archive load wall time.",
+            format=fmt,
+        )
+    return index
+
+
+def _load_index_impl(
+    path: "str | Path", graph: "Graph | None" = None
+) -> FlatWalkIndex:
     path = _resolve_load_path(path)
     if path.is_file() and _sniff_is_v3(path):
         return _load_v3(path, graph)
@@ -664,6 +726,12 @@ def load_index(
             graph_meta = _read_graph_meta(archive)
     except (OSError, ValueError, zipfile.BadZipFile) as exc:
         raise GraphFormatError(f"{path}: unreadable index archive") from exc
+    if obs.enabled():
+        obs.inc(
+            "persistence_bytes_materialized_total",
+            indptr.nbytes + state.nbytes + hop.nbytes,
+            help="Index bytes loaded eagerly into memory.",
+        )
     if graph is not None:
         _check_graph_match(path, graph, num_nodes, graph_meta)
     try:

@@ -5,7 +5,8 @@ Verifies that the documentation layer cannot silently drift from the code:
 
 1. README.md documents every `repro` CLI subcommand (as a `### <name>`
    heading), the `--engine` flag with every registered backend name, the
-   `--gain-backend` flag with every gain backend name, and every long
+   `--gain-backend` flag with every gain backend name, the
+   `--telemetry`/`--trace-out` observability flags, and every long
    option of the `serve` subcommand.
 2. Every `DESIGN.md §N[.M]` reference in the source tree points at a
    numbered section that actually exists in DESIGN.md.
@@ -115,6 +116,9 @@ def check_docs() -> list[str]:
             problems.append(f"README.md does not mention engine {engine!r}")
     if "--gain-backend" not in readme:
         problems.append("README.md does not document the --gain-backend flag")
+    for flag in ("--telemetry", "--trace-out"):
+        if flag not in readme:
+            problems.append(f"README.md does not document the {flag} flag")
     for backend in _gain_backend_names():
         if backend not in readme:
             problems.append(

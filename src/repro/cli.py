@@ -65,6 +65,7 @@ from repro.errors import ParameterError, RwdomError
 from repro.graphs.adjacency import Graph
 from repro.core.coverage_kernel import DEFAULT_GAIN_BACKEND, GAIN_BACKENDS
 from repro.walks.backends import DEFAULT_ENGINE, available_engines
+from repro.walks.build import DEFAULT_CHUNK_ROWS
 from repro.walks.storage import INDEX_FORMATS
 from repro.graphs.datasets import dataset_names, load_dataset
 from repro.graphs.generators import (
@@ -253,6 +254,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="archive format: dense (v2 .npz), compressed (v3 delta "
         "codec), or mmap (v3 raw arrays + packed rows, loads as "
         "memory maps)",
+    )
+    index.add_argument(
+        "--chunk-rows", type=int, default=DEFAULT_CHUNK_ROWS,
+        metavar="ROWS",
+        help="walk rows generated per chunk (default %(default)s); part "
+        "of the RNG contract, so archives compare byte-for-byte only "
+        "under the same value",
+    )
+    index.add_argument(
+        "--build-memory-budget", type=int, default=None, metavar="BYTES",
+        help="cap the build's sort memory: walk records stream through "
+        "an external sort (sorted runs spill next to --out at 10 bytes "
+        "per record) straight into the archive, byte-identical to the "
+        "in-memory build; default is the all-in-memory fast path",
     )
     _add_telemetry_flags(index)
 
@@ -665,13 +680,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
+    from repro.walks.build import build_index_archive
     from repro.walks.index import FlatWalkIndex
     from repro.walks.persistence import save_index
 
     graph = _load_graph(args)
+    if args.build_memory_budget is not None:
+        report = build_index_archive(
+            graph, args.length, args.replicates, args.out,
+            format=args.index_format, seed=args.seed, engine=args.engine,
+            chunk_rows=args.chunk_rows,
+            memory_budget=args.build_memory_budget,
+        )
+        print(
+            f"indexed {graph.num_nodes} nodes x {args.replicates} walks "
+            f"(L={args.length}, {report.total_entries} entries, "
+            f"{report.format}, {report.num_runs} sort runs, "
+            f"{report.spilled_bytes} bytes spilled) -> {report.path}"
+        )
+        return 0
     index = FlatWalkIndex.build(
         graph, args.length, args.replicates, seed=args.seed,
-        engine=args.engine,
+        engine=args.engine, chunk_rows=args.chunk_rows,
     )
     written = save_index(
         index, args.out, graph=graph, engine=args.engine, seed=args.seed,

@@ -175,6 +175,49 @@ class WalkEngine(ABC):
         walks = self.run_walks(graph, starts, length, seed=seed)
         return self.batch_first_hits(walks, target_mask)
 
+    def iter_walk_records(
+        self,
+        graph: Graph,
+        starts: "Sequence[int] | np.ndarray",
+        length: int,
+        states: np.ndarray,
+        seed: "int | np.random.Generator | None" = None,
+        chunk_rows: int = 1 << 19,
+    ):
+        """Per-chunk first-visit ``(hit, state, hop)`` record arrays.
+
+        The streaming spelling of :meth:`walk_records`: yields one record
+        triple per ``chunk_rows``-row chunk of the batch, so a consumer
+        (the out-of-core builder, :mod:`repro.walks.build`) can reduce
+        each chunk before the next one's walks exist — peak memory is one
+        chunk's walks plus whatever the consumer retains.  The chunking
+        is part of the RNG contract — chunk ``c`` consumes its
+        ``len(chunk) * length`` uniforms before chunk ``c + 1`` begins —
+        so every backend yields the same per-chunk record *sets* for the
+        same ``(seed, chunk_rows)``.  Arguments are validated eagerly
+        (before the first chunk is computed); the caller's generator is
+        only guaranteed to be positioned past the whole batch once the
+        iterator is exhausted.
+        """
+        starts = _check_walk_args(graph.num_nodes, starts, length)
+        states = np.asarray(states, dtype=np.int64)
+        if states.size != starts.size:
+            raise ParameterError("states must align with starts")
+        if chunk_rows < 1:
+            raise ParameterError("chunk_rows must be >= 1")
+        rng = resolve_rng(seed)
+        return self._iter_records_sequential(
+            graph, starts, length, states, rng, chunk_rows
+        )
+
+    def _iter_records_sequential(
+        self, graph, starts, length, states, rng, chunk_rows
+    ):
+        for lo in range(0, starts.size, chunk_rows):
+            rows = starts[lo : lo + chunk_rows]
+            walks = self.batch_walks(graph, rows, length, seed=rng)
+            yield first_visit_records(walks, states[lo : lo + chunk_rows])
+
     def walk_records(
         self,
         graph: Graph,
@@ -188,30 +231,21 @@ class WalkEngine(ABC):
 
         The index builders' entry point (Algorithm 3's extraction):
         ``states[b]`` is row ``b``'s flattened ``D`` index, carried into
-        the records.  The chunking is part of the RNG contract — chunk
-        ``c`` consumes its ``len(chunk) * length`` uniforms before chunk
-        ``c + 1`` begins — so every backend produces the same record
-        *set* for the same ``(seed, chunk_rows)``; record order is a
-        backend detail that :meth:`FlatWalkIndex._from_records`
+        the records.  Concatenates :meth:`iter_walk_records` — same
+        chunking, same RNG contract — so every backend produces the same
+        record *set* for the same ``(seed, chunk_rows)``; record order is
+        a backend detail that :meth:`FlatWalkIndex._from_records`
         canonicalizes away.  The default generates walks chunk-by-chunk
         via :meth:`batch_walks` and extracts in-process; the multiproc
-        backend overrides it to extract inside its workers and stream
-        back only the records.
+        backend yields chunks whose records were extracted inside its
+        workers.
         """
-        starts = _check_walk_args(graph.num_nodes, starts, length)
-        states = np.asarray(states, dtype=np.int64)
-        if states.size != starts.size:
-            raise ParameterError("states must align with starts")
-        rng = resolve_rng(seed)
         hit_parts: list[np.ndarray] = []
         state_parts: list[np.ndarray] = []
         hop_parts: list[np.ndarray] = []
-        for lo in range(0, starts.size, chunk_rows):
-            rows = starts[lo : lo + chunk_rows]
-            walks = self.batch_walks(graph, rows, length, seed=rng)
-            hits, row_states, hops = first_visit_records(
-                walks, states[lo : lo + chunk_rows]
-            )
+        for hits, row_states, hops in self.iter_walk_records(
+            graph, starts, length, states, seed=seed, chunk_rows=chunk_rows
+        ):
             if hits.size:
                 hit_parts.append(hits)
                 state_parts.append(row_states)
@@ -935,45 +969,62 @@ class MultiprocWalkEngine(WalkEngine):
         advance_stream(rng, total * length)
         return hits
 
-    def walk_records(
+    def iter_walk_records(
         self, graph, starts, length, states, seed=None, chunk_rows=1 << 19
     ):
         starts = _check_walk_args(graph.num_nodes, starts, length)
         states = np.asarray(states, dtype=np.int64)
         if states.size != starts.size:
             raise ParameterError("states must align with starts")
+        if chunk_rows < 1:
+            raise ParameterError("chunk_rows must be >= 1")
         rng = resolve_rng(seed)
         state = self._sliceable(rng, starts.size, length)
         if state is None:
-            return super().walk_records(
-                graph, starts, length, states, seed=rng, chunk_rows=chunk_rows
+            return self._iter_records_sequential(
+                graph, starts, length, states, rng, chunk_rows
             )
+        return self._iter_records_parallel(
+            graph, starts, length, states, rng, state, chunk_rows
+        )
+
+    def _iter_records_parallel(
+        self, graph, starts, length, states, rng, state, chunk_rows
+    ):
+        """One pool fan-out per chunk, records extracted in the workers.
+
+        Stream offsets honor the chunk contract: chunk c's draws occupy
+        [offset_c, offset_c + len(chunk) * L); shards subdivide rows
+        *within* a chunk, slicing that chunk's segment of the stream.
+        The caller's generator is advanced only after the last chunk is
+        consumed — an abandoned or failed iteration leaves the stream
+        position untouched, same as a failed :meth:`batch_walks` call.
+        """
         specs = self._graph_pack(graph).specs
-        # Stream offsets honor the chunk contract: chunk c's draws occupy
-        # [offset_c, offset_c + len(chunk) * L); shards subdivide rows
-        # *within* a chunk, slicing that chunk's segment of the stream.
-        tasks = []
         stream_offset = 0
         for chunk_lo in range(0, starts.size, chunk_rows):
             chunk_size = min(chunk_rows, starts.size - chunk_lo)
-            for lo, hi in _shard_bounds(
-                chunk_size, -(-chunk_size // self.shard_rows)
-            ):
-                tasks.append({
+            tasks = [
+                {
                     "mode": "records", "specs": specs,
                     "starts": starts[chunk_lo + lo : chunk_lo + hi],
                     "states": states[chunk_lo + lo : chunk_lo + hi],
                     "length": length, "state": state,
                     "lo": stream_offset + lo, "total": chunk_size,
-                })
+                }
+                for lo, hi in _shard_bounds(
+                    chunk_size, -(-chunk_size // self.shard_rows)
+                )
+            ]
+            parts: list = [None] * len(tasks)
+            self._scatter(tasks, parts.__setitem__)
             stream_offset += chunk_size * length
-        parts: list = [None] * len(tasks)
-        self._scatter(tasks, parts.__setitem__)
+            yield _concat_records(
+                [p[0] for p in parts if p[0].size],
+                [p[1] for p in parts if p[1].size],
+                [p[2] for p in parts if p[2].size],
+            )
         advance_stream(rng, starts.size * length)
-        hit_parts = [p[0] for p in parts if p[0].size]
-        state_parts = [p[1] for p in parts if p[1].size]
-        hop_parts = [p[2] for p in parts if p[2].size]
-        return _concat_records(hit_parts, state_parts, hop_parts)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

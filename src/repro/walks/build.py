@@ -1,0 +1,866 @@
+"""Out-of-core index construction: external sort into v3 archives (DESIGN.md §15).
+
+``FlatWalkIndex.build`` historically concatenated every first-visit
+record, then argsorted the lot — peak build memory a multiple of the
+final index, so the largest graph the package could *serve* (mmap or
+compressed storage, DESIGN.md §13) was far larger than the largest it
+could *build*.  This module closes that gap (ROADMAP item 3) by turning
+the build into a streaming pipeline:
+
+1. The walk engine yields per-chunk record arrays
+   (:meth:`~repro.walks.backends.WalkEngine.iter_walk_records`).
+2. A :class:`RecordSink` consumes them.  The concrete
+   :class:`ExternalSortSink` reduces each record to its canonical sort
+   key (:func:`~repro.walks.parallel.canonical_record_key` — the key is
+   decodable, so ``(hit, state)`` need not be stored) plus its ``int16``
+   hop, 10 bytes per record; when a ``memory_budget`` is set and the
+   buffer exceeds it, the buffer is sorted and spilled as one *run* to a
+   temp file next to the target.
+3. At finalize the runs are k-way merged — vectorized: emit every
+   buffered record up to the smallest "last buffered key" of any run
+   with unread data, refill, repeat — into an *entry writer*.  Keys are
+   globally unique, so the merged stream equals the in-memory
+   ``argsort`` exactly, and the in-memory path is the degenerate
+   one-run case of the same pipeline (no temp I/O at all).
+
+Three writers close the loop: :class:`DenseEntryWriter` materializes the
+flat arrays (what ``FlatWalkIndex.build`` uses, any budget), and the two
+archive writers append entry bytes to staged sibling files as the merge
+emits them — the delta codec is per-hit-node-block, so complete block
+runs encode incrementally and concatenate to the whole-index encoding —
+then assemble the v3 container through the same atomic header/layout
+writer ``save_index`` uses.  The result is **byte-identical** to saving
+the in-memory build, for every engine and any budget, while peak memory
+is O(budget + chunk walks + per-node metadata) instead of O(entries).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro import obs
+from repro.errors import GraphFormatError, ParameterError
+from repro.graphs.adjacency import Graph
+from repro.walks.backends import WalkEngine, get_engine
+from repro.walks.index import (
+    FlatWalkIndex,
+    _validate_params,
+    scatter_or_bits,
+    walker_major_starts,
+)
+from repro.walks.parallel import canonical_record_key
+from repro.walks.persistence import (
+    _DEFAULT_ROW_CAP,
+    FileArraySource,
+    _atomic_write_v3,
+    _resolve_archive_path,
+    save_index,
+    v3_index_header,
+)
+from repro.walks.rng import resolve_rng
+from repro.walks.storage import (
+    block_delta_encode,
+    entry_state_dtype,
+    pack_value_blocks,
+    validate_index_format,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "RecordSink",
+    "ExternalSortSink",
+    "DenseEntryWriter",
+    "BuildReport",
+    "build_index_archive",
+]
+
+#: The default walk chunk granularity, shared with ``FlatWalkIndex.build``
+#: and surfaced on the CLI as ``--chunk-rows``.  Chunking is part of the
+#: RNG contract (chunk c's draws precede chunk c+1's), so two builds
+#: compare byte-for-byte only under the same value.
+DEFAULT_CHUNK_ROWS = 1 << 19
+
+#: One spilled record: the canonical int64 key plus the int16 hop.
+_RUN_DTYPE = np.dtype([("key", "<i8"), ("hop", "<i2")])
+_RECORD_BYTES = _RUN_DTYPE.itemsize
+
+#: Floor for the per-run merge read block, so a pathologically small
+#: budget still merges in sane-sized I/O units.
+_MIN_MERGE_BLOCK = 4096
+
+#: Packed hit rows are built in sub-batches of roughly this many bytes
+#: during an mmap-format merge, independent of the sort budget.
+_ROW_BATCH_BYTES = 8 << 20
+
+
+class RecordSink(ABC):
+    """Consumer seam for streamed first-visit record chunks.
+
+    ``consume`` is called once per chunk the walk engine yields;
+    ``finalize`` drains whatever the sink retained into an entry writer
+    and returns the writer's result.  The seam exists so the build loop
+    (walks → records) is independent of what happens to the records —
+    today one implementation (the external sorter), but the shape admits
+    others (direct aggregators, samplers) without touching the engines.
+    """
+
+    @abstractmethod
+    def consume(
+        self, hits: np.ndarray, states: np.ndarray, hops: np.ndarray
+    ) -> None:
+        """Absorb one chunk of ``(hit, state, hop)`` record arrays."""
+
+    @abstractmethod
+    def finalize(self, writer: "EntryWriter"):
+        """Drain into ``writer`` and return ``writer.finalize()``."""
+
+    def close(self) -> None:
+        """Release temp resources; idempotent, safe after errors."""
+
+    def __enter__(self) -> "RecordSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class EntryWriter(ABC):
+    """Receiver of the merged, canonically ordered entry stream.
+
+    ``begin`` is called once with the full per-node layout (counts are
+    known before the merge starts — the sink bincounts during consume),
+    then ``emit`` receives sorted ``(key, hop)`` batches covering the
+    entries exactly once, in canonical order, and ``finalize`` assembles
+    the result.  ``abort`` must release staged temp files after a failed
+    merge; it is never called after a successful ``finalize``.
+    """
+
+    @abstractmethod
+    def begin(
+        self,
+        indptr: np.ndarray,
+        counts: np.ndarray,
+        total: int,
+        max_hop: int,
+    ) -> None: ...
+
+    @abstractmethod
+    def emit(self, keys: np.ndarray, hops: np.ndarray) -> None: ...
+
+    @abstractmethod
+    def finalize(self): ...
+
+    def abort(self) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# The external sorter
+# ----------------------------------------------------------------------
+class ExternalSortSink(RecordSink):
+    """Bounded-memory record sorter: buffer, spill sorted runs, merge.
+
+    With ``memory_budget=None`` (the default) nothing ever spills and
+    ``finalize`` is exactly the historical in-memory sort — one argsort
+    over the buffered keys, no temp I/O (the degenerate one-run case).
+    With a budget, the record buffer is capped at ``budget`` bytes at 10
+    bytes per record; overflow sorts and spills the buffer as a run file
+    in ``spill_dir`` (the archive's directory on the archive path, the
+    system temp dir otherwise), and ``finalize`` streams the k-way merge
+    of all runs — plus the unsorted tail, sorted in place as one more
+    run — into the writer.  Run files are deleted on every exit path.
+
+    Per-node metadata (the bincounted ``counts`` that become ``indptr``)
+    stays in memory — the O(metadata) term of the build's footprint.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        num_replicates: int,
+        memory_budget: "int | None" = None,
+        spill_dir: "str | Path | None" = None,
+    ):
+        if memory_budget is not None and memory_budget <= 0:
+            raise ParameterError("memory_budget must be a positive byte count")
+        self._num_nodes = int(num_nodes)
+        self._num_states = int(num_nodes) * int(num_replicates)
+        self._budget = None if memory_budget is None else int(memory_budget)
+        self._spill_dir = (
+            Path(spill_dir) if spill_dir is not None
+            else Path(tempfile.gettempdir())
+        )
+        self._counts = np.zeros(self._num_nodes, dtype=np.int64)
+        self._key_parts: list[np.ndarray] = []
+        self._hop_parts: list[np.ndarray] = []
+        self._buffered = 0
+        self._runs: "list[tuple[Path, int]]" = []
+        self._readers: "list[_FileRun]" = []
+        self.total_records = 0
+        self.max_hop = 0
+        self.spilled_bytes = 0
+
+    @property
+    def spill_runs(self) -> int:
+        """Runs spilled to disk so far (0 on the in-memory fast path)."""
+        return len(self._runs)
+
+    # ------------------------------------------------------------------
+    def consume(self, hits, states, hops) -> None:
+        if hits.size == 0:
+            return
+        self._counts += np.bincount(hits, minlength=self._num_nodes)
+        self._key_parts.append(
+            canonical_record_key(hits, states, self._num_states)
+        )
+        self._hop_parts.append(hops.astype(np.int16, copy=False))
+        self._buffered += int(hits.size)
+        self.total_records += int(hits.size)
+        self.max_hop = max(self.max_hop, int(hops.max()))
+        if (
+            self._budget is not None
+            and self._buffered * _RECORD_BYTES > self._budget
+        ):
+            self._spill()
+
+    def _sorted_buffer(self) -> tuple[np.ndarray, np.ndarray]:
+        keys = np.concatenate(self._key_parts)
+        hops = np.concatenate(self._hop_parts)
+        # Keys are globally unique (states are unique within a hit block),
+        # so the argsort permutation — hence every downstream byte — is
+        # independent of the sort algorithm and of how records were
+        # partitioned into chunks, shards, or runs.
+        order = np.argsort(keys)
+        self._key_parts.clear()
+        self._hop_parts.clear()
+        self._buffered = 0
+        return keys[order], hops[order]
+
+    def _spill(self) -> None:
+        records = self._buffered
+        with obs.span(
+            "index.build.spill", run=len(self._runs) + 1, records=records
+        ):
+            keys, hops = self._sorted_buffer()
+            rec = np.empty(records, dtype=_RUN_DTYPE)
+            rec["key"] = keys
+            rec["hop"] = hops
+            fd, name = tempfile.mkstemp(
+                dir=self._spill_dir, prefix=".rwidx-run-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    rec.tofile(fh)
+            except BaseException:
+                os.unlink(name)
+                raise
+            self._runs.append((Path(name), records))
+            self.spilled_bytes += rec.nbytes
+        if obs.enabled():
+            obs.inc(
+                "index_build_runs_total",
+                help="External-sort runs spilled by index builds.",
+            )
+            obs.inc(
+                "index_build_spill_bytes_total",
+                rec.nbytes,
+                help="Bytes of sorted runs spilled by index builds.",
+            )
+
+    # ------------------------------------------------------------------
+    def finalize(self, writer: EntryWriter):
+        try:
+            indptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+            np.cumsum(self._counts, out=indptr[1:])
+            writer.begin(
+                indptr, self._counts, self.total_records, self.max_hop
+            )
+            if not self._runs:
+                # Single-run fast path: the whole record set is in memory;
+                # one sort, one emit, zero temp I/O.
+                if self._buffered:
+                    writer.emit(*self._sorted_buffer())
+            else:
+                runs: list = [
+                    self._open_run(path, total) for path, total in self._runs
+                ]
+                if self._buffered:
+                    runs.append(_ArrayRun(*self._sorted_buffer()))
+                block = _MIN_MERGE_BLOCK
+                if self._budget is not None:
+                    block = max(
+                        _MIN_MERGE_BLOCK,
+                        self._budget // (_RECORD_BYTES * len(runs)),
+                    )
+                with obs.span("index.build.merge", runs=len(runs)):
+                    for keys, hops in _merge_sorted_runs(runs, block):
+                        writer.emit(keys, hops)
+            result = writer.finalize()
+        except BaseException:
+            writer.abort()
+            raise
+        finally:
+            self.close()
+        return result
+
+    def _open_run(self, path: Path, total: int) -> "_FileRun":
+        reader = _FileRun(path, total)
+        self._readers.append(reader)
+        return reader
+
+    def close(self) -> None:
+        for reader in self._readers:
+            reader.close()
+        self._readers.clear()
+        for path, _ in self._runs:
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._runs.clear()
+        self._key_parts.clear()
+        self._hop_parts.clear()
+        self._buffered = 0
+
+
+class _FileRun:
+    """Sequential reader over one spilled run file."""
+
+    def __init__(self, path: Path, total: int):
+        self._path = path
+        self._fh = open(path, "rb")
+        self.remaining = int(total)
+
+    def read(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        count = min(int(count), self.remaining)
+        rec = np.fromfile(self._fh, dtype=_RUN_DTYPE, count=count)
+        if rec.shape[0] != count:
+            raise GraphFormatError(
+                f"{self._path}: spilled run truncated "
+                f"(wanted {count} records, read {rec.shape[0]})"
+            )
+        self.remaining -= count
+        return (
+            np.ascontiguousarray(rec["key"]),
+            np.ascontiguousarray(rec["hop"]),
+        )
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class _ArrayRun:
+    """The sorted in-memory tail, served through the run-reader protocol."""
+
+    def __init__(self, keys: np.ndarray, hops: np.ndarray):
+        self._keys = keys
+        self._hops = hops
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return self._keys.size - self._pos
+
+    def read(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        lo = self._pos
+        hi = min(lo + int(count), self._keys.size)
+        self._pos = hi
+        return self._keys[lo:hi], self._hops[lo:hi]
+
+    def close(self) -> None:  # pragma: no cover - protocol symmetry
+        pass
+
+
+def _merge_sorted_runs(
+    runs: list, block_records: int
+) -> "Iterator[tuple[np.ndarray, np.ndarray]]":
+    """Vectorized k-way merge of sorted runs, yielding sorted batches.
+
+    Each round computes the *safe boundary* — the smallest last-buffered
+    key among runs that still have unread records; everything unread is
+    strictly greater (runs are sorted, keys globally unique) — emits the
+    ``<= boundary`` prefix of every buffer in one concatenate + argsort,
+    and refills drained buffers.  No per-record Python loop, and each
+    emitted batch is bounded by the total buffered footprint (~the sort
+    budget).  When every run is fully buffered the boundary vanishes and
+    the remainder flushes in one batch.
+    """
+    buffers = []
+    for run in runs:
+        keys, hops = run.read(block_records)
+        if keys.size:
+            buffers.append([keys, hops, run])
+    while buffers:
+        capped = [b for b in buffers if b[2].remaining > 0]
+        boundary = min(int(b[0][-1]) for b in capped) if capped else None
+        key_parts: list[np.ndarray] = []
+        hop_parts: list[np.ndarray] = []
+        next_buffers = []
+        for keys, hops, run in buffers:
+            take = (
+                keys.size if boundary is None
+                else int(np.searchsorted(keys, boundary, side="right"))
+            )
+            if take:
+                key_parts.append(keys[:take])
+                hop_parts.append(hops[:take])
+                keys = keys[take:]
+                hops = hops[take:]
+            if keys.size == 0 and run.remaining > 0:
+                keys, hops = run.read(block_records)
+            if keys.size:
+                next_buffers.append([keys, hops, run])
+        buffers = next_buffers
+        if key_parts:
+            merged_keys = np.concatenate(key_parts)
+            merged_hops = np.concatenate(hop_parts)
+            order = np.argsort(merged_keys)
+            yield merged_keys[order], merged_hops[order]
+
+
+# ----------------------------------------------------------------------
+# Entry writers
+# ----------------------------------------------------------------------
+class DenseEntryWriter(EntryWriter):
+    """Materialize the flat entry arrays — ``FlatWalkIndex.build``'s sink."""
+
+    def __init__(self, num_nodes: int, num_replicates: int):
+        self._num_states = num_nodes * num_replicates
+        self._state_dtype = entry_state_dtype(num_nodes, num_replicates)
+
+    def begin(self, indptr, counts, total, max_hop) -> None:
+        self._indptr = indptr
+        self._state = np.empty(total, dtype=self._state_dtype)
+        self._hop = np.empty(total, dtype=np.int16)
+        self._pos = 0
+
+    def emit(self, keys, hops) -> None:
+        if keys.size == 0:
+            return
+        hits, states = np.divmod(keys, self._num_states)
+        lo = self._pos
+        self._pos = lo + keys.size
+        # Assignment narrows int64 -> int32 exactly like the historical
+        # ``states[order].astype(state_dtype)`` (values fit by range).
+        self._state[lo : self._pos] = states
+        self._hop[lo : self._pos] = hops
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return self._indptr, self._state, self._hop
+
+
+class _BlockGrouper:
+    """Regroup the sorted entry stream into complete hit-node block spans.
+
+    The compressed codec and the packed hit rows are per-hit-node-block
+    structures, so the archive writers may only encode a block once all
+    its entries have arrived.  Entries arrive in canonical order, so the
+    only incomplete block at any moment is the last one seen: ``push``
+    returns the newly completed span ``[next, last_hit)`` (with per-block
+    counts — interior empty blocks included) and carries the trailing
+    block's entries; ``flush`` closes out the final span up to ``n``.
+    Carry memory is one block — O(the most-hit node's entries).
+    """
+
+    def __init__(self, num_nodes: int):
+        self._num_nodes = num_nodes
+        self._next = 0
+        self._carry: "list[tuple[np.ndarray, np.ndarray, np.ndarray]]" = []
+
+    def push(
+        self, hits: np.ndarray, states: np.ndarray, hops: np.ndarray
+    ) -> "list[tuple[int, int, np.ndarray, np.ndarray, np.ndarray]]":
+        if hits.size == 0:
+            return []
+        last = int(hits[-1])
+        if last == self._next:
+            self._carry.append((hits, states, hops))
+            return []
+        cut = int(np.searchsorted(hits, last, side="left"))
+        span = self._make_span(last, (hits[:cut], states[:cut], hops[:cut]))
+        self._carry = [(hits[cut:], states[cut:], hops[cut:])]
+        self._next = last
+        return [span]
+
+    def flush(self) -> tuple[int, int, np.ndarray, np.ndarray, np.ndarray]:
+        span = self._make_span(self._num_nodes, None)
+        self._carry = []
+        self._next = self._num_nodes
+        return span
+
+    def _make_span(self, hi: int, extra):
+        lo = self._next
+        parts = list(self._carry)
+        if extra is not None and extra[0].size:
+            parts.append(extra)
+        if parts:
+            span_hits = np.concatenate([p[0] for p in parts])
+            states = np.concatenate([p[1] for p in parts])
+            hops = np.concatenate([p[2] for p in parts])
+            counts = np.bincount(span_hits - lo, minlength=hi - lo)
+        else:
+            states = np.empty(0, dtype=np.int64)
+            hops = np.empty(0, dtype=np.int16)
+            counts = np.zeros(hi - lo, dtype=np.int64)
+        return lo, hi, counts, states, hops
+
+
+class _ArchiveWriter(EntryWriter):
+    """Shared staging/assembly plumbing of the incremental v3 writers.
+
+    Big arrays are appended to staged sibling temp files as the merge
+    emits entries; O(n) metadata stays in memory.  ``finalize`` builds
+    the exact header ``save_index`` would and hands the staged files to
+    the shared v3 serializer as :class:`FileArraySource`\\ s — one
+    streamed copy into an atomic temp, then ``os.replace``, so a crash
+    anywhere leaves any prior archive untouched and ``abort``/cleanup
+    removes every staged temp.
+    """
+
+    def __init__(self, out: Path, header: dict):
+        self._out = out
+        self._header = header
+        self._staged: "dict[str, tuple[object, Path]]" = {}
+
+    def _stage(self, label: str):
+        fd, name = tempfile.mkstemp(
+            dir=self._out.parent,
+            prefix=f".{self._out.name}-{label}-",
+            suffix=".tmp",
+        )
+        fh = os.fdopen(fd, "wb")
+        self._staged[label] = (fh, Path(name))
+        return fh
+
+    def _staged_source(self, label: str, dtype, shape) -> FileArraySource:
+        fh, path = self._staged[label]
+        fh.close()
+        return FileArraySource(path, dtype, shape)
+
+    def _cleanup(self) -> None:
+        for fh, path in self._staged.values():
+            try:
+                fh.close()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+        self._staged.clear()
+
+    def abort(self) -> None:
+        self._cleanup()
+
+    def _assemble(self, arrays: dict) -> Path:
+        try:
+            _atomic_write_v3(self._out, self._header, arrays)
+        finally:
+            self._cleanup()
+        return self._out
+
+
+class _MmapArchiveWriter(_ArchiveWriter):
+    """Incremental v3 ``encoding="dense"`` writer (the ``mmap`` format)."""
+
+    def __init__(
+        self,
+        out: Path,
+        header: dict,
+        num_nodes: int,
+        num_replicates: int,
+        include_rows: "bool | None",
+    ):
+        super().__init__(out, header)
+        self._num_nodes = num_nodes
+        self._num_replicates = num_replicates
+        self._num_states = num_nodes * num_replicates
+        self._state_dtype = entry_state_dtype(num_nodes, num_replicates)
+        self._words = (self._num_states + 63) >> 6
+        row_bytes = num_nodes * self._words * 8
+        self._with_rows = (
+            include_rows if include_rows is not None
+            else row_bytes <= _DEFAULT_ROW_CAP
+        )
+        self._rows_per_batch = max(1, _ROW_BATCH_BYTES // max(8, self._words * 8))
+
+    def begin(self, indptr, counts, total, max_hop) -> None:
+        self._indptr = indptr
+        self._total = total
+        self._state_f = self._stage("state")
+        self._hop_f = self._stage("hop")
+        if self._with_rows:
+            self._rows_f = self._stage("rows")
+            self._grouper = _BlockGrouper(self._num_nodes)
+
+    def emit(self, keys, hops) -> None:
+        if keys.size == 0:
+            return
+        hits, states = np.divmod(keys, self._num_states)
+        self._state_f.write(states.astype(self._state_dtype).tobytes())
+        self._hop_f.write(
+            np.ascontiguousarray(hops, dtype=np.int16).tobytes()
+        )
+        if self._with_rows:
+            for span in self._grouper.push(hits, states, hops):
+                self._emit_rows(span)
+
+    def _emit_rows(self, span) -> None:
+        lo, hi, counts, states, _hops = span
+        n, reps = self._num_nodes, self._num_replicates
+        pos = 0
+        for batch_lo in range(lo, hi, self._rows_per_batch):
+            batch_hi = min(hi, batch_lo + self._rows_per_batch)
+            cnt = counts[batch_lo - lo : batch_hi - lo]
+            take = int(cnt.sum())
+            rows = np.zeros((batch_hi - batch_lo, self._words), dtype=np.uint64)
+            owners = np.repeat(
+                np.arange(batch_hi - batch_lo, dtype=np.int64), cnt
+            )
+            scatter_or_bits(rows, owners, states[pos : pos + take])
+            # Self bits, exactly as packed_hit_rows(include_self=True):
+            # walker v is its own hop-0 hit in every replicate.
+            node_ids = np.arange(batch_lo, batch_hi, dtype=np.int64)
+            self_states = (
+                node_ids[None, :]
+                + np.int64(n) * np.arange(reps, dtype=np.int64)[:, None]
+            ).ravel()
+            self_owners = np.tile(
+                np.arange(batch_hi - batch_lo, dtype=np.int64), reps
+            )
+            scatter_or_bits(rows, self_owners, self_states)
+            self._rows_f.write(rows.tobytes())
+            pos += take
+
+    def finalize(self) -> Path:
+        if self._with_rows:
+            self._emit_rows(self._grouper.flush())
+        self._header["state_dtype"] = self._state_dtype.str
+        arrays: dict = {
+            "indptr": self._indptr,
+            "state": self._staged_source(
+                "state", self._state_dtype, (self._total,)
+            ),
+            "hop": self._staged_source("hop", np.int16, (self._total,)),
+        }
+        if self._with_rows:
+            arrays["rows"] = self._staged_source(
+                "rows", np.uint64, (self._num_nodes, self._words)
+            )
+        return self._assemble(arrays)
+
+
+class _CompressedArchiveWriter(_ArchiveWriter):
+    """Incremental v3 ``encoding="compressed"`` writer.
+
+    The codec is per-hit-node-block (:mod:`repro.walks.storage`): each
+    block owns an independent word region in ``delta_words`` and
+    ``hop_words``, so any complete span of blocks encodes through the
+    same :func:`block_delta_encode` + :func:`pack_value_blocks` the
+    whole-index encoder uses, and the staged regions concatenate — plus
+    the single global pad word at the end — to exactly the arrays
+    ``CompressedStorage.from_arrays`` would produce.  The global
+    ``hop_width`` is the spill phase's running max, known before the
+    merge begins.
+    """
+
+    def __init__(
+        self, out: Path, header: dict, num_nodes: int, num_replicates: int
+    ):
+        super().__init__(out, header)
+        self._num_nodes = num_nodes
+        self._num_states = num_nodes * num_replicates
+        self._state_dtype = entry_state_dtype(num_nodes, num_replicates)
+
+    def begin(self, indptr, counts, total, max_hop) -> None:
+        n = self._num_nodes
+        self._indptr = indptr
+        self._hop_width = int(max_hop).bit_length() if total else 0
+        self._heads = np.zeros(n, dtype=np.int64)
+        self._widths = np.zeros(n, dtype=np.uint8)
+        self._delta_word_counts = np.zeros(n, dtype=np.int64)
+        hop_word_counts = (counts * self._hop_width + 63) >> 6
+        self._hop_wordptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(hop_word_counts, out=self._hop_wordptr[1:])
+        self._delta_f = self._stage("delta")
+        self._hop_f = self._stage("hops")
+        self._grouper = _BlockGrouper(n)
+
+    def emit(self, keys, hops) -> None:
+        if keys.size == 0:
+            return
+        hits, states = np.divmod(keys, self._num_states)
+        for span in self._grouper.push(hits, states, hops):
+            self._encode_span(span)
+
+    def _encode_span(self, span) -> None:
+        lo, hi, counts, states, hops = span
+        heads, widths, gaps, gap_counts = block_delta_encode(states, counts)
+        self._heads[lo:hi] = heads
+        self._widths[lo:hi] = widths
+        delta_words, delta_wordptr = pack_value_blocks(
+            gaps, gap_counts, widths
+        )
+        self._delta_word_counts[lo:hi] = np.diff(delta_wordptr)
+        self._delta_f.write(delta_words[: delta_wordptr[-1]].tobytes())
+        hop_words, hop_wordptr = pack_value_blocks(
+            hops, counts, np.full(hi - lo, self._hop_width, dtype=np.int64)
+        )
+        self._hop_f.write(hop_words[: hop_wordptr[-1]].tobytes())
+
+    def finalize(self) -> Path:
+        self._encode_span(self._grouper.flush())
+        # The one global trailing pad word of each packed array (decoders
+        # read words[i + 1] unconditionally).
+        pad = np.zeros(1, dtype=np.uint64).tobytes()
+        self._delta_f.write(pad)
+        self._hop_f.write(pad)
+        n = self._num_nodes
+        delta_wordptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self._delta_word_counts, out=delta_wordptr[1:])
+        self._header["state_dtype"] = self._state_dtype.str
+        self._header["hop_width"] = self._hop_width
+        arrays = {
+            "indptr": self._indptr,
+            "heads": self._heads,
+            "delta_widths": self._widths,
+            "delta_words": self._staged_source(
+                "delta", np.uint64, (int(delta_wordptr[-1]) + 1,)
+            ),
+            "delta_wordptr": delta_wordptr,
+            "hop_words": self._staged_source(
+                "hops", np.uint64, (int(self._hop_wordptr[-1]) + 1,)
+            ),
+            "hop_wordptr": self._hop_wordptr,
+        }
+        return self._assemble(arrays)
+
+
+# ----------------------------------------------------------------------
+# The archive build entry point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BuildReport:
+    """What :func:`build_index_archive` did: where, how much, how spilled."""
+
+    path: Path
+    format: str
+    total_entries: int
+    num_runs: int
+    spilled_bytes: int
+
+
+def build_index_archive(
+    graph: Graph,
+    length: int,
+    num_replicates: int,
+    out: "str | Path",
+    format: str = "mmap",
+    seed: "int | np.random.Generator | None" = None,
+    engine: "str | WalkEngine | None" = None,
+    chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    memory_budget: "int | None" = None,
+    spill_dir: "str | Path | None" = None,
+    include_rows: "bool | None" = None,
+    gain_backend: "str | None" = None,
+) -> BuildReport:
+    """Build a walk-index archive without materializing the index.
+
+    The streaming composition of ``FlatWalkIndex.build`` +
+    ``save_index``: walk chunks stream through the external sorter
+    straight into an incremental v3 writer, so peak memory is
+    O(``memory_budget`` + one chunk's walks + per-node metadata) while
+    the archive bytes are **identical** to saving the in-memory build of
+    the same ``(seed, chunk_rows, engine)`` — byte-for-byte for the v3
+    families (``mmap``/``compressed``), array-for-array for ``dense``
+    (the npz container timestamps its members, and holding the dense
+    arrays is O(entries) regardless, so that format gains no memory —
+    it exists here for CLI uniformity).  Run files and staged arrays
+    live next to the target and are removed on every exit path; the
+    final rename is atomic, so a crash mid-build leaves any existing
+    archive at ``out`` intact.
+    """
+    validate_index_format(format)
+    n = graph.num_nodes
+    _validate_params(n, length, num_replicates)
+    walk_engine = get_engine(engine)
+    engine_meta = engine if isinstance(engine, str) else (
+        engine.name if isinstance(engine, WalkEngine) else None
+    )
+    rng = resolve_rng(seed)
+    suffix = ".npz" if format == "dense" else ".idx3"
+    out = _resolve_archive_path(Path(out), default_suffix=suffix)
+    with obs.span(
+        "index.build", engine=walk_engine.name, num_nodes=n,
+        length=length, num_replicates=num_replicates,
+    ):
+        starts = walker_major_starts(n, num_replicates)
+        row_ids = np.arange(starts.size, dtype=np.int64)
+        states = (row_ids % num_replicates) * n + starts
+        with ExternalSortSink(
+            n, num_replicates, memory_budget=memory_budget,
+            spill_dir=out.parent if spill_dir is None else spill_dir,
+        ) as sink:
+            for chunk in walk_engine.iter_walk_records(
+                graph, starts, length, states, seed=rng,
+                chunk_rows=chunk_rows,
+            ):
+                sink.consume(*chunk)
+            num_runs = sink.spill_runs + (1 if sink._buffered else 0)
+            if format == "dense":
+                indptr, state, hop = sink.finalize(
+                    DenseEntryWriter(n, num_replicates)
+                )
+                index = FlatWalkIndex(
+                    indptr=indptr, state=state, hop=hop, num_nodes=n,
+                    length=length, num_replicates=num_replicates,
+                )
+                written = save_index(
+                    index, out, graph=graph, engine=engine_meta, seed=seed,
+                    gain_backend=gain_backend, format="dense",
+                )
+            else:
+                header = v3_index_header(
+                    n, length, num_replicates,
+                    encoding=(
+                        "compressed" if format == "compressed" else "dense"
+                    ),
+                    engine=engine_meta, seed=seed,
+                    gain_backend=gain_backend, graph=graph,
+                )
+                if format == "compressed":
+                    writer: _ArchiveWriter = _CompressedArchiveWriter(
+                        out, header, n, num_replicates
+                    )
+                else:
+                    writer = _MmapArchiveWriter(
+                        out, header, n, num_replicates, include_rows
+                    )
+                written = sink.finalize(writer)
+            report = BuildReport(
+                path=written,
+                format=format,
+                total_entries=sink.total_records,
+                num_runs=num_runs,
+                spilled_bytes=sink.spilled_bytes,
+            )
+    if obs.enabled():
+        obs.inc(
+            "index_builds_total",
+            help="Flat walk-index builds.",
+            engine=walk_engine.name,
+        )
+        obs.inc(
+            "index_entries_total",
+            report.total_entries,
+            help="Index entries produced by builds.",
+        )
+    return report

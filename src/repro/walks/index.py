@@ -35,8 +35,14 @@ from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
 from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.engine import random_walk
+from repro.walks.parallel import canonical_record_key
 from repro.walks.rng import resolve_rng
-from repro.walks.storage import CompressedStorage, DenseStorage, MmapStorage
+from repro.walks.storage import (
+    CompressedStorage,
+    DenseStorage,
+    MmapStorage,
+    entry_state_dtype,
+)
 
 __all__ = [
     "IndexEntry",
@@ -345,11 +351,13 @@ class FlatWalkIndex:
         seed: "int | np.random.Generator | None" = None,
         chunk_rows: int = 1 << 19,
         engine: "str | WalkEngine | None" = None,
+        memory_budget: "int | None" = None,
+        spill_dir: "str | Path | None" = None,
     ) -> "FlatWalkIndex":
         """Vectorized Algorithm 3.
 
         Delegates walk generation *and* record extraction to the walk
-        backend (:meth:`~repro.walks.backends.WalkEngine.walk_records`):
+        backend (:meth:`~repro.walks.backends.WalkEngine.iter_walk_records`):
         walks are produced in chunks of ``chunk_rows`` rows and reduced to
         first-visit records before the next chunk starts, so peak memory
         is ``O(chunk_rows * L)`` plus the final entry arrays — and the
@@ -358,11 +366,25 @@ class FlatWalkIndex:
         **byte-identical** index under the same ``(seed, chunk_rows)``;
         entries land in canonical ``(hit, state)`` order regardless of
         how the work was partitioned.
+
+        The record stream feeds the external-sort pipeline of
+        :mod:`repro.walks.build` (DESIGN.md §15).  By default
+        (``memory_budget=None``) every record stays buffered and the sort
+        is the historical single in-memory argsort; with a budget, sorted
+        runs spill to ``spill_dir`` (default: the system temp dir) at 10
+        bytes per record and are merged back — the result is identical
+        either way, the budget only caps the sort's footprint.  (The
+        *final* entry arrays are still materialized here; to cap the
+        whole build, write an archive with
+        :func:`repro.walks.build.build_index_archive` instead.)
         """
         rng = resolve_rng(seed)
         walk_engine = get_engine(engine)
         n = graph.num_nodes
         _validate_params(n, length, num_replicates)
+        # Lazy: build.py imports this module at top level.
+        from repro.walks.build import DenseEntryWriter, ExternalSortSink
+
         started = time.perf_counter()
         with obs.span(
             "index.build", engine=walk_engine.name, num_nodes=n,
@@ -371,12 +393,21 @@ class FlatWalkIndex:
             starts = walker_major_starts(n, num_replicates)
             row_ids = np.arange(starts.size, dtype=np.int64)
             states = (row_ids % num_replicates) * n + starts  # == rep * n + walker
-            hits, state_vals, hops = walk_engine.walk_records(
-                graph, starts, length, states, seed=rng, chunk_rows=chunk_rows
-            )
-            index = cls._from_records(
-                hits, state_vals, hops, num_nodes=n, length=length,
-                num_replicates=num_replicates,
+            with ExternalSortSink(
+                n, num_replicates, memory_budget=memory_budget,
+                spill_dir=spill_dir,
+            ) as sink:
+                for chunk in walk_engine.iter_walk_records(
+                    graph, starts, length, states, seed=rng,
+                    chunk_rows=chunk_rows,
+                ):
+                    sink.consume(*chunk)
+                indptr, state_arr, hop_arr = sink.finalize(
+                    DenseEntryWriter(n, num_replicates)
+                )
+            index = cls(
+                indptr=indptr, state=state_arr, hop=hop_arr, num_nodes=n,
+                length=length, num_replicates=num_replicates,
             )
         if obs.enabled():
             obs.inc(
@@ -424,17 +455,18 @@ class FlatWalkIndex:
         # any shard partitioning land on byte-identical arrays, which
         # is what lets the differential harness compare engines
         # strictly.  (chunk_rows itself still matters: it shapes the
-        # stream consumption and hence the walks.)
+        # stream consumption and hence the walks.)  The key helper
+        # forces int64 before multiplying: int32 record arrays would
+        # otherwise wrap the product silently once n * R * hit crosses
+        # 2^31 (NEP 50 keeps int32 * python_int at int32).
         num_states = num_nodes * num_replicates
-        order = np.argsort(hits * num_states + states)
+        order = np.argsort(canonical_record_key(hits, states, num_states))
         counts = np.bincount(hits, minlength=num_nodes) if hits.size else np.zeros(
             num_nodes, dtype=np.int64
         )
         indptr = np.zeros(num_nodes + 1, dtype=np.int64)
         np.cumsum(counts, out=indptr[1:])
-        state_dtype = (
-            np.int32 if num_nodes * num_replicates < np.iinfo(np.int32).max else np.int64
-        )
+        state_dtype = entry_state_dtype(num_nodes, num_replicates)
         return cls(
             indptr=indptr,
             state=states[order].astype(state_dtype),

@@ -35,6 +35,7 @@ __all__ = [
     "slice_first_hits",
     "slice_weighted_walks",
     "first_visit_records",
+    "canonical_record_key",
     "SharedArrayPack",
     "run_task",
 ]
@@ -205,6 +206,31 @@ def first_visit_records(
         np.concatenate(hit_parts),
         np.concatenate(state_parts),
         np.concatenate(hop_parts),
+    )
+
+
+def canonical_record_key(
+    hits: np.ndarray, states: np.ndarray, num_states: int
+) -> np.ndarray:
+    """The canonical ``hit * num_states + state`` sort key, as ``int64``.
+
+    States are unique within one hit node's records (first-visit dedup),
+    so the key is a strict total order over any record set — the one
+    every builder sorts by, in-memory (``FlatWalkIndex._from_records``)
+    and out-of-core (:mod:`repro.walks.build`) alike, kept in one place
+    so the two can never disagree.  Both operands are forced to
+    ``int64`` *before* the multiply: under NEP 50 (numpy >= 2) and under
+    1.x value-based casting alike, ``int32_array * python_int`` stays
+    ``int32`` whenever the scalar fits, so int32 inputs would wrap
+    silently once ``hit * n * R`` crosses 2^31 — reordering entries
+    instead of crashing.  Keys are decodable: ``hit = key // num_states``
+    and ``state = key % num_states`` (states are ``< num_states`` by
+    construction), which is what lets the external sorter spill only the
+    key per record.
+    """
+    return (
+        hits.astype(np.int64, copy=False) * np.int64(num_states)
+        + states.astype(np.int64, copy=False)
     )
 
 

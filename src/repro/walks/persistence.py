@@ -267,19 +267,87 @@ def _align64(offset: int) -> int:
     return (offset + 63) & ~63
 
 
-def _write_v3(tmp_name: str, header: dict, arrays: "dict[str, np.ndarray]") -> None:
+class FileArraySource:
+    """An array whose bytes live in a (temp) file, for streaming v3 writes.
+
+    The out-of-core builder (:mod:`repro.walks.build`, DESIGN.md §15)
+    appends big entry arrays to sibling temp files during its merge and
+    hands them to :func:`_write_v3` as sources: the writer computes the
+    same specs a materialized array would get and stream-copies the bytes
+    in bounded chunks, so the assembled archive is byte-identical to a
+    fully in-memory save without the array ever existing in RAM.
+    """
+
+    __slots__ = ("path", "dtype", "shape")
+
+    def __init__(self, path: "str | Path", dtype, shape):
+        self.path = Path(path)
+        self.dtype = np.dtype(dtype)
+        self.shape = tuple(int(dim) for dim in shape)
+
+    @property
+    def nbytes(self) -> int:
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return self.dtype.itemsize * count
+
+
+_COPY_CHUNK = 8 << 20
+
+
+def v3_index_header(
+    num_nodes: int,
+    length: int,
+    num_replicates: int,
+    encoding: str,
+    engine: "str | None" = None,
+    seed: "int | str | None" = None,
+    gain_backend: "str | None" = None,
+    graph: "Graph | None" = None,
+) -> dict:
+    """The v3 header dict for a flat-index archive (sans array specs).
+
+    One constructor shared by :func:`save_index` and the incremental
+    writer so the serialized JSON — and therefore the archive bytes —
+    cannot depend on which build path produced the index.
+    """
+    return {
+        "version": _V3_VERSION,
+        "encoding": encoding,
+        "header": [num_nodes, length, num_replicates],
+        "meta": {
+            "engine": engine or "",
+            "seed": "" if seed is None else str(seed),
+            "gain_backend": gain_backend or "",
+        },
+        "graph_meta": None if graph is None else [
+            graph.num_nodes, graph.num_edges, graph_fingerprint(graph),
+        ],
+    }
+
+
+def _write_v3(
+    tmp_name: str,
+    header: dict,
+    arrays: "dict[str, np.ndarray | FileArraySource]",
+) -> None:
     """Serialize a v3 container: magic | header len | JSON | aligned arrays.
 
     Array offsets in the header are relative to the data section, which
     starts at the first 64-byte boundary after the JSON — so the loader
     can compute every array's absolute position from the header alone
-    and hand each one to ``np.memmap`` without reading the data.
+    and hand each one to ``np.memmap`` without reading the data.  Values
+    may be ndarrays (written from memory) or :class:`FileArraySource`
+    descriptors (stream-copied from their file); the bytes written are
+    identical either way.
     """
     specs: list[dict] = []
-    blobs: list[np.ndarray] = []
+    blobs: list = []
     offset = 0
     for name, arr in arrays.items():
-        arr = np.ascontiguousarray(arr)
+        if not isinstance(arr, FileArraySource):
+            arr = np.ascontiguousarray(arr)
         specs.append({
             "name": name,
             "dtype": arr.dtype.str,
@@ -297,8 +365,29 @@ def _write_v3(tmp_name: str, header: dict, arrays: "dict[str, np.ndarray]") -> N
         fh.write(blob)
         for spec, arr in zip(specs, blobs):
             fh.seek(data_start + spec["offset"])
-            fh.write(arr.tobytes())
+            if isinstance(arr, FileArraySource):
+                _copy_file_bytes(arr, fh)
+            else:
+                fh.write(arr.tobytes())
         fh.truncate(data_start + offset)
+
+
+def _copy_file_bytes(source: FileArraySource, dest) -> None:
+    """Stream a :class:`FileArraySource`'s bytes into an open archive."""
+    expected = source.nbytes
+    copied = 0
+    with open(source.path, "rb") as src:
+        while True:
+            chunk = src.read(min(_COPY_CHUNK, expected - copied))
+            if not chunk:
+                break
+            dest.write(chunk)
+            copied += len(chunk)
+    if copied != expected:
+        raise GraphFormatError(
+            f"{source.path}: staged array holds {copied} bytes, "
+            f"expected {expected} — incomplete spill?"
+        )
 
 
 def _atomic_write_v3(
@@ -602,19 +691,11 @@ def _save_index_impl(
         return path
 
     path = _resolve_archive_path(path, default_suffix=".idx3")
-    header: dict = {
-        "version": _V3_VERSION,
-        "encoding": "compressed" if format == "compressed" else "dense",
-        "header": [index.num_nodes, index.length, index.num_replicates],
-        "meta": {
-            "engine": engine or "",
-            "seed": "" if seed is None else str(seed),
-            "gain_backend": gain_backend or "",
-        },
-        "graph_meta": None if graph is None else [
-            graph.num_nodes, graph.num_edges, graph_fingerprint(graph),
-        ],
-    }
+    header = v3_index_header(
+        index.num_nodes, index.length, index.num_replicates,
+        encoding="compressed" if format == "compressed" else "dense",
+        engine=engine, seed=seed, gain_backend=gain_backend, graph=graph,
+    )
     if format == "compressed":
         comp = (
             index.storage

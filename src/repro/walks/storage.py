@@ -45,9 +45,11 @@ from repro.errors import ParameterError
 __all__ = [
     "INDEX_FORMATS",
     "validate_index_format",
+    "entry_state_dtype",
     "DenseStorage",
     "CompressedStorage",
     "MmapStorage",
+    "block_delta_encode",
     "pack_value_blocks",
     "unpack_value_blocks",
 ]
@@ -70,6 +72,22 @@ def validate_index_format(name: str) -> str:
             f"unknown index format {name!r}; expected one of {INDEX_FORMATS}"
         )
     return name
+
+
+def entry_state_dtype(num_nodes: int, num_replicates: int) -> np.dtype:
+    """The dtype every builder stores entry states in.
+
+    ``int32`` while the state space ``n * R`` fits, ``int64`` past it —
+    one rule shared by the in-memory assembler
+    (``FlatWalkIndex._from_records``) and the out-of-core archive writer
+    (:mod:`repro.walks.build`), so the two paths can never disagree on
+    the bytes an archive holds.
+    """
+    return np.dtype(
+        np.int32
+        if num_nodes * num_replicates < np.iinfo(np.int32).max
+        else np.int64
+    )
 
 
 def _bit_widths(values: np.ndarray) -> np.ndarray:
@@ -195,6 +213,58 @@ def _unpack_values(
         low |= high
     low &= (np.uint64(1) << width_u) - np.uint64(1)
     return low.view(np.int64)
+
+
+def block_delta_encode(
+    state64: np.ndarray, counts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-block delta encoding of canonical-order states.
+
+    ``state64`` holds ``counts[b]`` states per block ``b``, concatenated
+    in block order and strictly increasing within each block (canonical
+    ``(hit, state)`` order — violations raise).  Returns
+    ``(heads, delta_widths, gaps, gap_counts)``: each block's first
+    state, the exact bit width of its largest gap
+    (``state[j] - state[j-1] - 1``), and the gap stream ready for
+    :func:`pack_value_blocks`.  Shared by
+    :meth:`CompressedStorage.from_arrays` and the incremental v3 writer
+    (:mod:`repro.walks.build`) — the codec is per-block, so the writer
+    can encode any *complete* run of blocks with this function and
+    concatenate the word regions, landing on the same bytes a whole-index
+    encode produces.
+    """
+    counts = counts.astype(np.int64)
+    n = counts.size
+    total = int(counts.sum())
+    starts = np.cumsum(counts) - counts
+    heads = np.zeros(n, dtype=np.int64)
+    nonempty = counts > 0
+    heads[nonempty] = state64[starts[nonempty]]
+    # Gaps between consecutive states of the same block.  np.diff over
+    # the whole stream also produces cross-block differences at block
+    # boundaries; mask them out by entry position.
+    if total > 1:
+        diffs = np.diff(state64)
+        is_start = np.zeros(total, dtype=bool)
+        is_start[starts[nonempty]] = True
+        interior = ~is_start
+        interior[0] = False
+        gaps = diffs[interior[1:]] - 1
+        if gaps.size and int(gaps.min()) < 0:
+            raise ParameterError(
+                "entries are not in canonical (hit, state) order; "
+                "rebuild the index before compressing (legacy archives "
+                "kept insertion order)"
+            )
+        owners = np.repeat(np.arange(n, dtype=np.int64), counts)[interior]
+        block_max = np.zeros(n, dtype=np.int64)
+        np.maximum.at(block_max, owners, gaps)
+    else:
+        gaps = np.zeros(0, dtype=np.int64)
+        block_max = np.zeros(n, dtype=np.int64)
+    delta_widths = _bit_widths(block_max).astype(np.uint8)
+    gap_counts = np.maximum(counts - 1, 0)
+    return heads, delta_widths, gaps, gap_counts
 
 
 def _unpack_region(
@@ -370,33 +440,9 @@ class CompressedStorage:
             raise ParameterError("state ids out of compressible range")
         if total and int(hop64.min()) < 0:
             raise ParameterError("negative hops cannot be compressed")
-        heads = np.zeros(n, dtype=np.int64)
-        nonempty = counts > 0
-        heads[nonempty] = state64[indptr[:-1][nonempty]]
-        # Gaps between consecutive states of the same block.  np.diff
-        # over the whole stream also produces cross-block differences at
-        # block boundaries; mask them out by entry position.
-        if total > 1:
-            diffs = np.diff(state64)
-            is_start = np.zeros(total, dtype=bool)
-            is_start[indptr[:-1][nonempty]] = True
-            interior = ~is_start
-            interior[0] = False
-            gaps = diffs[interior[1:]] - 1
-            if gaps.size and int(gaps.min()) < 0:
-                raise ParameterError(
-                    "entries are not in canonical (hit, state) order; "
-                    "rebuild the index before compressing (legacy archives "
-                    "kept insertion order)"
-                )
-            owners = np.repeat(np.arange(n, dtype=np.int64), counts)[interior]
-            block_max = np.zeros(n, dtype=np.int64)
-            np.maximum.at(block_max, owners, gaps)
-        else:
-            gaps = np.zeros(0, dtype=np.int64)
-            block_max = np.zeros(n, dtype=np.int64)
-        delta_widths = _bit_widths(block_max).astype(np.uint8)
-        gap_counts = np.maximum(counts - 1, 0)
+        heads, delta_widths, gaps, gap_counts = block_delta_encode(
+            state64, counts
+        )
         delta_words, delta_wordptr = pack_value_blocks(
             gaps, gap_counts, delta_widths
         )

@@ -327,6 +327,34 @@ class TestEngineThreading:
         assert np.array_equal(a.state, b.state)
         assert np.array_equal(a.hop, b.hop)
 
+    def test_iter_walk_records_equals_walk_records(self):
+        # The chunk iterator is the seam the out-of-core builder consumes
+        # (DESIGN.md §15); concatenating it must reproduce walk_records
+        # exactly — same records, same order — for every backend.
+        g = power_law_graph(60, 240, seed=15)
+        starts = np.repeat(np.arange(60, dtype=np.int64), 4)
+        states = np.arange(starts.size, dtype=np.int64)
+        for engine in ("numpy", "csr", "sharded", "multiproc"):
+            eng = get_engine(engine)
+            whole = eng.walk_records(g, starts, 5, states, seed=41,
+                                     chunk_rows=64)
+            chunks = list(eng.iter_walk_records(g, starts, 5, states,
+                                                seed=41, chunk_rows=64))
+            assert len(chunks) == -(-starts.size // 64)
+            for part, ref in zip(zip(*chunks), whole):
+                np.testing.assert_array_equal(np.concatenate(part), ref)
+
+    def test_iter_walk_records_validates_eagerly(self):
+        # Bad arguments must raise at call time, not on first next().
+        g = ring_graph(8)
+        eng = get_engine("numpy")
+        starts = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ParameterError):
+            eng.iter_walk_records(g, starts, 3, np.zeros(3), seed=1)
+        with pytest.raises(ParameterError):
+            eng.iter_walk_records(g, starts, 3, np.zeros(4), seed=1,
+                                  chunk_rows=0)
+
     def test_approx_greedy_fast_engine_parity(self):
         g = power_law_graph(70, 280, seed=6)
         a = approx_greedy_fast(g, 5, 4, num_replicates=20, seed=13, engine="numpy")

@@ -5,6 +5,7 @@ inverted index produced by the Example 3.1 walks, and we assert our builders
 reproduce it entry-for-entry.
 """
 
+import numpy as np
 import pytest
 
 from repro.errors import ParameterError
@@ -172,3 +173,45 @@ class TestWalkerMajorStarts:
     def test_layout(self):
         starts = walker_major_starts(3, 2)
         assert starts.tolist() == [0, 0, 1, 1, 2, 2]
+
+
+class TestCanonicalRecordKey:
+    """The sort key must be immune to int32 record arrays (NEP 50).
+
+    ``hits * num_states + states`` with int32 inputs stays int32 under
+    both numpy 1.26 value-based casting and 2.x weak scalars whenever
+    ``num_states`` fits int32 — wrapping the product silently once
+    ``hit * num_states`` crosses 2^31 and scrambling the sort.  The key
+    helper forces int64 before multiplying; these tests pin that on the
+    1.26/2.x CI matrix.
+    """
+
+    def test_int32_inputs_do_not_wrap(self):
+        from repro.walks.parallel import canonical_record_key
+
+        num_states = 70_000  # fits int32, so the product would stay int32
+        hits = np.array([40_000, 40_001], dtype=np.int32)
+        states = np.array([5, 3], dtype=np.int32)
+        keys = canonical_record_key(hits, states, num_states)
+        assert keys.dtype == np.int64
+        # 40_000 * 70_000 = 2.8e9 > 2^31: would be negative if wrapped.
+        assert keys[0] == 40_000 * 70_000 + 5
+        assert (keys >= 0).all()
+        assert keys[0] < keys[1]
+
+    def test_from_records_orders_past_int32_range(self):
+        # End-to-end: records for high node ids in a state space whose
+        # key range exceeds int32 must land in their indptr slices in
+        # ascending state order.
+        num_nodes, reps = 70_000, 1
+        hits = np.array([60_000, 40_000, 60_000], dtype=np.int32)
+        states = np.array([9, 2, 4], dtype=np.int32)
+        hops = np.array([1, 2, 3], dtype=np.int32)
+        flat = FlatWalkIndex._from_records(
+            hits, states, hops, num_nodes=num_nodes, length=3,
+            num_replicates=reps,
+        )
+        s, h = flat.entries_for(40_000)
+        assert s.tolist() == [2] and h.tolist() == [2]
+        s, h = flat.entries_for(60_000)
+        assert s.tolist() == [4, 9] and h.tolist() == [3, 1]

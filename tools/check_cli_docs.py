@@ -7,7 +7,7 @@ Verifies that the documentation layer cannot silently drift from the code:
    heading), the `--engine` flag with every registered backend name, the
    `--gain-backend` flag with every gain backend name, the
    `--telemetry`/`--trace-out` observability flags, and every long
-   option of the `serve` subcommand.
+   option of the `serve` and `index` subcommands.
 2. Every `DESIGN.md §N[.M]` reference in the source tree points at a
    numbered section that actually exists in DESIGN.md.
 3. Every documentation file mentioned from package docstrings
@@ -124,11 +124,13 @@ def check_docs() -> list[str]:
             problems.append(
                 f"README.md does not mention gain backend {backend!r}"
             )
-    for option in _subcommand_options("serve"):
-        if option not in readme:
-            problems.append(
-                f"README.md does not document the serve flag {option}"
-            )
+    for subcommand in ("serve", "index"):
+        for option in _subcommand_options(subcommand):
+            if option not in readme:
+                problems.append(
+                    f"README.md does not document the {subcommand} "
+                    f"flag {option}"
+                )
 
     # 2. DESIGN.md section references from the source tree.
     sections = _design_sections(design)

@@ -38,6 +38,7 @@ BENCH_FILES = [
     "benchmarks/bench_http_serving.py",
     "benchmarks/bench_multiproc.py",
     "benchmarks/bench_index_memory.py",
+    "benchmarks/bench_oocore_build.py",
     "benchmarks/bench_observability.py",
 ]
 

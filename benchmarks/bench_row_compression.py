@@ -1,0 +1,165 @@
+"""Acceptance benchmark for compressed coverage rows (DESIGN.md §16).
+
+The standing claims on the R=100 row-compression workload (a 2k-node
+power-law graph at L=10 — 200k states per row, 50 MB of dense packed
+rows; big enough that row bytes dominate, small enough for the shared
+bench job):
+
+* the roaring-style container codec holds the coverage rows in **>= 4x**
+  fewer bytes than the dense ``n x ceil(nR/64)`` packed matrix (hard
+  gate — the codec is deterministic, so the ratio does not depend on
+  the runner), while the bitset greedy stays **bit-identical** across
+  every ``rows_format`` (hard parity gate), and
+* bitset greedy selection with compressed rows stays within **2x** of
+  the dense-rows run (soft timing gate, honors ``--no-timing-gate``).
+  The greedy hot path never touches the rows, so this bounds the
+  construction + oracle overhead, not the kernel inner loop.
+
+Also recorded, report-only: mmap archive sizes with dense vs compressed
+stored rows — the compressed variant is the "rows past the 1 GiB cap"
+story at bench scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approx_fast import approx_greedy_fast
+from repro.core.coverage_kernel import CoverageKernel
+from repro.graphs.generators import power_law_graph
+from repro.walks.index import FlatWalkIndex
+from repro.walks.persistence import load_index, save_index
+from repro.walks.rows import ROWS_FORMATS
+
+from benchmarks.conftest import best_of
+
+ROW_COMPRESSION_FLOOR = 4.0
+QUERY_SLOWDOWN_CEILING = 2.0
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = power_law_graph(2_000, 20_000, seed=79)
+    index = FlatWalkIndex.build(graph, 10, 100, seed=5)
+    return graph, index
+
+
+def test_row_bytes_and_decode_parity(workload, bench_record):
+    """Row bytes: compressed >= 4x smaller, decodes identically (hard)."""
+    _, index = workload
+    dense_rows = index.packed_hit_rows(include_self=True)
+    crows = index.compressed_hit_rows(include_self=True)
+    parity = np.array_equal(
+        crows.decode_rows(0, index.num_nodes), dense_rows
+    )
+    bench_record("row_compression.decode_parity", bool(parity))
+    assert parity, "compressed rows decoded a different coverage matrix"
+
+    dense_bytes = dense_rows.nbytes
+    compressed_bytes = crows.nbytes
+    ratio = dense_bytes / compressed_bytes
+    print(
+        f"\nrow bytes (n=2k power-law, L=10, R=100): "
+        f"dense {dense_bytes:,}, compressed {compressed_bytes:,} "
+        f"-> {ratio:.2f}x"
+    )
+    bench_record("row_compression.dense_row_bytes", dense_bytes)
+    bench_record("row_compression.compressed_row_bytes", compressed_bytes)
+    bench_record("row_compression.compression_ratio_x", ratio)
+    assert ratio >= ROW_COMPRESSION_FLOOR, (
+        f"compressed rows only {ratio:.2f}x smaller than dense "
+        f"(floor {ROW_COMPRESSION_FLOOR}x)"
+    )
+
+
+def test_selection_parity_across_rows_formats(workload, bench_record):
+    """Bitset greedy: identical selections for every rows_format (hard)."""
+    graph, index = workload
+    k = 32
+    results = {
+        rows_format: approx_greedy_fast(
+            graph, k, index.length, index=index, objective="f2",
+            gain_backend="bitset", rows_format=rows_format,
+        )
+        for rows_format in ROWS_FORMATS
+    }
+    want = results["dense"]
+    parity = all(
+        got.selected == want.selected and got.gains == want.gains
+        for got in results.values()
+    )
+    bench_record("row_compression.selection_parity", bool(parity))
+    assert parity, "rows_format changed the bitset greedy selection"
+    # The f2 refresh oracle must agree container-wise vs dense too.
+    dense_kernel = CoverageKernel(index, "f2", rows_format="dense")
+    crows_kernel = CoverageKernel(index, "f2", rows_format="compressed")
+    for node in want.selected[:4]:
+        dense_kernel.select(int(node))
+        crows_kernel.select(int(node))
+    oracle_parity = np.array_equal(
+        dense_kernel.refresh_gains(), crows_kernel.refresh_gains()
+    )
+    bench_record("row_compression.oracle_parity", bool(oracle_parity))
+    assert oracle_parity
+
+
+def test_compressed_rows_query_slowdown(workload, bench_record, timing_gate):
+    """Bitset greedy with compressed rows within 2x of dense (soft)."""
+    graph, index = workload
+    k = 32
+    dense_s, want = best_of(
+        3, lambda: approx_greedy_fast(
+            graph, k, index.length, index=index, objective="f2",
+            gain_backend="bitset", rows_format="dense",
+        )
+    )
+    compressed_s, got = best_of(
+        3, lambda: approx_greedy_fast(
+            graph, k, index.length, index=index, objective="f2",
+            gain_backend="bitset", rows_format="compressed",
+        )
+    )
+    assert got.selected == want.selected
+
+    speedup = dense_s / compressed_s
+    print(
+        f"\nbitset greedy k={k}: dense rows {dense_s:.3f} s, "
+        f"compressed rows {compressed_s:.3f} s -> {speedup:.2f}x"
+    )
+    bench_record("row_compression.select_dense_rows_s", dense_s)
+    bench_record("row_compression.select_compressed_rows_s", compressed_s)
+    bench_record("row_compression.compressed_query_speedup_x", speedup)
+    floor = 1.0 / QUERY_SLOWDOWN_CEILING
+    if timing_gate:
+        assert speedup >= floor, (
+            f"compressed-rows queries {1 / speedup:.2f}x slower than "
+            f"dense (ceiling {QUERY_SLOWDOWN_CEILING}x)"
+        )
+    elif speedup < floor:
+        print(
+            f"TIMING (report-only, --no-timing-gate): compressed-rows "
+            f"queries {1 / speedup:.2f}x slower than dense "
+            f"(ceiling {QUERY_SLOWDOWN_CEILING}x)"
+        )
+
+
+def test_archive_bytes_with_compressed_rows(workload, bench_record, tmp_path):
+    """mmap archive size, dense vs compressed stored rows (report-only)."""
+    graph, index = workload
+    sizes = {}
+    for rows_format in ("dense", "compressed"):
+        path = save_index(
+            index, tmp_path / f"walks-{rows_format}", graph=graph,
+            format="mmap", rows_format=rows_format,
+        )
+        sizes[rows_format] = path.stat().st_size
+        bench_record(
+            f"row_compression.archive_rows_{rows_format}_bytes",
+            sizes[rows_format],
+        )
+        loaded = load_index(path, graph=graph)
+        assert loaded.total_entries == index.total_entries
+    print(
+        f"\nmmap archive: dense rows {sizes['dense']:,} B, "
+        f"compressed rows {sizes['compressed']:,} B"
+    )
+    assert sizes["compressed"] < sizes["dense"]

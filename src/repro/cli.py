@@ -63,7 +63,11 @@ from typing import Sequence
 
 from repro.errors import ParameterError, RwdomError
 from repro.graphs.adjacency import Graph
-from repro.core.coverage_kernel import DEFAULT_GAIN_BACKEND, GAIN_BACKENDS
+from repro.core.coverage_kernel import (
+    DEFAULT_GAIN_BACKEND,
+    GAIN_BACKENDS,
+    ROWS_FORMATS,
+)
 from repro.walks.backends import DEFAULT_ENGINE, available_engines
 from repro.walks.build import DEFAULT_CHUNK_ROWS
 from repro.walks.storage import INDEX_FORMATS
@@ -263,6 +267,13 @@ def build_parser() -> argparse.ArgumentParser:
         "under the same value",
     )
     index.add_argument(
+        "--rows-format", choices=ROWS_FORMATS, default=None,
+        help="mmap archives only: coverage-row representation stored in "
+        "the archive — dense packed bitsets, stream (no stored rows), or "
+        "compressed roaring-style containers; default picks dense while "
+        "the rows fit the size cap and compressed beyond it",
+    )
+    index.add_argument(
         "--build-memory-budget", type=int, default=None, metavar="BYTES",
         help="cap the build's sort memory: walk records stream through "
         "an external sort (sorted runs spill next to --out at 10 bytes "
@@ -325,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="storage backend the replay/attack (re-)solves run on "
         "(maintenance itself stays dense; selections are identical "
         "across formats)",
+    )
+    dynamic.add_argument(
+        "--rows-format", choices=ROWS_FORMATS, default=None,
+        help="coverage-row representation for the bitset kernel's "
+        "(re-)solves (selections identical across formats; ignored by "
+        "the entries backend)",
     )
     dynamic.add_argument(
         "--resolve-threshold", type=float, default=0.9,
@@ -430,6 +447,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--index-format", choices=INDEX_FORMATS, default=None,
         help="in-memory index representation to serve from (default: "
         "whatever the archive holds, or dense for an in-process build)",
+    )
+    serve.add_argument(
+        "--rows-format", choices=ROWS_FORMATS, default=None,
+        help="coverage-row representation for the bitset kernel's query "
+        "passes (answers identical across formats; ignored by the "
+        "entries backend)",
     )
     serve.add_argument(
         "--json", metavar="FILE", default=None,
@@ -691,6 +714,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
             format=args.index_format, seed=args.seed, engine=args.engine,
             chunk_rows=args.chunk_rows,
             memory_budget=args.build_memory_budget,
+            rows_format=args.rows_format,
         )
         print(
             f"indexed {graph.num_nodes} nodes x {args.replicates} walks "
@@ -705,7 +729,7 @@ def _cmd_index(args: argparse.Namespace) -> int:
     )
     written = save_index(
         index, args.out, graph=graph, engine=args.engine, seed=args.seed,
-        format=args.index_format,
+        format=args.index_format, rows_format=args.rows_format,
     )
     print(
         f"indexed {graph.num_nodes} nodes x {args.replicates} walks "
@@ -776,6 +800,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
                 index=as_format(dyn.flat, args.index_format, graph=graph),
                 objective="f2",
                 gain_backend=args.gain_backend,
+                rows_format=args.rows_format,
             )
             targets = solved.selected
             print(f"placement ({solved.algorithm}):",
@@ -810,6 +835,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
         gain_backend=args.gain_backend,
         resolve_threshold=args.resolve_threshold,
         index_format=args.index_format,
+        rows_format=args.rows_format,
     )
     print(
         f"churn replay: {len(report.steps)} batches, k={report.k}, "
@@ -853,6 +879,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "batch_window": args.batch_window / 1e3,
         "cache_size": args.cache_size,
         "gain_backend": args.gain_backend,
+        "rows_format": args.rows_format,
     }
     if args.index is not None:
         service = DominationService.from_index_file(

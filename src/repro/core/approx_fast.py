@@ -41,7 +41,11 @@ import numpy as np
 from repro import obs
 from repro.errors import ParameterError
 from repro.graphs.adjacency import Graph
-from repro.core.coverage_kernel import CoverageKernel, validate_gain_backend
+from repro.core.coverage_kernel import (
+    CoverageKernel,
+    validate_gain_backend,
+    validate_rows_format,
+)
 from repro.core.result import SelectionResult
 from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.index import FlatWalkIndex
@@ -67,6 +71,7 @@ class FastApproxEngine:
         index: FlatWalkIndex,
         objective: str = "f1",
         gain_backend: "str | None" = None,
+        rows_format: "str | None" = None,
     ):
         if objective not in _OBJECTIVES:
             raise ParameterError(f"objective must be one of {_OBJECTIVES}")
@@ -76,9 +81,14 @@ class FastApproxEngine:
         n = index.num_nodes
         r = index.num_replicates
         if self.gain_backend == "bitset":
-            self._kernel = CoverageKernel.from_index(index, objective)
+            self._kernel = CoverageKernel.from_index(
+                index, objective, rows_format=rows_format
+            )
             self.d = None
         else:
+            # Coverage rows only exist in the bitset kernel; still reject
+            # typos instead of silently ignoring the knob.
+            validate_rows_format(rows_format)
             self._kernel = None
             if objective == "f1":
                 fill = index.length
@@ -284,6 +294,7 @@ def approx_greedy_fast(
     lazy: bool = True,
     engine: "str | WalkEngine | None" = None,
     gain_backend: "str | None" = None,
+    rows_format: "str | None" = None,
 ) -> SelectionResult:
     """Algorithm 6 on the vectorized engine (``ApproxF1`` / ``ApproxF2``).
 
@@ -297,6 +308,10 @@ def approx_greedy_fast(
     the same seed.  ``gain_backend`` picks the marginal-gain machinery
     (``"entries"`` or ``"bitset"``, see
     :mod:`repro.core.coverage_kernel`); both produce identical selections.
+    ``rows_format`` picks the bitset kernel's coverage-row representation
+    (``"dense"``, ``"stream"``, or ``"compressed"``; selections are
+    bit-identical across all three) and is ignored by the entries backend
+    beyond name validation.
     """
     if not 0 <= k <= graph.num_nodes:
         raise ParameterError(f"k={k} must lie in [0, n={graph.num_nodes}]")
@@ -313,7 +328,10 @@ def approx_greedy_fast(
         elif index.num_nodes != graph.num_nodes:
             raise ParameterError("index was built for a different graph size")
         engine = FastApproxEngine(
-            index, objective=objective, gain_backend=gain_backend
+            index,
+            objective=objective,
+            gain_backend=gain_backend,
+            rows_format=rows_format,
         )
         engine.run(k, lazy=lazy)
     elapsed = time.perf_counter() - started

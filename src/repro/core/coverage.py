@@ -54,6 +54,7 @@ def min_targets_for_coverage(
     index: FlatWalkIndex | None = None,
     max_size: int | None = None,
     gain_backend: "str | None" = None,
+    rows_format: "str | None" = None,
 ) -> SelectionResult:
     """Smallest greedy set whose estimated ``F2`` reaches ``alpha * n``.
 
@@ -62,7 +63,9 @@ def min_targets_for_coverage(
     The estimated coverage after each addition is ``(sum of raw gains) / R``
     because ``F2(emptyset) = 0`` and gains telescope.
     ``gain_backend="bitset"`` runs the rounds on the coverage kernel
-    (:mod:`repro.core.coverage_kernel`) — identical selections.
+    (:mod:`repro.core.coverage_kernel`) — identical selections;
+    ``rows_format`` picks that kernel's coverage-row representation
+    (``"dense"``/``"stream"``/``"compressed"``, also identical).
 
     Raises :class:`ParameterError` when the target is unreachable — the
     selection budget (``max_size``, or every node) is exhausted, or no
@@ -76,7 +79,9 @@ def min_targets_for_coverage(
         index = FlatWalkIndex.build(graph, length, num_replicates, seed=seed)
     elif index.num_nodes != graph.num_nodes:
         raise ParameterError("index was built for a different graph size")
-    engine = FastApproxEngine(index, objective="f2", gain_backend=gain_backend)
+    engine = FastApproxEngine(
+        index, objective="f2", gain_backend=gain_backend, rows_format=rows_format
+    )
     threshold = alpha * graph.num_nodes
     limit = graph.num_nodes if max_size is None else min(max_size, graph.num_nodes)
     covered_raw = 0  # running F2 estimate, times R

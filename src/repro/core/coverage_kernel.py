@@ -55,11 +55,20 @@ import numpy as np
 from repro import obs
 from repro.errors import ParameterError
 from repro.walks.index import FlatWalkIndex, scatter_or_bits
+from repro.walks.rows import (
+    DEFAULT_ROW_CAP_BYTES,
+    ROWS_FORMATS,
+    CompressedRows,
+    validate_rows_format,
+)
+from repro.walks.storage import MmapStorage
 
 __all__ = [
     "GAIN_BACKENDS",
     "DEFAULT_GAIN_BACKEND",
+    "ROWS_FORMATS",
     "validate_gain_backend",
+    "validate_rows_format",
     "pack_states",
     "popcount",
     "popcount_rows",
@@ -72,10 +81,13 @@ __all__ = [
 GAIN_BACKENDS = ("entries", "bitset")
 DEFAULT_GAIN_BACKEND = "entries"
 
-#: Default ceiling for the packed candidate rows (1 GiB) — the dense part
-#: of the kernel grows as ``n^2 R / 8`` bytes, so huge graphs should stay
-#: on the ``"entries"`` backend (or raise the cap explicitly).
-DEFAULT_MAX_PACKED_BYTES = 1 << 30
+#: Default ceiling for the *dense* packed candidate rows — that part of
+#: the kernel grows as ``n^2 R / 8`` bytes.  One shared constant
+#: (:data:`repro.walks.rows.DEFAULT_ROW_CAP_BYTES`) with the archive
+#: save side, so the kernel-side and save-side budgets can never drift.
+#: Beyond it, ``rows_format="compressed"`` (or the ``"entries"``
+#: backend) is the escape hatch.
+DEFAULT_MAX_PACKED_BYTES = DEFAULT_ROW_CAP_BYTES
 
 
 def validate_gain_backend(name: "str | None") -> str:
@@ -213,21 +225,43 @@ class CoverageKernel:
 
     def __init__(self, index: FlatWalkIndex, objective: str = "f1",
                  max_packed_bytes: "int | None" = DEFAULT_MAX_PACKED_BYTES,
-                 materialize_rows: "bool | None" = None):
+                 materialize_rows: "bool | None" = None,
+                 rows_format: "str | None" = None):
         if objective not in ("f1", "f2"):
             raise ParameterError("objective must be one of ('f1', 'f2')")
         self.index = index
         self.objective = objective
-        # Whether popcount queries read one dense (n, words) row matrix
-        # (built lazily by the ``rows`` property) or rebuild each
-        # candidate block on the fly from the index storage.  Auto: a
-        # compressed index stays compressed — its whole point is not to
-        # hold the dense rows — while dense/mmap indexes keep the
-        # materialized fast path (mmap's stored rows are already a
-        # no-copy map, so "materializing" them is free).
-        if materialize_rows is None:
-            materialize_rows = index.storage_format != "compressed"
-        self._materialize_rows = bool(materialize_rows)
+        # Row representation behind the popcount queries (DESIGN.md §16):
+        # "dense" reads one materialized (n, words) matrix, "stream"
+        # rebuilds candidate blocks on the fly from the index storage,
+        # "compressed" runs container-wise over roaring rows.  The
+        # legacy ``materialize_rows`` flag maps onto dense/stream.
+        # Auto: an archive that stored only compressed rows uses them; a
+        # compressed entry index streams (its whole point is not to hold
+        # dense rows); everything else keeps the materialized fast path
+        # (mmap's stored dense rows are already a no-copy map).
+        if rows_format is not None and materialize_rows is not None:
+            raise ParameterError(
+                "pass rows_format or the legacy materialize_rows flag, "
+                "not both"
+            )
+        if rows_format is None and materialize_rows is not None:
+            rows_format = "dense" if materialize_rows else "stream"
+        validate_rows_format(rows_format)
+        if rows_format is None:
+            storage = index.storage
+            if (
+                isinstance(storage, MmapStorage)
+                and storage.rows is None
+                and storage.compressed_rows is not None
+            ):
+                rows_format = "compressed"
+            elif index.storage_format == "compressed":
+                rows_format = "stream"
+            else:
+                rows_format = "dense"
+        self.rows_format = rows_format
+        self._materialize_rows = rows_format == "dense"
         n = index.num_nodes
         self.num_nodes = n
         self.num_replicates = index.num_replicates
@@ -285,6 +319,7 @@ class CoverageKernel:
         # would not fit.
         self._max_packed_bytes = max_packed_bytes
         self._rows: "np.ndarray | None" = None
+        self._crows: "CompressedRows | None" = None
 
         # Mutable per-objective state, matching FastApproxEngine exactly.
         if objective == "f1":
@@ -310,13 +345,15 @@ class CoverageKernel:
         objective: str = "f1",
         max_packed_bytes: "int | None" = DEFAULT_MAX_PACKED_BYTES,
         materialize_rows: "bool | None" = None,
+        rows_format: "str | None" = None,
     ) -> "CoverageKernel":
         """Build a kernel over an existing walk index."""
         started = time.perf_counter()
         with obs.span("kernel.build", objective=objective):
             kernel = cls(index, objective=objective,
                          max_packed_bytes=max_packed_bytes,
-                         materialize_rows=materialize_rows)
+                         materialize_rows=materialize_rows,
+                         rows_format=rows_format)
         if obs.enabled():
             obs.inc(
                 "kernel_builds_total",
@@ -342,14 +379,31 @@ class CoverageKernel:
             )
         return self._rows
 
+    @property
+    def crows(self) -> CompressedRows:
+        """Roaring compressed coverage rows (built on first access;
+        archive-backed when the mmap archive stored them)."""
+        if self._crows is None:
+            self._crows = self.index.compressed_hit_rows(include_self=True)
+        return self._crows
+
     def _row_chunk(self, lo: int, hi: int) -> np.ndarray:
         """Packed rows of candidates ``[lo, hi)`` — a slice of the
-        materialized matrix, or (``materialize_rows=False``, the
-        compressed-index default) a per-chunk decode through
+        materialized matrix (``rows_format="dense"``), a container
+        decode (``"compressed"``), or (``"stream"``) the stored mmap
+        rows / a per-chunk rebuild through
         :meth:`~repro.walks.index.FlatWalkIndex.packed_rows_for`, so the
-        full matrix never exists.  Bit-identical either way."""
+        full matrix never exists.  Bit-identical every way."""
         if self._materialize_rows:
             return self.rows[lo:hi]
+        if self.rows_format == "compressed":
+            return self.crows.decode_rows(lo, hi)
+        storage = self.index.storage
+        if isinstance(storage, MmapStorage) and storage.rows is not None:
+            # The archive already stores the dense rows
+            # (include_self=True is the stored convention): slice the
+            # read-only map instead of range-decoding the entry arrays.
+            return storage.rows[lo:hi]
         return self.index.packed_rows_for(lo, hi, include_self=True)
 
     # ------------------------------------------------------------------
@@ -372,14 +426,23 @@ class CoverageKernel:
             raise ParameterError("popcount_gain is defined for f2 only")
         if not 0 <= node < self.num_nodes:
             raise ParameterError(f"node {node} out of range")
+        if self.rows_format == "compressed":
+            return int(
+                self.crows.popcount_rows_masked(self.covered, node, node + 1)[
+                    0
+                ]
+            )
         return popcount(self._row_chunk(node, node + 1)[0] & ~self.covered)
 
     def refresh_gains(self, chunk_rows: int = 256) -> np.ndarray:
         """Recompute every gain from the packed substrate (no maintained
-        state): the f2 path is the chunked masked popcount sweep, the f1
+        state): the f2 path is the chunked masked popcount sweep
+        (container-wise on compressed rows — no dense decode), the f1
         path the masked min-reduction over the forward hop arrays.  Used
         by tests and benchmarks as the independent oracle."""
         if self.objective == "f2":
+            if self.rows_format == "compressed":
+                return self.crows.popcount_rows_masked(self.covered)
             mask = ~self.covered
             out = np.empty(self.num_nodes, dtype=np.int64)
             for lo in range(0, self.num_nodes, chunk_rows):

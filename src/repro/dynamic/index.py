@@ -233,6 +233,7 @@ class DynamicWalkIndex:
         # by binary search instead of recomputing or re-sorting.
         self._keys = keys
         self._rows: "np.ndarray | None" = None
+        self._crows = None  # CompressedRows cache, patched across edits
         # Reusable splice buffers (internal arrays only — never aliased
         # into the exposed FlatWalkIndex), so steady-state syncs do not
         # re-fault fresh pages every batch.  `_spare_keys` ping-pongs
@@ -481,6 +482,7 @@ class DynamicWalkIndex:
         )
         self._spare_keys = None
         self._rows = None
+        self._crows = None
 
     def _dirty_rows(self, touched: np.ndarray) -> np.ndarray:
         """Walk rows whose trajectory must be resampled for an edit.
@@ -603,11 +605,16 @@ class DynamicWalkIndex:
             retiring.base if retiring.base is not None else retiring
         )
         self._keys = merged_keys
-        if self._rows is not None:
-            from repro.core.coverage_kernel import patch_packed_rows
-
+        if self._rows is not None or self._crows is not None:
             changed = np.union1d(old_hits, hits)
-            patch_packed_rows(self._rows, self.flat, changed)
+            if self._rows is not None:
+                from repro.core.coverage_kernel import patch_packed_rows
+
+                patch_packed_rows(self._rows, self.flat, changed)
+            if self._crows is not None:
+                # Re-encodes only the changed rows' containers; returns a
+                # new instance, never mutating the previous one.
+                self._crows = self._crows.patched(self.flat, changed)
         return int(old_hits.size), int(hits.size)
 
     # ------------------------------------------------------------------
@@ -619,12 +626,36 @@ class DynamicWalkIndex:
         only the rows of hit nodes whose entry lists changed
         (:func:`repro.core.coverage_kernel.patch_packed_rows`).  The
         returned array is the live cache — treat it as read-only.
+
+        When the flat index is backed by an mmap archive that stored the
+        rows, ``FlatWalkIndex.packed_hit_rows`` hands back the read-only
+        archive map; the dynamic cache copies it on first materialize,
+        because the next edit batch patches the cache *in place* — a
+        read-only map would fail the patch outright, and a writable map
+        would silently write the patch through to the archive on disk.
         """
         if self._rows is None:
-            self._rows = self.flat.packed_hit_rows(
+            rows = self.flat.packed_hit_rows(
                 include_self=True, max_bytes=max_bytes
             )
+            if not rows.flags.writeable:
+                rows = np.array(rows, dtype=np.uint64, copy=True)
+            self._rows = rows
         return self._rows
+
+    def compressed_hit_rows(self):
+        """Roaring compressed coverage rows, patched across edits.
+
+        First call encodes them via
+        :meth:`FlatWalkIndex.compressed_hit_rows`; later edit batches
+        re-encode only the containers of changed rows
+        (:meth:`~repro.walks.rows.CompressedRows.patched`), which builds
+        a fresh instance instead of mutating — so starting from an
+        archive-backed (read-only) instance is safe by construction.
+        """
+        if self._crows is None:
+            self._crows = self.flat.compressed_hit_rows(include_self=True)
+        return self._crows
 
     def selection_metrics(self, targets) -> dict:
         """Sampled coverage and AHT of a target set on the current index.

@@ -48,7 +48,7 @@ from repro import obs
 from repro.errors import ParameterError
 from repro.core.approx_fast import approx_greedy_fast
 from repro.core.coverage import min_targets_for_coverage
-from repro.core.coverage_kernel import validate_gain_backend
+from repro.core.coverage_kernel import validate_gain_backend, validate_rows_format
 from repro.core.result import SelectionResult
 from repro.serve.snapshot import IndexSnapshot
 
@@ -134,6 +134,11 @@ class DominationService:
     gain_backend:
         Marginal-gain machinery for ``select``/``min_targets`` kernel
         passes (``"entries"``/``"bitset"``; both give identical answers).
+    rows_format:
+        Coverage-row representation for the bitset kernel
+        (``"dense"``/``"stream"``/``"compressed"``; answers are
+        bit-identical across all three, so it never enters cache keys).
+        Ignored by the entries backend.
     """
 
     def __init__(
@@ -143,6 +148,7 @@ class DominationService:
         batch_window: float = 0.002,
         cache_size: int = 256,
         gain_backend: "str | None" = None,
+        rows_format: "str | None" = None,
     ):
         if max_workers < 1:
             raise ParameterError("max_workers must be >= 1")
@@ -159,6 +165,7 @@ class DominationService:
         self._current: "tuple[int, IndexSnapshot]" = (0, snapshot)
         self.batch_window = float(batch_window)
         self.gain_backend = validate_gain_backend(gain_backend)
+        self.rows_format = validate_rows_format(rows_format)
         self._cache: "OrderedDict[tuple, object]" = OrderedDict()
         self._cache_size = int(cache_size)
         self._cache_lock = threading.Lock()
@@ -252,6 +259,7 @@ class DominationService:
             "generation": generation,
             "fingerprint": f"{snap.fingerprint:#x}",
             "gain_backend": self.gain_backend,
+            "rows_format": self.rows_format,
         }
 
     def publish(self, snapshot: IndexSnapshot) -> None:
@@ -400,6 +408,7 @@ class DominationService:
         result = min_targets_for_coverage(
             snap.graph, fraction, snap.length, index=snap.index,
             max_size=max_size, gain_backend=self.gain_backend,
+            rows_format=self.rows_format,
         )
         self._count("kernel_passes")
         self._cache_put(key, result)
@@ -516,6 +525,7 @@ class DominationService:
             shared = approx_greedy_fast(
                 snap.graph, ks[-1], snap.length, index=snap.index,
                 objective=objective, gain_backend=self.gain_backend,
+                rows_format=self.rows_format,
             )
             for k in ks:
                 batch.results[k] = SelectionResult(

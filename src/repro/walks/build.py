@@ -57,14 +57,15 @@ from repro.walks.index import (
 )
 from repro.walks.parallel import canonical_record_key
 from repro.walks.persistence import (
-    _DEFAULT_ROW_CAP,
     FileArraySource,
     _atomic_write_v3,
     _resolve_archive_path,
+    _resolve_row_mode,
     save_index,
     v3_index_header,
 )
 from repro.walks.rng import resolve_rng
+from repro.walks.rows import CompressedRows, encode_row_span
 from repro.walks.storage import (
     block_delta_encode,
     entry_state_dtype,
@@ -569,7 +570,15 @@ class _ArchiveWriter(EntryWriter):
 
 
 class _MmapArchiveWriter(_ArchiveWriter):
-    """Incremental v3 ``encoding="dense"`` writer (the ``mmap`` format)."""
+    """Incremental v3 ``encoding="dense"`` writer (the ``mmap`` format).
+
+    The coverage rows stream out span-wise as hit-node blocks close:
+    dense mode packs each span into ``uint64`` row batches, compressed
+    mode (DESIGN.md §16) encodes each span's containers through the same
+    :func:`~repro.walks.rows.encode_row_span` the in-memory encoder
+    uses — containers never span rows, so the staged spans concatenate
+    to exactly the arrays ``save_index`` would write.
+    """
 
     def __init__(
         self,
@@ -578,6 +587,7 @@ class _MmapArchiveWriter(_ArchiveWriter):
         num_nodes: int,
         num_replicates: int,
         include_rows: "bool | None",
+        rows_format: "str | None" = None,
     ):
         super().__init__(out, header)
         self._num_nodes = num_nodes
@@ -585,10 +595,8 @@ class _MmapArchiveWriter(_ArchiveWriter):
         self._num_states = num_nodes * num_replicates
         self._state_dtype = entry_state_dtype(num_nodes, num_replicates)
         self._words = (self._num_states + 63) >> 6
-        row_bytes = num_nodes * self._words * 8
-        self._with_rows = (
-            include_rows if include_rows is not None
-            else row_bytes <= _DEFAULT_ROW_CAP
+        self._rows_mode = _resolve_row_mode(
+            num_nodes, self._num_states, include_rows, rows_format
         )
         self._rows_per_batch = max(1, _ROW_BATCH_BYTES // max(8, self._words * 8))
 
@@ -597,8 +605,15 @@ class _MmapArchiveWriter(_ArchiveWriter):
         self._total = total
         self._state_f = self._stage("state")
         self._hop_f = self._stage("hop")
-        if self._with_rows:
+        if self._rows_mode == "dense":
             self._rows_f = self._stage("rows")
+        elif self._rows_mode == "compressed":
+            for label in CompressedRows.ARRAY_NAMES[1:]:
+                self._stage(label)
+            self._crow_counts = np.zeros(self._num_nodes, dtype=np.int64)
+            self._crow_containers = 0
+            self._crow_data_total = 0
+        if self._rows_mode != "stream":
             self._grouper = _BlockGrouper(self._num_nodes)
 
     def emit(self, keys, hops) -> None:
@@ -609,9 +624,12 @@ class _MmapArchiveWriter(_ArchiveWriter):
         self._hop_f.write(
             np.ascontiguousarray(hops, dtype=np.int16).tobytes()
         )
-        if self._with_rows:
+        if self._rows_mode == "dense":
             for span in self._grouper.push(hits, states, hops):
                 self._emit_rows(span)
+        elif self._rows_mode == "compressed":
+            for span in self._grouper.push(hits, states, hops):
+                self._emit_crows(span)
 
     def _emit_rows(self, span) -> None:
         lo, hi, counts, states, _hops = span
@@ -640,9 +658,46 @@ class _MmapArchiveWriter(_ArchiveWriter):
             self._rows_f.write(rows.tobytes())
             pos += take
 
+    def _emit_crows(self, span) -> None:
+        lo, hi, counts, states, _hops = span
+        n, reps = self._num_nodes, self._num_replicates
+        span_rows = hi - lo
+        owners = np.repeat(np.arange(span_rows, dtype=np.int64), counts)
+        positions = states.astype(np.int64)
+        # Self bits, exactly as compressed_hit_rows(include_self=True).
+        node_ids = np.arange(lo, hi, dtype=np.int64)
+        self_states = (
+            node_ids[None, :]
+            + np.int64(n) * np.arange(reps, dtype=np.int64)[:, None]
+        ).ravel()
+        self_owners = np.tile(np.arange(span_rows, dtype=np.int64), reps)
+        owners = np.concatenate([owners, self_owners])
+        positions = np.concatenate([positions, self_states])
+        order = np.argsort(
+            owners * np.int64(max(self._num_states, 1)) + positions
+        )
+        c_counts, chunk_ids, types, cards, sizes, data = encode_row_span(
+            owners[order], positions[order], span_rows, self._num_states
+        )
+        self._crow_counts[lo:hi] = c_counts
+        self._staged["crow_chunks"][0].write(chunk_ids.tobytes())
+        self._staged["crow_types"][0].write(types.tobytes())
+        self._staged["crow_cards"][0].write(cards.tobytes())
+        data_ptr = self._crow_data_total + (np.cumsum(sizes) - sizes)
+        self._staged["crow_dataptr"][0].write(
+            data_ptr.astype(np.int64).tobytes()
+        )
+        self._staged["crow_data"][0].write(data.tobytes())
+        self._crow_containers += int(types.size)
+        self._crow_data_total += int(sizes.sum())
+
     def finalize(self) -> Path:
-        if self._with_rows:
-            self._emit_rows(self._grouper.flush())
+        if self._rows_mode != "stream":
+            span = self._grouper.flush()
+            if self._rows_mode == "dense":
+                self._emit_rows(span)
+            else:
+                self._emit_crows(span)
         self._header["state_dtype"] = self._state_dtype.str
         arrays: dict = {
             "indptr": self._indptr,
@@ -651,9 +706,33 @@ class _MmapArchiveWriter(_ArchiveWriter):
             ),
             "hop": self._staged_source("hop", np.int16, (self._total,)),
         }
-        if self._with_rows:
+        if self._rows_mode == "dense":
             arrays["rows"] = self._staged_source(
                 "rows", np.uint64, (self._num_nodes, self._words)
+            )
+        elif self._rows_mode == "compressed":
+            # Trailing sentinel closes the last container's payload span.
+            self._staged["crow_dataptr"][0].write(
+                np.asarray([self._crow_data_total], dtype=np.int64).tobytes()
+            )
+            row_ptr = np.zeros(self._num_nodes + 1, dtype=np.int64)
+            np.cumsum(self._crow_counts, out=row_ptr[1:])
+            containers = self._crow_containers
+            arrays["crow_ptr"] = row_ptr
+            arrays["crow_chunks"] = self._staged_source(
+                "crow_chunks", np.int32, (containers,)
+            )
+            arrays["crow_types"] = self._staged_source(
+                "crow_types", np.uint8, (containers,)
+            )
+            arrays["crow_cards"] = self._staged_source(
+                "crow_cards", np.int32, (containers,)
+            )
+            arrays["crow_dataptr"] = self._staged_source(
+                "crow_dataptr", np.int64, (containers + 1,)
+            )
+            arrays["crow_data"] = self._staged_source(
+                "crow_data", np.uint16, (self._crow_data_total,)
             )
         return self._assemble(arrays)
 
@@ -771,6 +850,7 @@ def build_index_archive(
     spill_dir: "str | Path | None" = None,
     include_rows: "bool | None" = None,
     gain_backend: "str | None" = None,
+    rows_format: "str | None" = None,
 ) -> BuildReport:
     """Build a walk-index archive without materializing the index.
 
@@ -787,8 +867,18 @@ def build_index_archive(
     live next to the target and are removed on every exit path; the
     final rename is atomic, so a crash mid-build leaves any existing
     archive at ``out`` intact.
+
+    ``rows_format`` (``mmap`` archives only) picks the stored
+    coverage-row representation — dense packed matrix, roaring
+    containers, or none — resolved exactly as :func:`save_index`
+    resolves it, spans streaming out as hit-node blocks close.
     """
     validate_index_format(format)
+    if rows_format is not None and format != "mmap":
+        raise ParameterError(
+            "rows_format applies to mmap archives only (dense/compressed "
+            "archives never store coverage rows)"
+        )
     n = graph.num_nodes
     _validate_params(n, length, num_replicates)
     walk_engine = get_engine(engine)
@@ -842,7 +932,8 @@ def build_index_archive(
                     )
                 else:
                     writer = _MmapArchiveWriter(
-                        out, header, n, num_replicates, include_rows
+                        out, header, n, num_replicates, include_rows,
+                        rows_format,
                     )
                 written = sink.finalize(writer)
             report = BuildReport(

@@ -37,6 +37,7 @@ from repro.walks.backends import WalkEngine, get_engine
 from repro.walks.engine import random_walk
 from repro.walks.parallel import canonical_record_key
 from repro.walks.rng import resolve_rng
+from repro.walks.rows import CompressedRows, scatter_or_bits
 from repro.walks.storage import (
     CompressedStorage,
     DenseStorage,
@@ -51,36 +52,6 @@ __all__ = [
     "walker_major_starts",
     "scatter_or_bits",
 ]
-
-
-def scatter_or_bits(
-    rows: np.ndarray, owners: np.ndarray, states: np.ndarray
-) -> None:
-    """OR state bits into packed ``uint64`` rows, in place.
-
-    Sets bit ``states[j] & 63`` of word ``states[j] >> 6`` in row
-    ``owners[j]`` for every ``j`` — the one packed-bit layout shared by
-    :meth:`FlatWalkIndex.packed_hit_rows` and the incremental row patch
-    (:func:`repro.core.coverage_kernel.patch_packed_rows`), kept in one
-    place so the two can never drift apart.  Implemented as a sort +
-    ``reduceat`` scatter-OR (much faster than ``ufunc.at``): group the
-    ``(row, word)`` cells, OR each group's bits, write each cell once.
-    """
-    if states.size == 0:
-        return
-    words = rows.shape[1]
-    cells = owners * words + (states >> 6)
-    order = np.argsort(cells, kind="stable")
-    sorted_cells = cells[order]
-    sorted_bits = np.left_shift(
-        np.uint64(1), (states[order] & 63).astype(np.uint64)
-    )
-    group_starts = np.flatnonzero(
-        np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
-    )
-    merged = np.bitwise_or.reduceat(sorted_bits, group_starts)
-    target = sorted_cells[group_starts]
-    rows[target // words, target % words] |= merged
 
 
 @dataclass(frozen=True)
@@ -638,8 +609,9 @@ class FlatWalkIndex:
             raise ParameterError(
                 f"packed hit rows need {needed} bytes "
                 f"({n} rows x {words} words) which exceeds the "
-                f"max_bytes={max_bytes} cap; use the 'entries' gain "
-                "backend for graphs this large or raise the cap"
+                f"max_bytes={max_bytes} cap; switch to compressed rows "
+                "(rows_format='compressed' / compressed_hit_rows), use "
+                "the 'entries' gain backend, or raise the cap"
             )
         rows = np.zeros((n, words), dtype=np.uint64)
         states = self.state.astype(np.int64)
@@ -694,6 +666,41 @@ class FlatWalkIndex:
             )
         scatter_or_bits(rows, owners, states)
         return rows
+
+    def compressed_hit_rows(
+        self, include_self: bool = True
+    ) -> CompressedRows:
+        """The rows of :meth:`packed_hit_rows` as roaring containers.
+
+        Bit-identical content (``CompressedRows.decode_rows(0, n)``
+        equals the dense matrix), but stored as per-chunk containers
+        (DESIGN.md §16) whose footprint scales with set bits, not with
+        ``n^2 R`` — the escape hatch past the dense
+        :data:`~repro.walks.rows.DEFAULT_ROW_CAP_BYTES` wall.  An
+        mmap-backed index whose archive stored compressed rows returns
+        the archive-backed instance directly (``include_self=True`` is
+        the stored convention).
+        """
+        if (
+            include_self
+            and isinstance(self._storage, MmapStorage)
+            and self._storage.compressed_rows is not None
+        ):
+            return self._storage.compressed_rows
+        n = self.num_nodes
+        states = self.state.astype(np.int64)
+        owners = np.repeat(np.arange(n, dtype=np.int64), np.diff(self.indptr))
+        if include_self:
+            self_states = np.arange(self.num_states, dtype=np.int64)
+            states = np.concatenate([states, self_states])
+            owners = np.concatenate(
+                [owners, np.tile(np.arange(n, dtype=np.int64),
+                                 self.num_replicates)]
+            )
+        order = np.argsort(owners * np.int64(max(self.num_states, 1)) + states)
+        return CompressedRows.from_sorted_positions(
+            owners[order], states[order], n, self.num_states
+        )
 
     def dense_hop_matrix(
         self, max_bytes: "int | None" = 1 << 28

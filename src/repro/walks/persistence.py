@@ -57,6 +57,11 @@ from repro import obs
 from repro.errors import GraphFormatError, ParameterError
 from repro.graphs.adjacency import Graph
 from repro.walks.index import FlatWalkIndex
+from repro.walks.rows import (
+    DEFAULT_ROW_CAP_BYTES,
+    CompressedRows,
+    validate_rows_format,
+)
 from repro.walks.storage import (
     INDEX_FORMATS,
     CompressedStorage,
@@ -84,9 +89,13 @@ _DYNAMIC_FORMAT_VERSION = 1
 _V3_VERSION = 3
 #: v3 magic: 8 bytes, never a valid zip prefix, so one read disambiguates.
 _V3_MAGIC = b"RWIDX3\x00\n"
-#: Auto-included packed rows in a ``mmap``-format save stop at this size;
-#: pass ``include_rows=True`` to force them past it.
-_DEFAULT_ROW_CAP = 1 << 30
+#: Auto-included dense packed rows in a ``mmap``-format save stop at this
+#: size — beyond it the archive stores roaring compressed rows instead
+#: (``rows_format="dense"`` forces the matrix past it).  One shared
+#: constant with the kernel-side budget
+#: (:data:`repro.core.coverage_kernel.DEFAULT_MAX_PACKED_BYTES`), so the
+#: save-side and kernel-side caps can never drift.
+_DEFAULT_ROW_CAP = DEFAULT_ROW_CAP_BYTES
 
 
 def _resolve_archive_path(
@@ -543,9 +552,21 @@ def _load_v3(path: Path, graph: "Graph | None") -> FlatWalkIndex:
         )
     indptr = arrays["indptr"]
     if encoding == "dense":
+        crows = None
+        if "crow_ptr" in arrays:
+            try:
+                crows = CompressedRows.from_arrays(
+                    arrays, num_nodes, num_nodes * num_replicates
+                )
+            except ParameterError as exc:
+                raise GraphFormatError(
+                    f"{path}: inconsistent index arrays "
+                    "(malformed compressed rows)"
+                ) from exc
         storage = MmapStorage(
             indptr, arrays["state"], arrays["hop"],
             rows=arrays.get("rows"), source=str(path),
+            compressed_rows=crows,
         )
         rows = storage.rows
         if rows is not None:
@@ -605,6 +626,7 @@ def save_index(
     gain_backend: "str | None" = None,
     format: str = "dense",
     include_rows: "bool | None" = None,
+    rows_format: "str | None" = None,
 ) -> Path:
     """Write a :class:`FlatWalkIndex` to ``path``.
 
@@ -612,10 +634,14 @@ def save_index(
     the version-2 ``.npz``; ``"compressed"`` writes a v3 container
     holding the delta codec; ``"mmap"`` writes a v3 container holding
     the raw entry arrays at aligned offsets — the layout
-    :func:`load_index` maps back without materializing — plus, when the
-    packed hit rows fit ``include_rows``'s budget (auto under 1 GiB;
-    ``True`` forces, ``False`` omits), the rows themselves, so a served
-    index never builds them either.
+    :func:`load_index` maps back without materializing — plus the
+    coverage rows, so a served index never builds them either.
+    ``rows_format`` picks their representation (``"dense"`` forces the
+    full packed matrix, ``"compressed"`` stores roaring containers
+    (DESIGN.md §16), ``"stream"`` stores none); by default dense rows
+    are stored while they fit the 1 GiB row cap and compressed rows
+    beyond it.  The legacy ``include_rows`` flag (``True`` force-dense,
+    ``False`` omit) maps onto the same switch.
 
     The optional keyword metadata is provenance, identical across
     families: ``engine`` (walk backend that generated the walks),
@@ -636,7 +662,7 @@ def save_index(
     with obs.span("persistence.save", format=format):
         out = _save_index_impl(
             index, path, graph, engine, seed, gain_backend, format,
-            include_rows,
+            include_rows, rows_format,
         )
     if obs.enabled():
         obs.inc(
@@ -659,10 +685,47 @@ def save_index(
     return out
 
 
+def _resolve_row_mode(
+    num_nodes: int,
+    num_states: int,
+    include_rows: "bool | None",
+    rows_format: "str | None",
+) -> str:
+    """Which row representation a ``mmap`` archive stores.
+
+    ``rows_format`` wins (``"dense"`` forces the full matrix past any
+    cap, ``"compressed"`` stores roaring containers, ``"stream"`` stores
+    none); the legacy ``include_rows`` flag maps onto dense/stream; auto
+    stores dense rows while they fit
+    :data:`~repro.walks.rows.DEFAULT_ROW_CAP_BYTES` and compressed rows
+    beyond it — the cap is the dense/compressed crossover, not a wall.
+    Pure size arithmetic, so the in-memory saver and the out-of-core
+    archive writer (:mod:`repro.walks.build`) resolve identically and
+    their archives stay byte-identical.
+    """
+    if rows_format is not None:
+        if include_rows is not None:
+            raise ParameterError(
+                "pass include_rows or rows_format, not both"
+            )
+        return validate_rows_format(rows_format)
+    if include_rows is not None:
+        return "dense" if include_rows else "stream"
+    words = (num_states + 63) >> 6
+    dense_bytes = num_nodes * words * 8
+    return "dense" if dense_bytes <= DEFAULT_ROW_CAP_BYTES else "compressed"
+
+
 def _save_index_impl(
-    index, path, graph, engine, seed, gain_backend, format, include_rows
+    index, path, graph, engine, seed, gain_backend, format, include_rows,
+    rows_format,
 ) -> Path:
     validate_index_format(format)
+    if rows_format is not None and format != "mmap":
+        raise ParameterError(
+            "rows_format applies to mmap archives only (dense/compressed "
+            "archives never store coverage rows)"
+        )
     if graph is not None and graph.num_nodes != index.num_nodes:
         raise ParameterError(
             "provenance graph does not match the index node count"
@@ -712,18 +775,17 @@ def _save_index_impl(
         hop = np.asarray(index.hop)
         header["state_dtype"] = state.dtype.str
         arrays = {"indptr": index.indptr, "state": state, "hop": hop}
-        rows = None
-        if include_rows is None:
-            try:
-                rows = index.packed_hit_rows(
-                    include_self=True, max_bytes=_DEFAULT_ROW_CAP
-                )
-            except ParameterError:
-                rows = None  # over budget: archive stays rows-free
-        elif include_rows:
-            rows = index.packed_hit_rows(include_self=True, max_bytes=None)
-        if rows is not None:
-            arrays["rows"] = rows
+        mode = _resolve_row_mode(
+            index.num_nodes, index.num_states, include_rows, rows_format
+        )
+        if mode == "dense":
+            arrays["rows"] = index.packed_hit_rows(
+                include_self=True, max_bytes=None
+            )
+        elif mode == "compressed":
+            arrays.update(
+                index.compressed_hit_rows(include_self=True).arrays()
+            )
     _atomic_write_v3(path, header, arrays)
     return path
 

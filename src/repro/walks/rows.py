@@ -1,0 +1,842 @@
+"""Roaring-style compressed coverage rows (DESIGN.md §16).
+
+The bit-packed coverage kernel's row substrate is the dense matrix of
+:meth:`~repro.walks.index.FlatWalkIndex.packed_hit_rows` — ``n`` rows of
+``ceil(nR/64)`` ``uint64`` words, one bit per ``(replicate, walker)``
+state.  That is ``n^2 R / 8`` bytes: the last dense-memory wall on the
+road to beyond-RAM scale.  This module stores the same rows as roaring
+containers over 2^16-bit chunks of the state space:
+
+* **array** containers (type 0) — sorted ``uint16`` in-chunk offsets,
+  for sparse chunks (cardinality <= 4096);
+* **bitmap** containers (type 1) — the chunk's 1024 ``uint64`` words as
+  4096 little-endian ``uint16`` lanes, for dense chunks;
+* **run** containers (type 2) — ``[starts..., ends...]`` inclusive
+  ``uint16`` interval bounds, for hub rows whose hits are contiguous.
+
+Container choice is deterministic (run iff ``2 * runs < min(card,
+4096)``, else array iff ``card <= 4096``, else bitmap) and containers
+never span rows, so any row subset re-encodes to exactly the bytes a
+full rebuild would produce — that is what makes the dynamic patch
+(:meth:`CompressedRows.patched`) and the span-wise out-of-core writer
+(:mod:`repro.walks.build`) bit-identical to the in-memory encoder.
+
+The coverage kernels (:meth:`CompressedRows.popcount_rows_masked`,
+:meth:`CompressedRows.or_row_into`) run container-wise against the
+kernel's *dense* covered bitset — no dense row is ever materialized on
+the gain path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+__all__ = [
+    "DEFAULT_ROW_CAP_BYTES",
+    "ROWS_FORMATS",
+    "validate_rows_format",
+    "CompressedRows",
+    "encode_row_span",
+    "scatter_or_bits",
+]
+
+#: One budget for dense packed rows, shared by the save side
+#: (:mod:`repro.walks.persistence`, the v3 archive row cap) and the
+#: kernel side (:mod:`repro.core.coverage_kernel`,
+#: ``DEFAULT_MAX_PACKED_BYTES``) so the two can never drift apart.
+#: Beyond it, compressed rows are the escape hatch.
+DEFAULT_ROW_CAP_BYTES = 1 << 30
+
+#: Row representations the coverage kernel can run on: materialized
+#: dense packed rows, per-chunk streaming decode, or roaring containers.
+ROWS_FORMATS = ("dense", "stream", "compressed")
+
+CHUNK_BITS = 16
+CHUNK_SIZE = 1 << CHUNK_BITS
+BITMAP_WORDS = CHUNK_SIZE >> 6  # uint64 words per bitmap container
+BITMAP_U16 = BITMAP_WORDS * 4  # uint16 lanes per bitmap container
+ARRAY_MAX_CARD = 4096
+TYPE_ARRAY = 0
+TYPE_BITMAP = 1
+TYPE_RUN = 2
+
+
+def validate_rows_format(name: "str | None") -> "str | None":
+    """Return ``name`` if it is a known rows format (``None`` = auto)."""
+    if name is None:
+        return None
+    if name not in ROWS_FORMATS:
+        raise ParameterError(
+            f"unknown rows format {name!r}; choose from {ROWS_FORMATS}"
+        )
+    return name
+
+
+def scatter_or_bits(
+    rows: np.ndarray, owners: np.ndarray, states: np.ndarray
+) -> None:
+    """OR state bits into packed ``uint64`` rows, in place.
+
+    Sets bit ``states[j] & 63`` of word ``states[j] >> 6`` in row
+    ``owners[j]`` for every ``j`` — the one packed-bit layout shared by
+    :meth:`FlatWalkIndex.packed_hit_rows`, the incremental row patch
+    (:func:`repro.core.coverage_kernel.patch_packed_rows`), and the
+    container decoder below, kept in one place so they can never drift
+    apart.  Implemented as a sort + ``reduceat`` scatter-OR (much faster
+    than ``ufunc.at``): group the ``(row, word)`` cells, OR each group's
+    bits, write each cell once.
+    """
+    if states.size == 0:
+        return
+    words = rows.shape[1]
+    cells = owners * words + (states >> 6)
+    order = np.argsort(cells, kind="stable")
+    sorted_cells = cells[order]
+    sorted_bits = np.left_shift(
+        np.uint64(1), (states[order] & 63).astype(np.uint64)
+    )
+    group_starts = np.flatnonzero(
+        np.r_[True, sorted_cells[1:] != sorted_cells[:-1]]
+    )
+    merged = np.bitwise_or.reduceat(sorted_bits, group_starts)
+    target = sorted_cells[group_starts]
+    rows[target // words, target % words] |= merged
+
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of ``uint64`` words, as ``int64``."""
+        return np.bitwise_count(words).astype(np.int64)
+
+else:  # numpy < 2.0: byte LUT
+    _POPCOUNT_LUT = np.unpackbits(
+        np.arange(256, dtype=np.uint8)[:, None], axis=1
+    ).sum(axis=1).astype(np.int64)
+
+    def _popcount_words(words: np.ndarray) -> np.ndarray:
+        """Per-element popcount of ``uint64`` words, as ``int64``."""
+        as_bytes = np.ascontiguousarray(words).view(np.uint8)
+        return _POPCOUNT_LUT[as_bytes].reshape(words.shape + (8,)).sum(
+            axis=-1
+        )
+
+
+def _words_to_u16(words: np.ndarray) -> np.ndarray:
+    """``(..., W)`` ``uint64`` -> ``(..., 4W)`` little-endian ``uint16``.
+
+    Explicit lane arithmetic instead of ``.view`` so the payload layout
+    is byte-order- and alignment-independent.
+    """
+    out = np.empty(words.shape[:-1] + (words.shape[-1] * 4,), np.uint16)
+    for lane in range(4):
+        out[..., lane::4] = (
+            (words >> np.uint64(16 * lane)) & np.uint64(0xFFFF)
+        ).astype(np.uint16)
+    return out
+
+
+def _u16_to_words(data: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_words_to_u16`."""
+    words = np.zeros(data.shape[:-1] + (data.shape[-1] // 4,), np.uint64)
+    for lane in range(4):
+        words |= data[..., lane::4].astype(np.uint64) << np.uint64(16 * lane)
+    return words
+
+
+def _concat_ranges(
+    indptr: np.ndarray, ids: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """``(positions, lengths)`` concatenating ``[indptr[i], indptr[i+1])``."""
+    indptr = np.asarray(indptr, dtype=np.int64)
+    lengths = indptr[ids + 1] - indptr[ids]
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    starts = np.repeat(indptr[ids], lengths)
+    first = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return starts + np.arange(total, dtype=np.int64) - first, lengths
+
+
+def _segment_arange(lengths: np.ndarray) -> np.ndarray:
+    """``[0..lengths[0]), [0..lengths[1]), ...`` concatenated."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    first = np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return np.arange(total, dtype=np.int64) - first
+
+
+def encode_row_span(
+    owners: np.ndarray,
+    positions: np.ndarray,
+    num_rows: int,
+    num_states: int,
+) -> "tuple[np.ndarray, ...]":
+    """Encode sorted ``(owner, position)`` set bits into containers.
+
+    The streaming half of the codec: callers (the in-memory builder and
+    the out-of-core archive writer) hand in one *span* of rows at a time
+    — ``owners`` local to the span, the pair stream strictly increasing
+    by ``(owner, position)`` — and concatenate the outputs, which is
+    exact because containers never span rows.  Returns
+    ``(counts, chunk_ids, types, cards, sizes, data)`` where ``counts``
+    is containers per row and ``sizes`` is ``uint16`` payload length per
+    container.
+    """
+    owners = np.asarray(owners, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    if owners.shape != positions.shape or owners.ndim != 1:
+        raise ParameterError("owners and positions must match 1-D shapes")
+    counts = np.zeros(num_rows, dtype=np.int64)
+    total = positions.size
+    if total == 0:
+        return (
+            counts,
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.uint8),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint16),
+        )
+    if owners[0] < 0 or owners[-1] >= num_rows:
+        raise ParameterError("owners out of range")
+    if int(positions.min()) < 0 or int(positions.max()) >= num_states:
+        raise ParameterError("positions out of range")
+    key = owners * np.int64(max(num_states, 1)) + positions
+    if np.any(np.diff(key) <= 0):
+        raise ParameterError(
+            "(owner, position) pairs must be strictly increasing"
+        )
+    chunk = positions >> CHUNK_BITS
+    offset = positions & (CHUNK_SIZE - 1)
+    num_chunks = -(-num_states // CHUNK_SIZE)
+    container_key = owners * np.int64(num_chunks) + chunk
+    new_container = np.empty(total, dtype=bool)
+    new_container[0] = True
+    np.not_equal(container_key[1:], container_key[:-1],
+                 out=new_container[1:])
+    container_start = np.flatnonzero(new_container)
+    num_containers = container_start.size
+    cards = np.diff(np.r_[container_start, total])
+    chunk_ids = chunk[container_start].astype(np.int32)
+    container_of = np.cumsum(new_container) - 1
+    # Runs: a new run opens at every container boundary or position gap.
+    run_start = new_container.copy()
+    run_start[1:] |= positions[1:] != positions[:-1] + 1
+    run_first = np.flatnonzero(run_start)
+    run_container = container_of[run_first]
+    runs_per = np.bincount(run_container, minlength=num_containers)
+    is_run = 2 * runs_per < np.minimum(cards, BITMAP_U16)
+    is_array = ~is_run & (cards <= ARRAY_MAX_CARD)
+    types = np.where(
+        is_run, TYPE_RUN, np.where(is_array, TYPE_ARRAY, TYPE_BITMAP)
+    ).astype(np.uint8)
+    sizes = np.where(
+        is_run, 2 * runs_per, np.where(is_array, cards, BITMAP_U16)
+    ).astype(np.int64)
+    data_ptr = np.zeros(num_containers + 1, dtype=np.int64)
+    np.cumsum(sizes, out=data_ptr[1:])
+    data = np.zeros(int(data_ptr[-1]), dtype=np.uint16)
+    local = np.arange(total, dtype=np.int64) - np.repeat(
+        container_start, cards
+    )
+    kind_of = types[container_of]
+
+    in_array = kind_of == TYPE_ARRAY
+    if in_array.any():
+        dest = data_ptr[container_of[in_array]] + local[in_array]
+        data[dest] = offset[in_array].astype(np.uint16)
+
+    if is_run.any():
+        run_len = np.diff(np.r_[run_first, total])
+        first_run = np.zeros(num_containers, dtype=np.int64)
+        np.cumsum(runs_per[:-1], out=first_run[1:])
+        local_run = np.arange(run_first.size, dtype=np.int64) - first_run[
+            run_container
+        ]
+        pick = is_run[run_container]
+        base = data_ptr[run_container[pick]]
+        width = runs_per[run_container[pick]]
+        data[base + local_run[pick]] = offset[run_first[pick]].astype(
+            np.uint16
+        )
+        data[base + width + local_run[pick]] = offset[
+            run_first[pick] + run_len[pick] - 1
+        ].astype(np.uint16)
+
+    bitmap_ids = np.flatnonzero(types == TYPE_BITMAP)
+    if bitmap_ids.size:
+        in_bitmap = kind_of == TYPE_BITMAP
+        slot = np.full(num_containers, -1, dtype=np.int64)
+        slot[bitmap_ids] = np.arange(bitmap_ids.size, dtype=np.int64)
+        words = np.zeros(bitmap_ids.size * BITMAP_WORDS, dtype=np.uint64)
+        cell = slot[container_of[in_bitmap]] * BITMAP_WORDS + (
+            offset[in_bitmap] >> 6
+        )
+        bit = np.left_shift(
+            np.uint64(1), (offset[in_bitmap] & 63).astype(np.uint64)
+        )
+        starts = np.flatnonzero(np.r_[True, cell[1:] != cell[:-1]])
+        words[cell[starts]] = np.bitwise_or.reduceat(bit, starts)
+        payload = _words_to_u16(words.reshape(bitmap_ids.size, BITMAP_WORDS))
+        dest = (
+            data_ptr[bitmap_ids][:, None]
+            + np.arange(BITMAP_U16, dtype=np.int64)[None, :]
+        )
+        data[dest.ravel()] = payload.ravel()
+
+    counts = np.bincount(
+        owners[container_start], minlength=num_rows
+    ).astype(np.int64)
+    return counts, chunk_ids, types, cards.astype(np.int32), sizes, data
+
+
+class CompressedRows:
+    """Per-candidate coverage rows as roaring containers.
+
+    Flat CSR-of-containers layout — every component is a plain numpy
+    array, so the whole structure memory-maps straight out of a v3
+    archive:
+
+    * ``row_ptr``  — ``int64 (num_rows + 1,)`` container span per row;
+    * ``chunk_ids`` — ``int32`` 2^16-bit chunk index per container;
+    * ``types``     — ``uint8`` 0=array, 1=bitmap, 2=run;
+    * ``cards``     — ``int32`` set bits per container;
+    * ``data_ptr``  — ``int64 (C + 1,)`` payload span per container;
+    * ``data``      — ``uint16`` concatenated payloads.
+    """
+
+    __slots__ = (
+        "num_rows",
+        "num_states",
+        "row_ptr",
+        "chunk_ids",
+        "types",
+        "cards",
+        "data_ptr",
+        "data",
+    )
+
+    #: v3 archive array names, in layout order.
+    ARRAY_NAMES = (
+        "crow_ptr",
+        "crow_chunks",
+        "crow_types",
+        "crow_cards",
+        "crow_dataptr",
+        "crow_data",
+    )
+
+    def __init__(
+        self,
+        num_rows: int,
+        num_states: int,
+        row_ptr: np.ndarray,
+        chunk_ids: np.ndarray,
+        types: np.ndarray,
+        cards: np.ndarray,
+        data_ptr: np.ndarray,
+        data: np.ndarray,
+    ):
+        self.num_rows = int(num_rows)
+        self.num_states = int(num_states)
+        self.row_ptr = np.asarray(row_ptr, dtype=np.int64)
+        self.chunk_ids = np.asarray(chunk_ids, dtype=np.int32)
+        self.types = np.asarray(types, dtype=np.uint8)
+        self.cards = np.asarray(cards, dtype=np.int32)
+        self.data_ptr = np.asarray(data_ptr, dtype=np.int64)
+        self.data = np.asarray(data, dtype=np.uint16)
+        if self.num_rows < 0 or self.num_states < 0:
+            raise ParameterError("compressed rows shape must be >= 0")
+        if self.row_ptr.shape != (self.num_rows + 1,) or (
+            self.num_rows >= 0 and int(self.row_ptr[0]) != 0
+        ):
+            raise ParameterError("compressed rows row_ptr is malformed")
+        containers = int(self.row_ptr[-1])
+        if not (
+            self.chunk_ids.shape
+            == self.types.shape
+            == self.cards.shape
+            == (containers,)
+        ):
+            raise ParameterError("compressed rows container arrays disagree")
+        if self.data_ptr.shape != (containers + 1,) or int(
+            self.data_ptr[-1]
+        ) != self.data.size:
+            raise ParameterError("compressed rows data_ptr is malformed")
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_sorted_positions(
+        cls,
+        owners: np.ndarray,
+        positions: np.ndarray,
+        num_rows: int,
+        num_states: int,
+    ) -> "CompressedRows":
+        """Encode a strictly increasing ``(owner, position)`` stream."""
+        counts, chunk_ids, types, cards, sizes, data = encode_row_span(
+            owners, positions, num_rows, num_states
+        )
+        row_ptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_ptr[1:])
+        data_ptr = np.zeros(types.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=data_ptr[1:])
+        return cls(
+            num_rows, num_states, row_ptr, chunk_ids, types, cards,
+            data_ptr, data,
+        )
+
+    @classmethod
+    def from_packed(
+        cls, rows: np.ndarray, num_states: int
+    ) -> "CompressedRows":
+        """Encode dense packed ``uint64`` rows (test/bench convenience).
+
+        Materializes one byte per bit, so only sensible where the dense
+        rows already fit; the real encode paths go through
+        :func:`encode_row_span` on entry streams.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.uint64)
+        if rows.ndim != 2:
+            raise ParameterError("packed rows must be 2-D")
+        num_rows, words = rows.shape
+        if words != (num_states + 63) >> 6:
+            raise ParameterError(
+                f"packed rows have {words} words; num_states={num_states} "
+                f"needs {(num_states + 63) >> 6}"
+            )
+        if rows.size == 0:
+            return cls.from_sorted_positions(
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                num_rows, num_states,
+            )
+        bits = np.unpackbits(rows.view(np.uint8), axis=1, bitorder="little")
+        owners, positions = np.nonzero(bits[:, :num_states])
+        return cls.from_sorted_positions(
+            owners.astype(np.int64), positions.astype(np.int64),
+            num_rows, num_states,
+        )
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict, num_rows: int, num_states: int
+    ) -> "CompressedRows":
+        """Rebuild from the archive arrays of :meth:`arrays`."""
+        missing = [name for name in cls.ARRAY_NAMES if name not in arrays]
+        if missing:
+            raise ParameterError(
+                f"compressed rows are missing archive arrays: {missing}"
+            )
+        return cls(
+            num_rows,
+            num_states,
+            arrays["crow_ptr"],
+            arrays["crow_chunks"],
+            arrays["crow_types"],
+            arrays["crow_cards"],
+            arrays["crow_dataptr"],
+            arrays["crow_data"],
+        )
+
+    def arrays(self) -> "dict[str, np.ndarray]":
+        """The archive arrays, keyed by :attr:`ARRAY_NAMES`."""
+        return {
+            "crow_ptr": self.row_ptr,
+            "crow_chunks": self.chunk_ids,
+            "crow_types": self.types,
+            "crow_cards": self.cards,
+            "crow_dataptr": self.data_ptr,
+            "crow_data": self.data,
+        }
+
+    # -- shape ---------------------------------------------------------
+    @property
+    def words(self) -> int:
+        """``uint64`` words per dense packed row."""
+        return (self.num_states + 63) >> 6
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-self.num_states // CHUNK_SIZE)
+
+    @property
+    def num_containers(self) -> int:
+        return int(self.row_ptr[-1])
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all component arrays."""
+        return (
+            self.row_ptr.nbytes
+            + self.chunk_ids.nbytes
+            + self.types.nbytes
+            + self.cards.nbytes
+            + self.data_ptr.nbytes
+            + self.data.nbytes
+        )
+
+    def equals(self, other: "CompressedRows") -> bool:
+        """Exact structural equality (same containers, same payloads)."""
+        return (
+            self.num_rows == other.num_rows
+            and self.num_states == other.num_states
+            and np.array_equal(self.row_ptr, other.row_ptr)
+            and np.array_equal(self.chunk_ids, other.chunk_ids)
+            and np.array_equal(self.types, other.types)
+            and np.array_equal(self.cards, other.cards)
+            and np.array_equal(self.data_ptr, other.data_ptr)
+            and np.array_equal(self.data, other.data)
+        )
+
+    # -- container payload helpers ------------------------------------
+    def _run_bounds(
+        self, ids: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """``(starts, ends, run_of)`` for run containers ``ids``.
+
+        Global inclusive bit positions per run; ``run_of`` maps each run
+        back to its index within ``ids``.
+        """
+        sizes = self.data_ptr[ids + 1] - self.data_ptr[ids]
+        num_runs = sizes >> 1
+        base = np.repeat(self.data_ptr[ids], num_runs)
+        local = _segment_arange(num_runs)
+        width = np.repeat(num_runs, num_runs)
+        starts16 = self.data[base + local].astype(np.int64)
+        ends16 = self.data[base + width + local].astype(np.int64)
+        chunk_base = np.repeat(
+            self.chunk_ids[ids].astype(np.int64) << CHUNK_BITS, num_runs
+        )
+        run_of = np.repeat(np.arange(ids.size, dtype=np.int64), num_runs)
+        return chunk_base + starts16, chunk_base + ends16, run_of
+
+    def _bitmap_words(self, ids: np.ndarray) -> np.ndarray:
+        """``(len(ids), BITMAP_WORDS)`` ``uint64`` payload words."""
+        src = (
+            self.data_ptr[ids][:, None]
+            + np.arange(BITMAP_U16, dtype=np.int64)[None, :]
+        )
+        return _u16_to_words(self.data[src])
+
+    # -- kernels -------------------------------------------------------
+    def decode_rows(self, lo: int, hi: int) -> np.ndarray:
+        """Dense packed ``uint64`` rows for candidates ``[lo, hi)``.
+
+        Bit-for-bit the matrix slice ``packed_hit_rows()[lo:hi]`` —
+        pinned by the round-trip tests, and what the kernel's stream
+        fallbacks compare against.
+        """
+        if not 0 <= lo <= hi <= self.num_rows:
+            raise ParameterError(f"row range [{lo}, {hi}) out of bounds")
+        words = self.words
+        out = np.zeros((hi - lo, words), dtype=np.uint64)
+        clo, chi = int(self.row_ptr[lo]), int(self.row_ptr[hi])
+        if clo == chi:
+            return out
+        types = self.types[clo:chi]
+        chunks = self.chunk_ids[clo:chi].astype(np.int64)
+        row_of = (
+            np.repeat(
+                np.arange(lo, hi, dtype=np.int64),
+                np.diff(self.row_ptr[lo : hi + 1]),
+            )
+            - lo
+        )
+        arr = np.flatnonzero(types == TYPE_ARRAY)
+        if arr.size:
+            src, lens = _concat_ranges(self.data_ptr, arr + clo)
+            bits = (
+                np.repeat(chunks[arr] << CHUNK_BITS, lens)
+                + self.data[src]
+            )
+            scatter_or_bits(out, np.repeat(row_of[arr], lens), bits)
+        run = np.flatnonzero(types == TYPE_RUN)
+        if run.size:
+            starts, ends, run_of = self._run_bounds(run + clo)
+            lens = ends - starts + 1
+            bits = np.repeat(starts, lens) + _segment_arange(lens)
+            scatter_or_bits(
+                out, np.repeat(row_of[run][run_of], lens), bits
+            )
+        bitmap = np.flatnonzero(types == TYPE_BITMAP)
+        if bitmap.size:
+            payload = self._bitmap_words(bitmap + clo)
+            base = chunks[bitmap] * BITMAP_WORDS
+            valid = np.minimum(BITMAP_WORDS, words - base)
+            for width in np.unique(valid):
+                grp = np.flatnonzero(valid == width)
+                cols = (
+                    base[grp][:, None]
+                    + np.arange(width, dtype=np.int64)[None, :]
+                )
+                # Each (row, chunk) pair appears once, so the cells are
+                # unique and the buffered fancy |= is exact.
+                out[row_of[bitmap[grp]][:, None], cols] |= payload[grp][
+                    :, :width
+                ]
+        return out
+
+    def popcount_rows_masked(
+        self, covered: np.ndarray, lo: int = 0, hi: "int | None" = None
+    ) -> np.ndarray:
+        """Per-row ``popcount(row & ~covered)`` for rows ``[lo, hi)``.
+
+        Container-wise against the kernel's dense covered bitset: the
+        uncovered count is ``card - |container ∩ covered|``, summed per
+        row, with no dense row decode.  ``covered`` is the packed
+        ``uint64`` state bitset (padding bits zero, the kernel's
+        invariant).
+        """
+        if hi is None:
+            hi = self.num_rows
+        if not 0 <= lo <= hi <= self.num_rows:
+            raise ParameterError(f"row range [{lo}, {hi}) out of bounds")
+        words = self.words
+        if covered.shape != (words,):
+            raise ParameterError(
+                f"covered bitset has shape {covered.shape}; "
+                f"expected ({words},)"
+            )
+        out = np.zeros(hi - lo, dtype=np.int64)
+        clo, chi = int(self.row_ptr[lo]), int(self.row_ptr[hi])
+        if clo == chi:
+            return out
+        padded_words = self.num_chunks * BITMAP_WORDS
+        cov = covered
+        if padded_words != words:
+            cov = np.zeros(padded_words, dtype=np.uint64)
+            cov[:words] = covered
+        types = self.types[clo:chi]
+        chunks = self.chunk_ids[clo:chi].astype(np.int64)
+        cards = self.cards[clo:chi].astype(np.int64)
+        row_of = (
+            np.repeat(
+                np.arange(lo, hi, dtype=np.int64),
+                np.diff(self.row_ptr[lo : hi + 1]),
+            )
+            - lo
+        )
+        covered_in = np.zeros(chi - clo, dtype=np.int64)
+        arr = np.flatnonzero(types == TYPE_ARRAY)
+        if arr.size:
+            src, lens = _concat_ranges(self.data_ptr, arr + clo)
+            bits = (
+                np.repeat(chunks[arr] << CHUNK_BITS, lens)
+                + self.data[src]
+            )
+            hit = (
+                (cov[bits >> 6] >> (bits & 63).astype(np.uint64))
+                & np.uint64(1)
+            ).astype(np.int64)
+            covered_in[arr] = np.add.reduceat(hit, np.cumsum(lens) - lens)
+        run = np.flatnonzero(types == TYPE_RUN)
+        if run.size:
+            prefix = np.zeros(padded_words + 1, dtype=np.int64)
+            np.cumsum(_popcount_words(cov), out=prefix[1:])
+            starts, ends, run_of = self._run_bounds(run + clo)
+            word_lo = starts >> 6
+            word_hi = ends >> 6
+            mask_lo = np.left_shift(
+                ~np.uint64(0), (starts & 63).astype(np.uint64)
+            )
+            mask_hi = np.right_shift(
+                ~np.uint64(0), (63 - (ends & 63)).astype(np.uint64)
+            )
+            one_word = word_lo == word_hi
+            per_run = np.where(
+                one_word,
+                _popcount_words(cov[word_lo] & mask_lo & mask_hi),
+                _popcount_words(cov[word_lo] & mask_lo)
+                + _popcount_words(cov[word_hi] & mask_hi)
+                + prefix[word_hi]
+                - prefix[word_lo + 1],
+            )
+            # float64 weights are exact here: counts stay far below 2^53.
+            covered_in[run] = np.bincount(
+                run_of, weights=per_run, minlength=run.size
+            ).astype(np.int64)
+        bitmap = np.flatnonzero(types == TYPE_BITMAP)
+        if bitmap.size:
+            payload = self._bitmap_words(bitmap + clo)
+            windows = cov[
+                (chunks[bitmap] * BITMAP_WORDS)[:, None]
+                + np.arange(BITMAP_WORDS, dtype=np.int64)[None, :]
+            ]
+            covered_in[bitmap] = _popcount_words(payload & windows).sum(
+                axis=1
+            )
+        return np.bincount(
+            row_of, weights=(cards - covered_in), minlength=hi - lo
+        ).astype(np.int64)
+
+    def or_row_into(self, row: int, covered: np.ndarray) -> None:
+        """``covered |= rows[row]``, container-wise, in place."""
+        if not 0 <= row < self.num_rows:
+            raise ParameterError(f"row {row} out of range")
+        words = self.words
+        if covered.shape != (words,):
+            raise ParameterError(
+                f"covered bitset has shape {covered.shape}; "
+                f"expected ({words},)"
+            )
+        clo, chi = int(self.row_ptr[row]), int(self.row_ptr[row + 1])
+        if clo == chi:
+            return
+        ids = np.arange(clo, chi, dtype=np.int64)
+        types = self.types[clo:chi]
+        arr = ids[types == TYPE_ARRAY]
+        if arr.size:
+            src, lens = _concat_ranges(self.data_ptr, arr)
+            bits = (
+                np.repeat(self.chunk_ids[arr].astype(np.int64) << CHUNK_BITS,
+                          lens)
+                + self.data[src]
+            )
+            word = bits >> 6
+            bit = np.left_shift(
+                np.uint64(1), (bits & 63).astype(np.uint64)
+            )
+            # bits ascend within the row, so words are grouped already.
+            starts = np.flatnonzero(np.r_[True, word[1:] != word[:-1]])
+            covered[word[starts]] |= np.bitwise_or.reduceat(bit, starts)
+        run = ids[types == TYPE_RUN]
+        if run.size:
+            starts_b, ends_b, _ = self._run_bounds(run)
+            word_lo = starts_b >> 6
+            word_hi = ends_b >> 6
+            mask_lo = np.left_shift(
+                ~np.uint64(0), (starts_b & 63).astype(np.uint64)
+            )
+            mask_hi = np.right_shift(
+                ~np.uint64(0), (63 - (ends_b & 63)).astype(np.uint64)
+            )
+            one_word = word_lo == word_hi
+            # Adjacent runs can share a boundary word, so boundary ORs
+            # go through ufunc.at; interior words are disjoint.
+            np.bitwise_or.at(
+                covered, word_lo[one_word],
+                mask_lo[one_word] & mask_hi[one_word],
+            )
+            multi = ~one_word
+            np.bitwise_or.at(covered, word_lo[multi], mask_lo[multi])
+            np.bitwise_or.at(covered, word_hi[multi], mask_hi[multi])
+            interior_lens = word_hi[multi] - word_lo[multi] - 1
+            if interior_lens.size and interior_lens.sum():
+                interior = (
+                    np.repeat(word_lo[multi] + 1, interior_lens)
+                    + _segment_arange(interior_lens)
+                )
+                covered[interior] = ~np.uint64(0)
+        bitmap = ids[types == TYPE_BITMAP]
+        if bitmap.size:
+            payload = self._bitmap_words(bitmap)
+            base = self.chunk_ids[bitmap].astype(np.int64) * BITMAP_WORDS
+            valid = np.minimum(BITMAP_WORDS, words - base)
+            for width in np.unique(valid):
+                grp = np.flatnonzero(valid == width)
+                covered[
+                    base[grp][:, None]
+                    + np.arange(width, dtype=np.int64)[None, :]
+                ] |= payload[grp][:, :width]
+
+    # -- dynamic patch -------------------------------------------------
+    def patched(
+        self, index, nodes, include_self: bool = True
+    ) -> "CompressedRows":
+        """A new :class:`CompressedRows` with ``nodes`` re-encoded.
+
+        Container-local rebuild for the dynamic path: only the changed
+        rows' containers are re-encoded from ``index``'s current
+        entries (plus hop-0 self states); every other container's
+        metadata and payload is splice-copied.  Bit-identical to a full
+        re-encode because containers never span rows and the codec is
+        deterministic per container.  The receiver is not mutated, so
+        archive-backed (read-only) instances patch safely.
+        """
+        nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+        if nodes.size == 0:
+            return self
+        if nodes[0] < 0 or nodes[-1] >= self.num_rows:
+            raise ParameterError("patched nodes out of range")
+        if (
+            index.num_nodes != self.num_rows
+            or index.num_states != self.num_states
+        ):
+            raise ParameterError(
+                "index shape does not match the compressed rows"
+            )
+        pos_idx, lengths = _concat_ranges(
+            np.asarray(index.indptr, dtype=np.int64), nodes
+        )
+        states = np.asarray(index.state)[pos_idx].astype(np.int64)
+        owners = np.repeat(np.arange(nodes.size, dtype=np.int64), lengths)
+        if include_self:
+            reps = np.arange(index.num_replicates, dtype=np.int64)
+            self_states = (
+                nodes[None, :] + np.int64(index.num_nodes) * reps[:, None]
+            ).ravel()
+            states = np.concatenate([states, self_states])
+            owners = np.concatenate(
+                [owners,
+                 np.tile(np.arange(nodes.size, dtype=np.int64), reps.size)]
+            )
+        order = np.argsort(
+            owners * np.int64(max(self.num_states, 1)) + states
+        )
+        counts_new, chunk_new, types_new, cards_new, sizes_new, data_new = (
+            encode_row_span(
+                owners[order], states[order], nodes.size, self.num_states
+            )
+        )
+        old_counts = np.diff(self.row_ptr)
+        is_patched = np.zeros(self.num_rows, dtype=bool)
+        is_patched[nodes] = True
+        old_row_of = np.repeat(
+            np.arange(self.num_rows, dtype=np.int64), old_counts
+        )
+        kept = np.flatnonzero(~is_patched[old_row_of])
+        final_counts = old_counts.copy()
+        final_counts[nodes] = counts_new
+        row_ptr = np.zeros(self.num_rows + 1, dtype=np.int64)
+        np.cumsum(final_counts, out=row_ptr[1:])
+        total = int(row_ptr[-1])
+        old_local = np.arange(
+            int(old_counts.sum()), dtype=np.int64
+        ) - np.repeat(self.row_ptr[:-1], old_counts)
+        dest_kept = row_ptr[old_row_of[kept]] + old_local[kept]
+        dest_new = row_ptr[np.repeat(nodes, counts_new)] + _segment_arange(
+            counts_new
+        )
+        chunk_ids = np.empty(total, dtype=np.int32)
+        types = np.empty(total, dtype=np.uint8)
+        cards = np.empty(total, dtype=np.int32)
+        sizes = np.empty(total, dtype=np.int64)
+        chunk_ids[dest_kept] = self.chunk_ids[kept]
+        chunk_ids[dest_new] = chunk_new
+        types[dest_kept] = self.types[kept]
+        types[dest_new] = types_new
+        cards[dest_kept] = self.cards[kept]
+        cards[dest_new] = cards_new
+        old_sizes = np.diff(self.data_ptr)
+        sizes[dest_kept] = old_sizes[kept]
+        sizes[dest_new] = sizes_new
+        data_ptr = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(sizes, out=data_ptr[1:])
+        data = np.empty(int(data_ptr[-1]), dtype=np.uint16)
+        src_kept, kept_lens = _concat_ranges(self.data_ptr, kept)
+        data[
+            np.repeat(data_ptr[dest_kept], kept_lens)
+            + _segment_arange(kept_lens)
+        ] = self.data[src_kept]
+        data[
+            np.repeat(data_ptr[dest_new], sizes_new)
+            + _segment_arange(sizes_new)
+        ] = data_new
+        return CompressedRows(
+            self.num_rows, self.num_states, row_ptr, chunk_ids, types,
+            cards, data_ptr, data,
+        )

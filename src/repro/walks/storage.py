@@ -346,9 +346,14 @@ class MmapStorage(DenseStorage):
         hop: np.ndarray,
         rows: "np.ndarray | None" = None,
         source: "str | None" = None,
+        compressed_rows=None,
     ):
         super().__init__(indptr, state, hop)
         self.rows = rows
+        #: Archive-backed :class:`~repro.walks.rows.CompressedRows`, for
+        #: archives past the dense row cap (at most one of ``rows`` /
+        #: ``compressed_rows`` is stored).
+        self.compressed_rows = compressed_rows
         self.source = source
 
     @property
@@ -358,6 +363,8 @@ class MmapStorage(DenseStorage):
         total = int(self._state.nbytes + self._hop.nbytes)
         if self.rows is not None:
             total += int(self.rows.nbytes)
+        if self.compressed_rows is not None:
+            total += int(self.compressed_rows.nbytes)
         return total
 
 

@@ -1,0 +1,462 @@
+"""Compressed coverage rows (DESIGN.md §16) — codec, kernel, regressions.
+
+The binding contract: the bitset kernel is *bit-identical* across every
+``rows_format`` (``dense``/``stream``/``compressed``) — same gains, same
+selections — and the roaring-style container codec round-trips any row
+set exactly.  This file also pins the two mmap row-patch regressions
+this change shipped with:
+
+* ``DynamicWalkIndex.packed_hit_rows`` over an mmap archive with stored
+  rows must copy the read-only map before caching it — the next edit
+  batch patches the cache *in place*.
+* ``CoverageKernel`` in ``stream`` mode over an mmap archive with
+  stored rows must slice ``storage.rows`` instead of range-decoding the
+  entry arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.approx_fast import approx_greedy_fast
+from repro.core.coverage_kernel import (
+    DEFAULT_MAX_PACKED_BYTES,
+    CoverageKernel,
+    popcount_rows,
+)
+from repro.dynamic import DynamicGraph, DynamicWalkIndex
+from repro.errors import ParameterError
+from repro.graphs.generators import power_law_graph
+from repro.walks.index import FlatWalkIndex
+from repro.walks.persistence import load_index, save_index
+from repro.walks.rows import (
+    DEFAULT_ROW_CAP_BYTES,
+    ROWS_FORMATS,
+    CompressedRows,
+    encode_row_span,
+    validate_rows_format,
+)
+from tests.test_dynamic import random_edits
+
+
+def dense_from_positions(
+    rows_positions: "list[list[int]]", num_states: int
+) -> np.ndarray:
+    """Reference packed matrix built bit by bit."""
+    words = max(1, -(-num_states // 64))
+    out = np.zeros((len(rows_positions), words), dtype=np.uint64)
+    for r, positions in enumerate(rows_positions):
+        for s in positions:
+            out[r, s >> 6] |= np.uint64(1) << np.uint64(s & 63)
+    return out
+
+
+def crows_from_positions(
+    rows_positions: "list[list[int]]", num_states: int
+) -> CompressedRows:
+    owners = np.repeat(
+        np.arange(len(rows_positions), dtype=np.int64),
+        [len(p) for p in rows_positions],
+    )
+    positions = np.concatenate(
+        [np.asarray(sorted(p), dtype=np.int64) for p in rows_positions]
+        or [np.empty(0, dtype=np.int64)]
+    )
+    return CompressedRows.from_sorted_positions(
+        owners, positions, len(rows_positions), num_states
+    )
+
+
+# ----------------------------------------------------------------------
+# Codec unit tests
+# ----------------------------------------------------------------------
+class TestCodec:
+    #: Edge-case row sets: chunk boundaries, all-ones, all-zeros, runs,
+    #: dense bitmaps, and a short tail chunk.
+    CASES = [
+        ([[0], [65535], [65536], [65537]], 70000),
+        ([[]], 100),
+        ([list(range(200))], 200),  # all ones, one short chunk
+        ([list(range(0, 70000, 2))], 70000),  # bitmap in chunk 0 and 1
+        ([list(range(10, 5000))], 70000),  # one long run
+        ([[], list(range(65530, 65542)), []], 131072),  # boundary run
+        ([[0, 65535], []], 65536),  # exactly one full chunk
+    ]
+
+    @pytest.mark.parametrize("positions,num_states", CASES)
+    def test_round_trip(self, positions, num_states):
+        crows = crows_from_positions(positions, num_states)
+        dense = dense_from_positions(positions, num_states)
+        np.testing.assert_array_equal(
+            crows.decode_rows(0, len(positions)), dense
+        )
+        # from_packed must agree with the position-stream constructor.
+        assert crows.equals(CompressedRows.from_packed(dense, num_states))
+
+    @pytest.mark.parametrize("positions,num_states", CASES)
+    def test_popcount_and_or_parity(self, positions, num_states):
+        crows = crows_from_positions(positions, num_states)
+        dense = dense_from_positions(positions, num_states)
+        rng = np.random.default_rng(5)
+        for trial in range(3):
+            covered = rng.integers(
+                0, 1 << 63, size=dense.shape[1], dtype=np.uint64
+            )
+            if trial == 0:
+                covered[:] = 0
+            pad = 64 * dense.shape[1] - num_states
+            if pad:
+                covered[-1] &= np.uint64(2**64 - 1) >> np.uint64(pad)
+            expected = popcount_rows(dense & ~covered)
+            got = crows.popcount_rows_masked(covered)
+            np.testing.assert_array_equal(got, expected)
+            for row in range(len(positions)):
+                mine = covered.copy()
+                crows.or_row_into(row, mine)
+                np.testing.assert_array_equal(mine, covered | dense[row])
+
+    def test_arrays_round_trip(self):
+        positions = [[1, 2, 3], list(range(0, 70000, 3))]
+        crows = crows_from_positions(positions, 70000)
+        back = CompressedRows.from_arrays(crows.arrays(), 2, 70000)
+        assert crows.equals(back)
+
+    def test_encode_rejects_unsorted(self):
+        owners = np.asarray([0, 0], dtype=np.int64)
+        positions = np.asarray([5, 3], dtype=np.int64)
+        with pytest.raises(ParameterError):
+            encode_row_span(owners, positions, 1, 10)
+
+    def test_encode_rejects_out_of_range(self):
+        owners = np.asarray([0], dtype=np.int64)
+        positions = np.asarray([10], dtype=np.int64)
+        with pytest.raises(ParameterError):
+            encode_row_span(owners, positions, 1, 10)
+
+    def test_validate_rows_format(self):
+        assert validate_rows_format(None) is None
+        for name in ROWS_FORMATS:
+            assert validate_rows_format(name) == name
+        with pytest.raises(ParameterError):
+            validate_rows_format("roaring")
+
+    def test_unified_row_cap_constant(self):
+        # One constant, exported from rows.py, shared by the kernel cap
+        # and the persistence sizing rule.
+        assert DEFAULT_MAX_PACKED_BYTES is DEFAULT_ROW_CAP_BYTES
+
+    def test_compresses_sparse_rows(self, medium_power_law):
+        index = FlatWalkIndex.build(medium_power_law, 5, 40, seed=3)
+        crows = index.compressed_hit_rows()
+        dense_bytes = index.packed_hit_rows().nbytes
+        assert crows.nbytes < dense_bytes
+
+
+# ----------------------------------------------------------------------
+# Index / kernel integration
+# ----------------------------------------------------------------------
+class TestKernelFormats:
+    @pytest.fixture()
+    def built(self, small_power_law):
+        index = FlatWalkIndex.build(small_power_law, 4, 6, seed=9)
+        return small_power_law, index
+
+    def test_compressed_matches_packed(self, built):
+        _, index = built
+        crows = index.compressed_hit_rows(include_self=True)
+        np.testing.assert_array_equal(
+            crows.decode_rows(0, index.num_nodes),
+            index.packed_hit_rows(include_self=True),
+        )
+
+    @pytest.mark.parametrize("rows_format", ROWS_FORMATS)
+    def test_gain_parity_across_formats(self, built, rows_format):
+        _, index = built
+        ref = CoverageKernel(index, objective="f2", rows_format="dense")
+        kernel = CoverageKernel(
+            index, objective="f2", rows_format=rows_format
+        )
+        assert kernel.rows_format == rows_format
+        for node in (0, 3, 7):
+            kernel.select(node)
+            ref.select(node)
+        np.testing.assert_array_equal(kernel.gains, ref.gains)
+        np.testing.assert_array_equal(
+            kernel.refresh_gains(), ref.refresh_gains()
+        )
+        for node in range(index.num_nodes):
+            if node in (0, 3, 7):
+                continue
+            assert kernel.popcount_gain(node) == ref.popcount_gain(node)
+
+    def test_legacy_materialize_rows_maps(self, built):
+        _, index = built
+        assert CoverageKernel(
+            index, "f2", materialize_rows=True
+        ).rows_format == "dense"
+        assert CoverageKernel(
+            index, "f2", materialize_rows=False
+        ).rows_format == "stream"
+        with pytest.raises(ParameterError, match="legacy"):
+            CoverageKernel(
+                index, "f2", materialize_rows=True, rows_format="dense"
+            )
+
+    @pytest.mark.parametrize("objective", ("f1", "f2"))
+    @pytest.mark.parametrize("engine", ("numpy", "csr"))
+    def test_selections_identical_across_formats(
+        self, small_power_law, objective, engine
+    ):
+        index = FlatWalkIndex.build(
+            small_power_law, 4, 6, seed=13, engine=engine
+        )
+        base = approx_greedy_fast(
+            small_power_law, 8, 4, index=index, objective=objective,
+            gain_backend="bitset",
+        )
+        for rows_format in ROWS_FORMATS:
+            result = approx_greedy_fast(
+                small_power_law, 8, 4, index=index, objective=objective,
+                gain_backend="bitset", rows_format=rows_format,
+            )
+            assert result.selected == base.selected
+            assert result.gains == base.gains
+
+
+# ----------------------------------------------------------------------
+# Persistence: compressed rows in v3 archives
+# ----------------------------------------------------------------------
+class TestPersistence:
+    @pytest.fixture()
+    def built(self):
+        graph = power_law_graph(70, 210, seed=22)
+        return graph, FlatWalkIndex.build(graph, 4, 6, seed=22)
+
+    def test_compressed_rows_round_trip(self, built, tmp_path):
+        _, index = built
+        path = save_index(
+            index, tmp_path / "walks", format="mmap",
+            rows_format="compressed",
+        )
+        back = load_index(path)
+        assert back.storage.rows is None
+        crows = back.storage.compressed_rows
+        assert crows is not None
+        assert crows.equals(index.compressed_hit_rows(include_self=True))
+        # compressed_hit_rows serves the archive-backed instance.
+        assert back.compressed_hit_rows(include_self=True) is crows
+
+    def test_kernel_auto_resolves_compressed(self, built, tmp_path):
+        graph, index = built
+        path = save_index(
+            index, tmp_path / "walks", format="mmap",
+            rows_format="compressed",
+        )
+        back = load_index(path)
+        kernel = CoverageKernel(back, objective="f2")
+        assert kernel.rows_format == "compressed"
+        result = approx_greedy_fast(
+            graph, 6, 4, index=back, objective="f2", gain_backend="bitset"
+        )
+        base = approx_greedy_fast(
+            graph, 6, 4, index=index, objective="f2", gain_backend="bitset"
+        )
+        assert result.selected == base.selected
+
+    def test_rows_format_rejected_for_non_mmap(self, built, tmp_path):
+        _, index = built
+        with pytest.raises(ParameterError, match="mmap"):
+            save_index(
+                index, tmp_path / "walks", format="dense",
+                rows_format="compressed",
+            )
+
+    def test_rows_format_and_include_rows_conflict(self, built, tmp_path):
+        _, index = built
+        with pytest.raises(ParameterError, match="not both"):
+            save_index(
+                index, tmp_path / "walks", format="mmap",
+                include_rows=True, rows_format="dense",
+            )
+
+    def test_sizing_error_names_compressed_escape_hatch(
+        self, small_power_law
+    ):
+        index = FlatWalkIndex.build(small_power_law, 4, 3, seed=2)
+        with pytest.raises(ParameterError, match="compressed"):
+            index.packed_hit_rows(max_bytes=8)
+
+
+# ----------------------------------------------------------------------
+# Regression: stream-mode kernel over an archive with stored rows
+# ----------------------------------------------------------------------
+class TestStreamModeUsesStoredRows:
+    def test_slices_archive_rows_without_decoding(
+        self, tmp_path, monkeypatch
+    ):
+        graph = power_law_graph(60, 180, seed=31)
+        index = FlatWalkIndex.build(graph, 4, 5, seed=31)
+        back = load_index(
+            save_index(index, tmp_path / "walks", format="mmap",
+                       rows_format="dense")
+        )
+        assert back.storage.rows is not None
+        kernel = CoverageKernel(back, objective="f2", rows_format="stream")
+        expected = CoverageKernel(
+            index, objective="f2", rows_format="dense"
+        )
+        # The archive already stores the rows: the stream path must
+        # slice them, never fall back to the range decode.
+        def forbid(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError(
+                "packed_rows_for called despite stored archive rows"
+            )
+
+        monkeypatch.setattr(FlatWalkIndex, "packed_rows_for", forbid)
+        np.testing.assert_array_equal(
+            kernel.refresh_gains(), expected.refresh_gains()
+        )
+        kernel.select(4)
+        expected.select(4)
+        np.testing.assert_array_equal(kernel.gains, expected.gains)
+        assert kernel.popcount_gain(9) == expected.popcount_gain(9)
+
+
+# ----------------------------------------------------------------------
+# Regression: dynamic row cache over a read-only archive map
+# ----------------------------------------------------------------------
+class TestDynamicArchiveRows:
+    def _dynamic_over_archive(self, tmp_path, rows_format):
+        # Big enough that a 1-insert/1-delete batch stays on the splice
+        # path (the rebuild fallback would mask the in-place patch).
+        graph = power_law_graph(200, 600, seed=41)
+        dyn = DynamicWalkIndex.build(graph, 4, 5, seed=41)
+        path = save_index(
+            dyn.flat, tmp_path / "walks", format="mmap",
+            rows_format=rows_format,
+        )
+        return graph, DynamicWalkIndex(
+            graph=graph,
+            flat=load_index(path),
+            walks=dyn.walks,
+            seed_entropy=dyn.seed_entropy,
+            engine_name=dyn.engine_name,
+        )
+
+    def test_packed_rows_copied_from_read_only_map(self, tmp_path):
+        """Regression: the first materialize used to cache the archive's
+        read-only memmap; the next edit batch's in-place patch then blew
+        up with ``ValueError: assignment destination is read-only`` (or,
+        had the map been writable, silently corrupted the archive)."""
+        graph, dyn = self._dynamic_over_archive(tmp_path, "dense")
+        assert not dyn.flat.packed_hit_rows(include_self=True).flags.writeable
+        rows = dyn.packed_hit_rows()
+        assert rows.flags.writeable
+        dgraph = DynamicGraph(graph)
+        rng = np.random.default_rng(42)
+        ins, dels = random_edits(graph, rng, 1, 1)
+        dgraph.apply_batch(ins, dels)
+        stats = dyn.sync(dgraph)  # patches the cached rows in place
+        assert stats.resampled_rows * 4 <= dyn.walks.shape[0], (
+            "edit batch unexpectedly crossed into the fallback path"
+        )
+        assert dyn.packed_hit_rows() is rows
+        np.testing.assert_array_equal(
+            rows, dyn.flat.packed_hit_rows(include_self=True)
+        )
+
+    def test_compressed_rows_patched_from_archive(self, tmp_path):
+        graph, dyn = self._dynamic_over_archive(tmp_path, "compressed")
+        archive_crows = dyn.flat.compressed_hit_rows(include_self=True)
+        assert dyn.compressed_hit_rows() is archive_crows
+        dgraph = DynamicGraph(graph)
+        rng = np.random.default_rng(43)
+        ins, dels = random_edits(graph, rng, 1, 1)
+        dgraph.apply_batch(ins, dels)
+        stats = dyn.sync(dgraph)
+        assert stats.resampled_rows * 4 <= dyn.walks.shape[0], (
+            "edit batch unexpectedly crossed into the fallback path"
+        )
+        patched = dyn.compressed_hit_rows()
+        # patched() builds a fresh instance; the archive copy survives.
+        assert patched is not archive_crows
+        assert patched.equals(
+            dyn.flat.compressed_hit_rows(include_self=True)
+        )
+
+
+# ----------------------------------------------------------------------
+# Slow lane: exhaustive properties
+# ----------------------------------------------------------------------
+class TestRowCompressionProperties:
+    pytestmark = pytest.mark.slow
+
+    @given(
+        num_states=st.integers(min_value=1, max_value=70000),
+        data=st.data(),
+    )
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_round_trip_and_popcount_parity(self, num_states, data):
+        num_rows = data.draw(st.integers(min_value=1, max_value=4))
+        rows_positions = [
+            sorted(
+                data.draw(
+                    st.sets(
+                        st.integers(min_value=0, max_value=num_states - 1),
+                        max_size=400,
+                    )
+                )
+            )
+            for _ in range(num_rows)
+        ]
+        crows = crows_from_positions(rows_positions, num_states)
+        dense = dense_from_positions(rows_positions, num_states)
+        np.testing.assert_array_equal(
+            crows.decode_rows(0, num_rows), dense
+        )
+        assert crows.equals(CompressedRows.from_packed(dense, num_states))
+        seed = data.draw(st.integers(min_value=0, max_value=2**16))
+        covered = np.random.default_rng(seed).integers(
+            0, 1 << 63, size=dense.shape[1], dtype=np.uint64
+        )
+        pad = 64 * dense.shape[1] - num_states
+        if pad:
+            covered[-1] &= np.uint64(2**64 - 1) >> np.uint64(pad)
+        np.testing.assert_array_equal(
+            crows.popcount_rows_masked(covered),
+            popcount_rows(dense & ~covered),
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_dynamic_churn_patch_equals_rebuild(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = power_law_graph(50, 150, seed=int(rng.integers(2**16)))
+        dyn = DynamicWalkIndex.build(graph, 4, 5, seed=seed)
+        dyn.packed_hit_rows()
+        dyn.compressed_hit_rows()
+        dgraph = DynamicGraph(graph)
+        for _ in range(2):
+            ins, dels = random_edits(dgraph.graph, rng, 2, 2)
+            dgraph.apply_batch(ins, dels)
+            dyn.sync(dgraph)
+        fresh_dense = dyn.flat.packed_hit_rows(include_self=True)
+        np.testing.assert_array_equal(dyn.packed_hit_rows(), fresh_dense)
+        crows = dyn.compressed_hit_rows()
+        assert crows.equals(
+            dyn.flat.compressed_hit_rows(include_self=True)
+        )
+        np.testing.assert_array_equal(
+            crows.decode_rows(0, dyn.num_nodes), fresh_dense
+        )

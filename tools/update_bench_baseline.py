@@ -39,6 +39,7 @@ BENCH_FILES = [
     "benchmarks/bench_multiproc.py",
     "benchmarks/bench_index_memory.py",
     "benchmarks/bench_oocore_build.py",
+    "benchmarks/bench_row_compression.py",
     "benchmarks/bench_observability.py",
 ]
 
